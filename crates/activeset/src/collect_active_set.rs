@@ -1,0 +1,155 @@
+//! A register-only active set baseline.
+//!
+//! Each of the `n` processes owns one single-writer flag register. `join`
+//! raises the flag, `leave` lowers it, and `getSet` collects all `n` flags.
+//! This is the textbook solution the original active set paper starts from:
+//! `join`/`leave` are O(1) but `getSet` is Θ(n) regardless of contention —
+//! precisely the non-adaptive behaviour that Figure 2 of the SPAA 2008 paper
+//! is designed to beat. The paper instead cites the adaptive collect of
+//! Attiya–Zach with O(Ċs²) operations; that algorithm is only available as a
+//! brief announcement, so this reproduction uses the flag-array baseline and
+//! documents the substitution in DESIGN.md.
+//!
+//! The implementation also satisfies the active-set specification verbatim:
+//! a `getSet` sees the flag of every process whose `join` completed before the
+//! `getSet` started (the write of 1 precedes the read), and never reports a
+//! process whose `leave` completed before the `getSet` started (the write of 0
+//! precedes every read of that flag).
+
+use psnap_shmem::{ProcessId, SegmentedArray, WordRegister};
+
+use crate::traits::{ActiveSet, JoinTicket};
+
+/// Register-only active set over a fixed population of `n` processes.
+pub struct CollectActiveSet {
+    /// `flags[p]` is 1 while process `p` is active, 0 otherwise.
+    flags: SegmentedArray<WordRegister>,
+    /// Number of processes whose flags a `getSet` must collect.
+    n: usize,
+}
+
+impl CollectActiveSet {
+    /// Creates an active set for processes `0..n`.
+    pub fn new(n: usize) -> Self {
+        CollectActiveSet {
+            flags: SegmentedArray::new(),
+            n,
+        }
+    }
+
+    /// The process population size `n` (the cost of every `getSet`).
+    pub fn population(&self) -> usize {
+        self.n
+    }
+}
+
+impl ActiveSet for CollectActiveSet {
+    fn join(&self, pid: ProcessId) -> JoinTicket {
+        assert!(
+            pid.index() < self.n,
+            "process id {pid} out of range for population {}",
+            self.n
+        );
+        self.flags.get(pid.index()).write(1);
+        JoinTicket { slot: pid.index() as u64 }
+    }
+
+    fn leave(&self, pid: ProcessId, _ticket: JoinTicket) {
+        self.flags.get(pid.index()).write(0);
+    }
+
+    fn get_set(&self) -> Vec<ProcessId> {
+        let mut members = Vec::new();
+        for p in 0..self.n {
+            if self.flags.get(p).read() != 0 {
+                members.push(ProcessId(p));
+            }
+        }
+        members
+    }
+
+    fn name(&self) -> &'static str {
+        "collect-active-set (register baseline)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psnap_shmem::StepScope;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn sequential_protocol() {
+        let set = CollectActiveSet::new(4);
+        assert!(set.get_set().is_empty());
+        let t0 = set.join(ProcessId(0));
+        let t3 = set.join(ProcessId(3));
+        assert_eq!(set.get_set(), vec![ProcessId(0), ProcessId(3)]);
+        set.leave(ProcessId(0), t0);
+        assert_eq!(set.get_set(), vec![ProcessId(3)]);
+        set.leave(ProcessId(3), t3);
+        assert!(set.get_set().is_empty());
+    }
+
+    #[test]
+    fn getset_cost_is_linear_in_population_not_contention() {
+        // This is the baseline's defining weakness: even with a single active
+        // process the collect reads every one of the n flags.
+        for n in [8usize, 64, 512] {
+            let set = CollectActiveSet::new(n);
+            let t = set.join(ProcessId(0));
+            let scope = StepScope::start();
+            assert_eq!(set.get_set(), vec![ProcessId(0)]);
+            let steps = scope.finish();
+            assert_eq!(steps.reads, n as u64);
+            set.leave(ProcessId(0), t);
+        }
+    }
+
+    #[test]
+    fn join_leave_are_single_writes() {
+        let set = CollectActiveSet::new(16);
+        let scope = StepScope::start();
+        let t = set.join(ProcessId(7));
+        set.leave(ProcessId(7), t);
+        let steps = scope.finish();
+        assert_eq!(steps.writes, 2);
+        assert_eq!(steps.total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn join_rejects_out_of_range_pid() {
+        let set = CollectActiveSet::new(2);
+        let _ = set.join(ProcessId(2));
+    }
+
+    #[test]
+    fn concurrent_membership_is_consistent() {
+        const N: usize = 8;
+        let set = Arc::new(CollectActiveSet::new(N));
+        let barrier = Arc::new(std::sync::Barrier::new(N + 1));
+        let release = Arc::new(std::sync::Barrier::new(N + 1));
+        let mut handles = Vec::new();
+        for pid in 0..N {
+            let set = Arc::clone(&set);
+            let barrier = Arc::clone(&barrier);
+            let release = Arc::clone(&release);
+            handles.push(thread::spawn(move || {
+                let t = set.join(ProcessId(pid));
+                barrier.wait();
+                release.wait();
+                set.leave(ProcessId(pid), t);
+            }));
+        }
+        barrier.wait();
+        assert_eq!(set.get_set().len(), N);
+        release.wait();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(set.get_set().is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! The interval list stored in the compare&swap object `C` of Figure 2.
+//!
+//! `C` "holds a list of intervals of array indices that are known to contain
+//! only 0's, which can be safely skipped by a process doing a getSet
+//! operation". The paper requires that "any consecutive intervals that have no
+//! gaps between them should be coalesced into a single interval in order to
+//! keep the length of the list as small as possible" and that "the intervals
+//! in the list should be kept in sorted order". [`IntervalSet`] implements
+//! exactly that: a sorted list of disjoint, non-adjacent closed intervals of
+//! `u64` indices with point insertion, membership queries, and iteration over
+//! the complement.
+
+use std::fmt;
+
+/// A sorted, coalesced set of closed intervals `[lo, hi]` over `u64` indices.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    /// Sorted, pairwise disjoint and non-adjacent (hi + 1 < next lo).
+    intervals: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Number of maximal intervals stored (the paper's list length, bounded by
+    /// the interval contention in Theorem 2's analysis).
+    pub fn interval_count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Total number of indices covered.
+    pub fn covered(&self) -> u64 {
+        self.intervals.iter().map(|(lo, hi)| hi - lo + 1).sum()
+    }
+
+    /// Returns true if no index is covered.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Returns true if `index` is covered by one of the intervals.
+    pub fn contains(&self, index: u64) -> bool {
+        self.intervals
+            .binary_search_by(|&(lo, hi)| {
+                if index < lo {
+                    std::cmp::Ordering::Greater
+                } else if index > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Adds a single index, coalescing with adjacent intervals.
+    pub fn insert(&mut self, index: u64) {
+        // Find the first interval with lo > index.
+        let pos = self.intervals.partition_point(|&(lo, _)| lo <= index);
+        // Check the interval before `pos` for containment or adjacency.
+        if pos > 0 {
+            let (lo, hi) = self.intervals[pos - 1];
+            if index <= hi {
+                return; // already covered
+            }
+            if index == hi + 1 {
+                self.intervals[pos - 1].1 = index;
+                // May now touch the following interval.
+                if pos < self.intervals.len() && self.intervals[pos].0 == index + 1 {
+                    self.intervals[pos - 1].1 = self.intervals[pos].1;
+                    self.intervals.remove(pos);
+                }
+                return;
+            }
+            debug_assert!(index > hi + 1 && index >= lo);
+        }
+        // Check the interval at `pos` for adjacency on the left.
+        if pos < self.intervals.len() && self.intervals[pos].0 == index + 1 {
+            self.intervals[pos].0 = index;
+            return;
+        }
+        self.intervals.insert(pos, (index, index));
+    }
+
+    /// Iterates over the maximal intervals in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.intervals.iter().copied()
+    }
+
+    /// Iterates over the indices in `1..=limit` that are **not** covered
+    /// (the slots a `getSet` still has to read).
+    pub fn uncovered_up_to(&self, limit: u64) -> impl Iterator<Item = u64> + '_ {
+        UncoveredIter {
+            set: self,
+            next_index: 1,
+            next_interval: 0,
+            limit,
+        }
+    }
+
+    /// Merges another set into this one (used when reconciling a locally built
+    /// skip list with a concurrently installed one in tests and tools).
+    pub fn union_with(&mut self, other: &IntervalSet) {
+        for (lo, hi) in other.iter() {
+            for idx in lo..=hi {
+                self.insert(idx);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for w in self.intervals.windows(2) {
+            let (_, hi_a) = w[0];
+            let (lo_b, _) = w[1];
+            assert!(hi_a + 1 < lo_b, "intervals must be disjoint and non-adjacent");
+        }
+        for &(lo, hi) in &self.intervals {
+            assert!(lo <= hi);
+        }
+    }
+}
+
+struct UncoveredIter<'a> {
+    set: &'a IntervalSet,
+    next_index: u64,
+    next_interval: usize,
+    limit: u64,
+}
+
+impl Iterator for UncoveredIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if self.next_index > self.limit {
+                return None;
+            }
+            // Skip over any interval that covers next_index.
+            while self.next_interval < self.set.intervals.len()
+                && self.set.intervals[self.next_interval].1 < self.next_index
+            {
+                self.next_interval += 1;
+            }
+            if self.next_interval < self.set.intervals.len() {
+                let (lo, hi) = self.set.intervals[self.next_interval];
+                if self.next_index >= lo {
+                    self.next_index = hi + 1;
+                    continue;
+                }
+            }
+            let out = self.next_index;
+            self.next_index += 1;
+            return Some(out);
+        }
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IntervalSet[")?;
+        for (i, (lo, hi)) in self.intervals.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if lo == hi {
+                write!(f, "{lo}")?;
+            } else {
+                write!(f, "{lo}..={hi}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = IntervalSet::new();
+        assert!(!s.contains(5));
+        s.insert(5);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(!s.contains(6));
+        assert_eq!(s.interval_count(), 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn coalesces_adjacent_on_right() {
+        let mut s = IntervalSet::new();
+        s.insert(3);
+        s.insert(4);
+        assert_eq!(s.interval_count(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(3, 4)]);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn coalesces_adjacent_on_left() {
+        let mut s = IntervalSet::new();
+        s.insert(4);
+        s.insert(3);
+        assert_eq!(s.interval_count(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(3, 4)]);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn bridges_two_intervals() {
+        let mut s = IntervalSet::new();
+        s.insert(1);
+        s.insert(3);
+        assert_eq!(s.interval_count(), 2);
+        s.insert(2);
+        assert_eq!(s.interval_count(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(1, 3)]);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut s = IntervalSet::new();
+        s.insert(7);
+        s.insert(7);
+        assert_eq!(s.interval_count(), 1);
+        assert_eq!(s.covered(), 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn uncovered_iteration_matches_reference() {
+        let mut s = IntervalSet::new();
+        for idx in [2u64, 3, 7, 10, 11, 12] {
+            s.insert(idx);
+        }
+        let uncovered: Vec<u64> = s.uncovered_up_to(14).collect();
+        assert_eq!(uncovered, vec![1, 4, 5, 6, 8, 9, 13, 14]);
+    }
+
+    #[test]
+    fn uncovered_with_empty_set_is_full_range() {
+        let s = IntervalSet::new();
+        let uncovered: Vec<u64> = s.uncovered_up_to(5).collect();
+        assert_eq!(uncovered, vec![1, 2, 3, 4, 5]);
+        let none: Vec<u64> = s.uncovered_up_to(0).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn union_merges_both_sets() {
+        let mut a = IntervalSet::new();
+        a.insert(1);
+        a.insert(2);
+        let mut b = IntervalSet::new();
+        b.insert(3);
+        b.insert(10);
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(2) && a.contains(3) && a.contains(10));
+        assert_eq!(a.interval_count(), 2);
+        a.check_invariants();
+    }
+
+    #[test]
+    fn debug_formatting_is_compact() {
+        let mut s = IntervalSet::new();
+        s.insert(1);
+        s.insert(2);
+        s.insert(5);
+        assert_eq!(format!("{s:?}"), "IntervalSet[1..=2, 5]");
+    }
+
+    /// Reference-model test over many random insertion orders.
+    #[test]
+    fn random_insertions_match_btreeset_model() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2008);
+        for _ in 0..50 {
+            let mut model = BTreeSet::new();
+            let mut set = IntervalSet::new();
+            for _ in 0..200 {
+                let idx = rng.gen_range(1u64..=60);
+                model.insert(idx);
+                set.insert(idx);
+                set.check_invariants();
+            }
+            for idx in 0..=70u64 {
+                assert_eq!(set.contains(idx), model.contains(&idx), "index {idx}");
+            }
+            assert_eq!(set.covered() as usize, model.len());
+            let uncovered: Vec<u64> = set.uncovered_up_to(70).collect();
+            let expected: Vec<u64> = (1..=70).filter(|i| !model.contains(i)).collect();
+            assert_eq!(uncovered, expected);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The *active set* abstraction and its implementations.
+//!
+//! The active set problem (Afek, Stupp, Touitou, FOCS 1999; Section 2.1 of the
+//! SPAA 2008 paper) maintains a group with dynamic membership. Processes
+//! `join` and `leave` the group and may query the current membership with
+//! `getSet`. The specification is deliberately loose about processes that are
+//! in the middle of joining or leaving:
+//!
+//! * a `getSet` must return **every process that is active** (has completed a
+//!   `join` and not yet invoked the matching `leave`) at the moment the
+//!   `getSet` starts, and
+//! * it must return **no process that is inactive** (has completed a `leave`,
+//!   or never joined) for the whole duration of the `getSet`;
+//! * processes that are concurrently joining or leaving may or may not appear.
+//!
+//! Two implementations are provided:
+//!
+//! * [`CasActiveSet`] — the paper's new algorithm (Figure 2), built from a
+//!   fetch&increment object, an unbounded array of registers and one
+//!   compare&swap object holding a set of intervals of vacated slots.
+//!   `join`/`leave` take O(1) steps; `getSet` is amortized O(C) (Theorem 2).
+//! * [`CollectActiveSet`] — a classical register-only solution with a
+//!   per-process flag register: O(1) `join`/`leave` and Θ(n) `getSet`. It is
+//!   the baseline that Figure 1 of the paper is instantiated with in this
+//!   reproduction (see DESIGN.md for the substitution note about the adaptive
+//!   collect of Attiya–Zach).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cas_active_set;
+pub mod collect_active_set;
+pub mod interval_set;
+pub mod traits;
+
+pub use cas_active_set::CasActiveSet;
+pub use collect_active_set::CollectActiveSet;
+pub use interval_set::IntervalSet;
+pub use traits::{ActiveSet, JoinTicket};

@@ -1,0 +1,75 @@
+//! The active-set specification as a trait.
+
+use psnap_shmem::ProcessId;
+
+/// Opaque token returned by [`ActiveSet::join`] and consumed by the matching
+/// [`ActiveSet::leave`].
+///
+/// In Figure 2 of the paper this is the local variable `l`: the slot index in
+/// the unbounded array `I[1..]` handed out by the fetch&increment object. The
+/// register-based implementation ignores it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinTicket {
+    pub(crate) slot: u64,
+}
+
+impl JoinTicket {
+    /// The slot index underlying this ticket (0 for implementations that do
+    /// not use slots). Exposed for diagnostics and experiments only.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+}
+
+/// A wait-free solution to the active set problem.
+///
+/// Callers must obey the protocol of the problem statement: for each process
+/// id, calls to `join` and `leave` strictly alternate starting with `join`,
+/// and the ticket passed to `leave` is the one returned by the immediately
+/// preceding `join` of the same process.
+pub trait ActiveSet: Send + Sync {
+    /// Adds the calling process to the set. Returns a ticket that must be
+    /// passed to the matching [`leave`](ActiveSet::leave).
+    fn join(&self, pid: ProcessId) -> JoinTicket;
+
+    /// Removes the calling process from the set.
+    fn leave(&self, pid: ProcessId, ticket: JoinTicket);
+
+    /// Returns the ids of the current members.
+    ///
+    /// The result contains every process that was active when the call
+    /// started, no process that was inactive for the whole call, and possibly
+    /// some processes that were joining or leaving concurrently. The returned
+    /// vector is sorted and duplicate-free.
+    fn get_set(&self) -> Vec<ProcessId>;
+
+    /// A short human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+impl<A: ActiveSet + ?Sized> ActiveSet for std::sync::Arc<A> {
+    fn join(&self, pid: ProcessId) -> JoinTicket {
+        (**self).join(pid)
+    }
+    fn leave(&self, pid: ProcessId, ticket: JoinTicket) {
+        (**self).leave(pid, ticket)
+    }
+    fn get_set(&self) -> Vec<ProcessId> {
+        (**self).get_set()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_exposes_slot() {
+        let t = JoinTicket { slot: 17 };
+        assert_eq!(t.slot(), 17);
+        assert_eq!(t, JoinTicket { slot: 17 });
+    }
+}

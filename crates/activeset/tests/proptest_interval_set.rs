@@ -1,0 +1,130 @@
+//! Property-based tests for the interval list stored in the `C` object of the
+//! Figure 2 active set algorithm, and for the active-set specification itself
+//! under arbitrary sequential operation interleavings.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use psnap_activeset::{ActiveSet, CasActiveSet, CollectActiveSet, IntervalSet};
+use psnap_shmem::ProcessId;
+
+proptest! {
+    /// Membership after any sequence of point insertions matches a set model.
+    #[test]
+    fn interval_set_matches_model(indices in proptest::collection::vec(1u64..200, 0..300)) {
+        let mut set = IntervalSet::new();
+        let mut model = BTreeSet::new();
+        for idx in indices {
+            set.insert(idx);
+            model.insert(idx);
+        }
+        prop_assert_eq!(set.covered() as usize, model.len());
+        for idx in 0..=210u64 {
+            prop_assert_eq!(set.contains(idx), model.contains(&idx));
+        }
+    }
+
+    /// Intervals are always sorted, disjoint, and coalesced (non-adjacent);
+    /// the number of intervals equals the number of maximal runs in the model.
+    #[test]
+    fn interval_set_is_always_coalesced(indices in proptest::collection::vec(1u64..100, 0..200)) {
+        let mut set = IntervalSet::new();
+        let mut model = BTreeSet::new();
+        for idx in indices {
+            set.insert(idx);
+            model.insert(idx);
+            let ivs: Vec<(u64, u64)> = set.iter().collect();
+            for w in ivs.windows(2) {
+                prop_assert!(w[0].1 + 1 < w[1].0, "not coalesced/sorted: {:?}", ivs);
+            }
+        }
+        // Count maximal runs in the model.
+        let mut runs = 0usize;
+        let mut prev: Option<u64> = None;
+        for &x in &model {
+            if prev.map_or(true, |p| p + 1 != x) {
+                runs += 1;
+            }
+            prev = Some(x);
+        }
+        prop_assert_eq!(set.interval_count(), runs);
+    }
+
+    /// Iterating the complement up to a limit agrees with the model.
+    #[test]
+    fn uncovered_iteration_matches_model(
+        indices in proptest::collection::vec(1u64..80, 0..150),
+        limit in 0u64..100,
+    ) {
+        let mut set = IntervalSet::new();
+        let mut model = BTreeSet::new();
+        for idx in indices {
+            set.insert(idx);
+            model.insert(idx);
+        }
+        let got: Vec<u64> = set.uncovered_up_to(limit).collect();
+        let expected: Vec<u64> = (1..=limit).filter(|i| !model.contains(i)).collect();
+        prop_assert_eq!(got, expected);
+    }
+}
+
+/// A sequential operation against an active set, for model-based testing.
+#[derive(Clone, Debug)]
+enum Op {
+    Join(usize),
+    Leave(usize),
+    GetSet,
+}
+
+fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n).prop_map(Op::Join),
+        (0..n).prop_map(Op::Leave),
+        Just(Op::GetSet),
+    ]
+}
+
+/// Runs a sequence of operations against an implementation and a trivial
+/// model, respecting the alternation protocol (join/leave of the same process
+/// must alternate), and checks every getSet result exactly.
+fn run_sequential_model(ops: &[Op], set: &dyn ActiveSet, n: usize) {
+    let mut tickets = vec![None; n];
+    let mut model: BTreeSet<usize> = BTreeSet::new();
+    for op in ops {
+        match op {
+            Op::Join(p) => {
+                if tickets[*p].is_none() {
+                    tickets[*p] = Some(set.join(ProcessId(*p)));
+                    model.insert(*p);
+                }
+            }
+            Op::Leave(p) => {
+                if let Some(t) = tickets[*p].take() {
+                    set.leave(ProcessId(*p), t);
+                    model.remove(p);
+                }
+            }
+            Op::GetSet => {
+                let got: Vec<usize> = set.get_set().into_iter().map(|p| p.index()).collect();
+                let expected: Vec<usize> = model.iter().copied().collect();
+                assert_eq!(got, expected, "sequential getSet must be exact");
+            }
+        }
+    }
+}
+
+proptest! {
+    /// With no concurrency the specification collapses to an exact set; both
+    /// implementations must agree with the model on every getSet.
+    #[test]
+    fn cas_active_set_sequentially_exact(ops in proptest::collection::vec(op_strategy(6), 1..120)) {
+        let set = CasActiveSet::new();
+        run_sequential_model(&ops, &set, 6);
+    }
+
+    #[test]
+    fn collect_active_set_sequentially_exact(ops in proptest::collection::vec(op_strategy(6), 1..120)) {
+        let set = CollectActiveSet::new(6);
+        run_sequential_model(&ops, &set, 6);
+    }
+}

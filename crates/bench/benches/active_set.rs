@@ -1,0 +1,58 @@
+//! E4 companion (wall-clock): active set operations — Figure 2 vs the
+//! register-based collect baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psnap_activeset::{ActiveSet, CasActiveSet, CollectActiveSet};
+use psnap_core::ProcessId;
+
+fn join_leave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("active_set_join_leave");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let cas = CasActiveSet::new();
+    group.bench_function("fig2-cas", |b| {
+        b.iter(|| {
+            let t = cas.join(ProcessId(0));
+            cas.leave(ProcessId(0), t);
+        })
+    });
+    let collect = CollectActiveSet::new(64);
+    group.bench_function("collect", |b| {
+        b.iter(|| {
+            let t = collect.join(ProcessId(0));
+            collect.leave(ProcessId(0), t);
+        })
+    });
+    group.finish();
+}
+
+fn get_set_after_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("active_set_get_set");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for &churn in &[0usize, 1000, 10_000] {
+        let cas = CasActiveSet::new();
+        for i in 0..churn {
+            let t = cas.join(ProcessId(i % 8));
+            cas.leave(ProcessId(i % 8), t);
+        }
+        let _warm = cas.get_set(); // installs the skip list once
+        group.bench_with_input(BenchmarkId::new("fig2-cas", churn), &churn, |b, _| {
+            b.iter(|| cas.get_set())
+        });
+        let collect = CollectActiveSet::new(64);
+        group.bench_with_input(BenchmarkId::new("collect-n64", churn), &churn, |b, _| {
+            b.iter(|| collect.get_set())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, join_leave, get_set_after_churn);
+criterion_main!(benches);

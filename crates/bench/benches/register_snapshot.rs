@@ -1,0 +1,52 @@
+//! E5 companion (wall-clock): the register-only algorithm (Figure 1) compared
+//! with Figure 3 under identical quiescent and contended conditions.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psnap_bench::ImplKind;
+use psnap_core::ProcessId;
+
+fn scan_under_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_vs_fig3_contended_scan");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let m = 128usize;
+    let r = 8usize;
+    for kind in [ImplKind::Register, ImplKind::Cas] {
+        for &updaters in &[0usize, 2] {
+            let snapshot = kind.build(m, updaters + 1, 0);
+            let stop = Arc::new(AtomicBool::new(false));
+            let handles: Vec<_> = (0..updaters)
+                .map(|u| {
+                    let snapshot = Arc::clone(&snapshot);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut i = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            snapshot.update(ProcessId(u), (i % r as u64) as usize, i + 1);
+                            i += 1;
+                        }
+                    })
+                })
+                .collect();
+            let comps: Vec<usize> = (0..r).collect();
+            let label = format!("{}-{}updaters", kind.label(), updaters);
+            group.bench_with_input(BenchmarkId::new(label, m), &m, |b, _| {
+                b.iter(|| snapshot.scan(ProcessId(updaters), &comps))
+            });
+            stop.store(true, Ordering::Relaxed);
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scan_under_contention);
+criterion_main!(benches);

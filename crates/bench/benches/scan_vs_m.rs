@@ -1,0 +1,38 @@
+//! E1 companion (wall-clock): partial-scan latency vs object width `m`.
+//!
+//! The paper's locality claim in time units: the Figure 3 and Figure 1 scans
+//! should be flat in `m`, the full-snapshot baseline should grow linearly.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psnap_bench::ImplKind;
+use psnap_core::ProcessId;
+
+fn scan_vs_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_vs_m");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let comps_of = |m: usize| -> Vec<usize> { (0..8).map(|k| k * (m / 8)).collect() };
+    for &m in &[64usize, 512, 4096] {
+        for kind in [ImplKind::Cas, ImplKind::Register, ImplKind::AfekFull, ImplKind::Lock] {
+            let snapshot = kind.build(m, 2, 0);
+            // Populate so scans read real entries.
+            for i in (0..m).step_by(7) {
+                snapshot.update(ProcessId(0), i, i as u64 + 1);
+            }
+            let comps = comps_of(m);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), m),
+                &m,
+                |b, _| b.iter(|| snapshot.scan(ProcessId(1), &comps)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scan_vs_m);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E2 companion (wall-clock): Figure 3 partial-scan latency vs scan width `r`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psnap_bench::ImplKind;
+use psnap_core::ProcessId;
+
+fn scan_vs_r(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_vs_r");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let m = 256usize;
+    for &r in &[1usize, 4, 8, 16, 32] {
+        for kind in [ImplKind::Cas, ImplKind::Register] {
+            let snapshot = kind.build(m, 2, 0);
+            let comps: Vec<usize> = (0..r).map(|k| (k * m / r) % m).collect();
+            group.bench_with_input(BenchmarkId::new(kind.label(), r), &r, |b, _| {
+                b.iter(|| snapshot.scan(ProcessId(1), &comps))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scan_vs_r);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E7 companion (wall-clock): aggregate mixed-workload throughput across
+//! implementations, measured as the time to complete a fixed batch of
+//! operations spread over several threads.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psnap_bench::{run_point, ImplKind, PointConfig};
+
+fn mixed_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixed_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let ops = 300usize;
+    for kind in [
+        ImplKind::Cas,
+        ImplKind::Register,
+        ImplKind::AfekFull,
+        ImplKind::DoubleCollect,
+        ImplKind::Lock,
+    ] {
+        let cfg = PointConfig::new(512, 8, 2, 2, ops);
+        group.throughput(Throughput::Elements((ops * 4) as u64));
+        group.bench_with_input(BenchmarkId::new(kind.label(), "2u2s"), &cfg, |b, cfg| {
+            b.iter(|| {
+                let snapshot = kind.build(cfg.m, cfg.updaters + cfg.scanners, 0);
+                run_point(&snapshot, cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mixed_throughput);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E3 companion (wall-clock): update latency with and without announced
+//! scanners, across implementations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psnap_bench::ImplKind;
+use psnap_core::ProcessId;
+
+fn quiescent_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_quiescent");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for &m in &[256usize, 4096] {
+        for kind in [ImplKind::Cas, ImplKind::Register, ImplKind::AfekFull, ImplKind::Lock] {
+            let snapshot = kind.build(m, 2, 0);
+            let mut i = 0u64;
+            group.bench_with_input(BenchmarkId::new(kind.label(), m), &m, |b, _| {
+                b.iter(|| {
+                    i += 1;
+                    snapshot.update(ProcessId(0), (i % 16) as usize, i)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn update_with_active_scanners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_with_scanners");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let m = 1024usize;
+    for &scanners in &[1usize, 4] {
+        let snapshot = ImplKind::Cas.build(m, scanners + 1, 0);
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..scanners)
+            .map(|s| {
+                let snapshot = Arc::clone(&snapshot);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let comps: Vec<usize> = (s * 8..s * 8 + 8).collect();
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = snapshot.scan(ProcessId(s + 1), &comps);
+                    }
+                })
+            })
+            .collect();
+        let mut i = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("fig3-cas", scanners),
+            &scanners,
+            |b, _| {
+                b.iter(|| {
+                    i += 1;
+                    snapshot.update(ProcessId(0), (i % 64) as usize, i)
+                })
+            },
+        );
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, quiescent_update, update_with_active_scanners);
+criterion_main!(benches);

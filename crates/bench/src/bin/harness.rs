@@ -1,0 +1,46 @@
+//! The experiment harness: regenerates the E1–E7 tables of EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! harness [--quick] <experiment id | all> [more ids...]
+//! ```
+//!
+//! `--quick` runs each point with a small number of operations (for smoke
+//! testing the harness itself); without it, the full effort used for
+//! EXPERIMENTS.md is applied.
+
+use psnap_bench::{run_experiment, Effort, ALL_EXPERIMENTS};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut effort = Effort::full();
+    args.retain(|a| {
+        if a == "--quick" {
+            effort = Effort::smoke();
+            false
+        } else {
+            true
+        }
+    });
+    if args.is_empty() {
+        eprintln!("usage: harness [--quick] <E1..E7 | all> [more ids...]");
+        std::process::exit(2);
+    }
+    let ids: Vec<String> = if args.iter().any(|a| a.eq_ignore_ascii_case("all")) {
+        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    for id in ids {
+        match run_experiment(&id, effort) {
+            Some(table) => {
+                println!("{}", table.to_markdown());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (expected one of {ALL_EXPERIMENTS:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+}

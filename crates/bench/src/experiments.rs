@@ -1,0 +1,585 @@
+//! The E1–E7 experiments of EXPERIMENTS.md.
+//!
+//! Each function returns a [`Table`] that the harness binary prints as
+//! GitHub-flavoured markdown. The experiments measure the paper's cost metric
+//! — base-object operations per implemented operation — plus wall-clock
+//! latency and throughput as secondary metrics.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use psnap_activeset::{ActiveSet, CasActiveSet, CollectActiveSet};
+use psnap_core::{CasPartialSnapshot, PartialSnapshot, ProcessId};
+use psnap_shmem::StepScope;
+use psnap_workloads::{Market, MarketConfig, DEFAULT_M_SWEEP, DEFAULT_R_SWEEP};
+
+use crate::implementations::ImplKind;
+use crate::runner::{run_point, PointConfig};
+use crate::stats::Summary;
+
+/// A printable experiment table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment identifier (e.g. `"E1"`).
+    pub id: String,
+    /// What the experiment demonstrates.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+fn fmt_steps(s: &Summary) -> String {
+    if s.count == 0 {
+        "—".to_string()
+    } else {
+        format!("{:.0}", s.mean)
+    }
+}
+
+fn fmt_us(s: &Summary) -> String {
+    if s.count == 0 {
+        "—".to_string()
+    } else {
+        format!("{:.1}", s.mean / 1000.0)
+    }
+}
+
+/// How many operations each role performs per measurement point.
+#[derive(Clone, Copy, Debug)]
+pub struct Effort {
+    /// Operations per role per point.
+    pub ops: usize,
+}
+
+impl Effort {
+    /// The effort used when regenerating EXPERIMENTS.md.
+    pub fn full() -> Self {
+        Effort { ops: 1000 }
+    }
+
+    /// A tiny effort used by the test suite to keep CI fast.
+    pub fn smoke() -> Self {
+        Effort { ops: 30 }
+    }
+}
+
+/// E1 — locality: partial-scan cost vs object width `m`, `r` fixed.
+pub fn e1_locality(effort: Effort) -> Table {
+    let kinds = [
+        ImplKind::Cas,
+        ImplKind::Register,
+        ImplKind::AfekFull,
+        ImplKind::Lock,
+    ];
+    let mut headers = vec!["m".to_string()];
+    for k in kinds {
+        headers.push(format!("{} scan steps", k.label()));
+        headers.push(format!("{} scan µs", k.label()));
+    }
+    let mut rows = Vec::new();
+    for &m in DEFAULT_M_SWEEP {
+        let mut row = vec![m.to_string()];
+        for kind in kinds {
+            let snapshot = kind.build(m, 4, 0);
+            let cfg = PointConfig::new(m, 8, 2, 2, effort.ops);
+            let result = run_point(&snapshot, &cfg);
+            row.push(fmt_steps(&result.scan_steps));
+            row.push(fmt_us(&result.scan_latency_ns));
+        }
+        rows.push(row);
+    }
+    Table {
+        id: "E1".into(),
+        title: "partial-scan cost vs object width m (r = 8, 2 updaters + 2 scanners). \
+                Figure 3 and Figure 1 are local; the full-snapshot baseline grows with m."
+            .into(),
+        headers,
+        rows,
+    }
+}
+
+/// E2 — worst-case scan cost vs scan width `r` under focused update pressure.
+pub fn e2_scan_width(effort: Effort) -> Table {
+    let mut rows = Vec::new();
+    for &r in DEFAULT_R_SWEEP {
+        let snapshot = ImplKind::Cas.build(256, 4, 0);
+        // Updates target exactly the components being scanned to force the
+        // helping path (condition 2) as often as possible.
+        let mut contended = PointConfig::new(256, r, 2, 1, effort.ops);
+        contended.update_range = Some(r.max(1));
+        let contended_result = run_point(&snapshot, &contended);
+
+        let quiet_snapshot = ImplKind::Cas.build(256, 4, 0);
+        let quiet = PointConfig::new(256, r, 0, 1, effort.ops);
+        let quiet_result = run_point(&quiet_snapshot, &quiet);
+
+        rows.push(vec![
+            r.to_string(),
+            fmt_steps(&quiet_result.scan_steps),
+            fmt_steps(&contended_result.scan_steps),
+            format!("{:.0}", contended_result.scan_steps.max),
+            format!("{}", 2 * r * r + 3 * r + 8),
+        ]);
+    }
+    Table {
+        id: "E2".into(),
+        title: "Figure 3 scan steps vs scan width r (m = 256). Quiet scans are linear in r; \
+                under focused update pressure the worst case stays within the O(r²) budget \
+                of Theorem 3."
+            .into(),
+        headers: vec![
+            "r".into(),
+            "scan steps (no updates)".into(),
+            "scan steps (contended, mean)".into(),
+            "scan steps (contended, max)".into(),
+            "Theorem 3 budget ≈ 2r²+3r+8".into(),
+        ],
+        rows,
+    }
+}
+
+/// E3 — update cost vs number of concurrent scanners.
+pub fn e3_update_cost(effort: Effort) -> Table {
+    let mut rows = Vec::new();
+    for &scanners in &[0usize, 1, 2, 4, 6] {
+        let mut row = vec![scanners.to_string()];
+        for m in [256usize, 4096] {
+            let snapshot = ImplKind::Cas.build(m, 1 + scanners, 0);
+            let cfg = PointConfig {
+                m,
+                r: 8,
+                updaters: 1,
+                scanners,
+                ops_per_updater: effort.ops,
+                ops_per_scanner: effort.ops,
+                update_range: None,
+                seed: 0xE3,
+            };
+            let result = run_point(&snapshot, &cfg);
+            row.push(fmt_steps(&result.update_steps));
+        }
+        rows.push(row);
+    }
+    Table {
+        id: "E3".into(),
+        title: "Figure 3 update steps vs concurrent scanners (r = 8). The cost scales with \
+                the announced components of active scanners (Cs·rmax), not with the object \
+                width m."
+            .into(),
+        headers: vec![
+            "concurrent scanners".into(),
+            "update steps (m=256)".into(),
+            "update steps (m=4096)".into(),
+        ],
+        rows,
+    }
+}
+
+/// Measures one active-set implementation under churn.
+fn active_set_point<A: ActiveSet>(set: &A, churners: usize, ops: usize) -> (Summary, Summary, Summary) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicUsize::new(0));
+    let set_ref: &A = set;
+    std::thread::scope(|scope| {
+        // Churning threads join/leave continuously.
+        for c in 0..churners {
+            let stop = Arc::clone(&stop);
+            let started = Arc::clone(&started);
+            scope.spawn(move || {
+                started.fetch_add(1, Ordering::SeqCst);
+                while !stop.load(Ordering::Relaxed) {
+                    let t = set_ref.join(ProcessId(c + 1));
+                    std::hint::spin_loop();
+                    set_ref.leave(ProcessId(c + 1), t);
+                }
+            });
+        }
+        while started.load(Ordering::SeqCst) < churners {
+            std::hint::spin_loop();
+        }
+        // The measured process alternates join / getSet / leave.
+        let mut join_steps = Vec::with_capacity(ops);
+        let mut leave_steps = Vec::with_capacity(ops);
+        let mut getset_steps = Vec::with_capacity(ops);
+        for _ in 0..ops {
+            let scope_steps = StepScope::start();
+            let t = set_ref.join(ProcessId(0));
+            join_steps.push(scope_steps.finish().total());
+
+            let scope_steps = StepScope::start();
+            let _ = set_ref.get_set();
+            getset_steps.push(scope_steps.finish().total());
+
+            let scope_steps = StepScope::start();
+            set_ref.leave(ProcessId(0), t);
+            leave_steps.push(scope_steps.finish().total());
+        }
+        stop.store(true, Ordering::Relaxed);
+        (
+            Summary::of_u64(&join_steps),
+            Summary::of_u64(&leave_steps),
+            Summary::of_u64(&getset_steps),
+        )
+    })
+}
+
+/// E4 — the Figure 2 active set vs the register-based collect baseline.
+pub fn e4_active_set(effort: Effort) -> Table {
+    let mut rows = Vec::new();
+    for &churners in &[0usize, 2, 4, 6] {
+        let cas_set = CasActiveSet::new();
+        let (cj, cl, cg) = active_set_point(&cas_set, churners, effort.ops);
+        let collect_set = CollectActiveSet::new(64);
+        let (bj, bl, bg) = active_set_point(&collect_set, churners, effort.ops);
+        rows.push(vec![
+            churners.to_string(),
+            fmt_steps(&cj),
+            fmt_steps(&cl),
+            format!("{:.1}", cg.mean),
+            format!("{:.0}", cg.max),
+            fmt_steps(&bj),
+            fmt_steps(&bl),
+            format!("{:.1}", bg.mean),
+        ]);
+    }
+    Table {
+        id: "E4".into(),
+        title: "active set operations vs concurrent churners (Theorem 2). Figure 2: O(1) \
+                join/leave, amortized getSet bounded by contention; collect baseline: getSet \
+                always reads all n = 64 flags."
+            .into(),
+        headers: vec![
+            "churners".into(),
+            "fig2 join steps".into(),
+            "fig2 leave steps".into(),
+            "fig2 getSet steps (mean)".into(),
+            "fig2 getSet steps (max)".into(),
+            "collect join steps".into(),
+            "collect leave steps".into(),
+            "collect getSet steps (mean)".into(),
+        ],
+        rows,
+    }
+}
+
+/// E5 — the register-only algorithm (Figure 1) vs update contention.
+pub fn e5_register_snapshot(effort: Effort) -> Table {
+    let mut rows = Vec::new();
+    for &updaters in &[0usize, 1, 2, 4] {
+        let snapshot = ImplKind::Register.build(128, updaters + 2, 0);
+        let cfg = PointConfig {
+            m: 128,
+            r: 4,
+            updaters,
+            scanners: 2,
+            ops_per_updater: effort.ops,
+            ops_per_scanner: effort.ops,
+            update_range: Some(8),
+            seed: 0xE5,
+        };
+        let result = run_point(&snapshot, &cfg);
+        rows.push(vec![
+            updaters.to_string(),
+            fmt_steps(&result.scan_steps),
+            format!("{:.0}", result.scan_steps.max),
+            fmt_steps(&result.update_steps),
+            fmt_us(&result.scan_latency_ns),
+        ]);
+    }
+    Table {
+        id: "E5".into(),
+        title: "Figure 1 (registers only) vs number of concurrent updaters (r = 4, m = 128, \
+                updates focused on 8 components). Scan cost grows with update contention Cu \
+                as Theorem 1 predicts; it never depends on m."
+            .into(),
+        headers: vec![
+            "updaters (Cu)".into(),
+            "scan steps (mean)".into(),
+            "scan steps (max)".into(),
+            "update steps (mean)".into(),
+            "scan latency µs".into(),
+        ],
+        rows,
+    }
+}
+
+/// E6 — the stock-portfolio motivation: naive reads are inconsistent, partial
+/// scans are consistent and stay cheap as the market grows.
+pub fn e6_portfolio(effort: Effort) -> Table {
+    let mut rows = Vec::new();
+    for &stocks in &[64usize, 1024] {
+        let config = MarketConfig {
+            stocks,
+            portfolios: 8,
+            holdings_per_portfolio: 8,
+            ..Default::default()
+        };
+        let outcome = portfolio_consistency_run(config, effort.ops.max(200));
+        rows.push(vec![
+            stocks.to_string(),
+            outcome.valuations.to_string(),
+            outcome.naive_violations.to_string(),
+            outcome.snapshot_violations.to_string(),
+            format!("{:.0}", outcome.snapshot_scan_steps.mean),
+            format!("{:.0}", outcome.full_scan_steps.mean),
+        ]);
+    }
+    Table {
+        id: "E6".into(),
+        title: "stock-portfolio workload (8 holdings per portfolio). Transfers between stocks \
+                of one portfolio keep its true value constant; naive read-one-by-one valuation \
+                observes phantom gains/losses, partial-snapshot valuation never does, and its \
+                cost does not grow with the market size."
+            .into(),
+        headers: vec![
+            "stocks (m)".into(),
+            "valuations".into(),
+            "naive-read violations".into(),
+            "partial-scan violations".into(),
+            "partial-scan steps".into(),
+            "full-scan steps".into(),
+        ],
+        rows,
+    }
+}
+
+/// The outcome of the portfolio consistency demonstration (also used by the
+/// `stock_portfolio` example).
+pub struct PortfolioOutcome {
+    /// Number of valuations performed with each method.
+    pub valuations: usize,
+    /// Valuations outside the invariant band using naive per-component reads.
+    pub naive_violations: usize,
+    /// Valuations outside the invariant band using partial scans.
+    pub snapshot_violations: usize,
+    /// Steps per partial scan of one portfolio.
+    pub snapshot_scan_steps: Summary,
+    /// Steps per full scan of the whole market (baseline).
+    pub full_scan_steps: Summary,
+}
+
+/// Runs the portfolio consistency experiment: an updater thread transfers
+/// value between stocks of the same portfolio (keeping each portfolio's total
+/// invariant up to one in-flight transfer), while a valuation thread prices
+/// one portfolio with (a) naive one-by-one reads and (b) partial scans.
+pub fn portfolio_consistency_run(config: MarketConfig, valuations: usize) -> PortfolioOutcome {
+    let market = Market::generate(config.clone(), 0xF0110);
+    // One share of each holding keeps the invariant exact: a transfer moves
+    // `delta` from one stock of the portfolio to another.
+    let snapshot: Arc<CasPartialSnapshot<u64>> =
+        Arc::new(CasPartialSnapshot::new(config.stocks, 4, config.initial_price));
+    let portfolio = &market.portfolios[0];
+    let comps = portfolio.components();
+    let true_total: u64 = config.initial_price * comps.len() as u64;
+    let delta = 100u64;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let updater = {
+        let snapshot = Arc::clone(&snapshot);
+        let comps = comps.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            use rand::Rng as _;
+            use rand::SeedableRng as _;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+            // Offset of each holding from its initial price. Transfers move
+            // `delta` from one holding to another, so the sum of offsets is 0
+            // except during the window between the two updates of a transfer.
+            let mut offset: Vec<i64> = vec![0; comps.len()];
+            while !stop.load(Ordering::Relaxed) {
+                let a = rng.gen_range(0..comps.len());
+                let mut b = rng.gen_range(0..comps.len());
+                while b == a {
+                    b = rng.gen_range(0..comps.len());
+                }
+                // Skip transfers that would drive a price to zero or below —
+                // that would break the invariant permanently.
+                if config.initial_price as i64 + offset[a] - (delta as i64) < 1 {
+                    continue;
+                }
+                offset[a] -= delta as i64;
+                let new_a = (config.initial_price as i64 + offset[a]) as u64;
+                snapshot.update(ProcessId(0), comps[a], new_a);
+                offset[b] += delta as i64;
+                let new_b = (config.initial_price as i64 + offset[b]) as u64;
+                snapshot.update(ProcessId(0), comps[b], new_b);
+            }
+        })
+    };
+
+    // The invariant band: the instantaneous total is always within ±delta of
+    // the true total (at most one transfer is in flight).
+    let lo = true_total - delta;
+    let hi = true_total + delta;
+    let in_band = |total: u64| total >= lo && total <= hi;
+
+    let mut naive_violations = 0usize;
+    let mut snapshot_violations = 0usize;
+    let mut scan_steps = Vec::with_capacity(valuations);
+    let mut full_steps = Vec::with_capacity(valuations.min(200));
+    let all: Vec<usize> = (0..config.stocks).collect();
+    for i in 0..valuations {
+        // Naive valuation: read components one by one, yielding in between —
+        // exactly the "check each stock one by one" of the introduction.
+        let mut naive_total = 0u64;
+        for &c in &comps {
+            naive_total += snapshot.scan(ProcessId(1), &[c])[0];
+            std::thread::yield_now();
+        }
+        if !in_band(naive_total) {
+            naive_violations += 1;
+        }
+
+        // Consistent valuation: one partial scan of the portfolio.
+        let scope = StepScope::start();
+        let prices = snapshot.scan(ProcessId(2), &comps);
+        scan_steps.push(scope.finish().total());
+        let snap_total: u64 = prices.iter().sum();
+        if !in_band(snap_total) {
+            snapshot_violations += 1;
+        }
+
+        // Occasionally price the whole market to measure the full-scan cost.
+        if i < 200 {
+            let scope = StepScope::start();
+            let _ = snapshot.scan(ProcessId(3), &all);
+            full_steps.push(scope.finish().total());
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    updater.join().expect("updater thread panicked");
+
+    PortfolioOutcome {
+        valuations,
+        naive_violations,
+        snapshot_violations,
+        snapshot_scan_steps: Summary::of_u64(&scan_steps),
+        full_scan_steps: Summary::of_u64(&full_steps),
+    }
+}
+
+/// E7 — cross-implementation throughput at several scanner/updater mixes.
+pub fn e7_throughput(effort: Effort) -> Table {
+    let kinds = [
+        ImplKind::Cas,
+        ImplKind::CasWithCollectActiveSet,
+        ImplKind::Register,
+        ImplKind::AfekFull,
+        ImplKind::DoubleCollect,
+        ImplKind::Lock,
+    ];
+    let mut headers = vec!["mix".to_string()];
+    headers.extend(kinds.iter().map(|k| format!("{} kops/s", k.label())));
+    let mut rows = Vec::new();
+    for mix in psnap_workloads::Mix::ladder() {
+        let mut row = vec![mix.label()];
+        for kind in kinds {
+            let snapshot = kind.build(512, mix.processes(), 0);
+            let cfg = PointConfig::new(512, 8, mix.updaters, mix.scanners, effort.ops);
+            let result = run_point(&snapshot, &cfg);
+            row.push(format!("{:.0}", result.throughput_ops_per_sec() / 1000.0));
+        }
+        rows.push(row);
+    }
+    Table {
+        id: "E7".into(),
+        title: "aggregate throughput (thousands of operations per second) at several \
+                updater/scanner mixes (m = 512, r = 8)."
+            .into(),
+        headers,
+        rows,
+    }
+}
+
+/// Runs an experiment by id. Returns `None` for an unknown id.
+pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
+    match id.to_ascii_uppercase().as_str() {
+        "E1" => Some(e1_locality(effort)),
+        "E2" => Some(e2_scan_width(effort)),
+        "E3" => Some(e3_update_cost(effort)),
+        "E4" => Some(e4_active_set(effort)),
+        "E5" => Some(e5_register_snapshot(effort)),
+        "E6" => Some(e6_portfolio(effort)),
+        "E7" => Some(e7_throughput(effort)),
+        _ => None,
+    }
+}
+
+/// All experiment ids, in presentation order.
+pub const ALL_EXPERIMENTS: [&str; 7] = ["E1", "E2", "E3", "E4", "E5", "E6", "E7"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let t = Table {
+            id: "T".into(),
+            title: "demo".into(),
+            headers: vec!["a".into(), "b".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+        };
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("### T — demo"));
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run_experiment("E99", Effort::smoke()).is_none());
+    }
+
+    #[test]
+    fn e2_smoke() {
+        let t = e2_scan_width(Effort { ops: 10 });
+        assert_eq!(t.rows.len(), DEFAULT_R_SWEEP.len());
+    }
+
+    #[test]
+    fn e4_smoke() {
+        let t = e4_active_set(Effort { ops: 20 });
+        assert_eq!(t.rows.len(), 4);
+        // Figure 2 join is always exactly 2 steps, leave exactly 1.
+        for row in &t.rows {
+            assert_eq!(row[1], "2");
+            assert_eq!(row[2], "1");
+        }
+    }
+
+    #[test]
+    fn e6_portfolio_partial_scans_are_always_consistent() {
+        let outcome = portfolio_consistency_run(
+            MarketConfig {
+                stocks: 64,
+                portfolios: 4,
+                holdings_per_portfolio: 6,
+                ..Default::default()
+            },
+            150,
+        );
+        assert_eq!(outcome.snapshot_violations, 0, "partial scans must never tear");
+        assert_eq!(outcome.valuations, 150);
+        assert!(outcome.snapshot_scan_steps.mean < outcome.full_scan_steps.mean);
+    }
+}

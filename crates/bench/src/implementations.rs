@@ -1,0 +1,102 @@
+//! A uniform way to construct every snapshot implementation under test.
+
+use std::sync::Arc;
+
+use psnap_activeset::CollectActiveSet;
+use psnap_core::{
+    AfekFullSnapshot, CasPartialSnapshot, DoubleCollectSnapshot, LockSnapshot, PartialSnapshot,
+    RegisterPartialSnapshot,
+};
+
+/// The implementations compared by the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImplKind {
+    /// Figure 3: compare&swap partial snapshot with the Figure 2 active set.
+    Cas,
+    /// Figure 3's algorithm but instantiated with the register-based collect
+    /// active set (ablation of the Figure 2 contribution).
+    CasWithCollectActiveSet,
+    /// Figure 1: register-only partial snapshot.
+    Register,
+    /// Classic full snapshot; partial scan = full scan + projection.
+    AfekFull,
+    /// Non-blocking double collect (no helping).
+    DoubleCollect,
+    /// Blocking reader-writer-lock baseline.
+    Lock,
+}
+
+impl ImplKind {
+    /// Every implementation, in the order used by the experiment tables.
+    pub const ALL: [ImplKind; 6] = [
+        ImplKind::Cas,
+        ImplKind::CasWithCollectActiveSet,
+        ImplKind::Register,
+        ImplKind::AfekFull,
+        ImplKind::DoubleCollect,
+        ImplKind::Lock,
+    ];
+
+    /// The wait-free implementations from the paper (used where baselines
+    /// would only add noise).
+    pub const PAPER: [ImplKind; 2] = [ImplKind::Cas, ImplKind::Register];
+
+    /// Short label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ImplKind::Cas => "fig3-cas",
+            ImplKind::CasWithCollectActiveSet => "fig3-cas/collect-as",
+            ImplKind::Register => "fig1-registers",
+            ImplKind::AfekFull => "full-snapshot",
+            ImplKind::DoubleCollect => "double-collect",
+            ImplKind::Lock => "rwlock",
+        }
+    }
+
+    /// Builds an instance with `m` components for `n` processes, components
+    /// initialized to `initial`.
+    pub fn build(&self, m: usize, n: usize, initial: u64) -> Arc<dyn PartialSnapshot<u64>> {
+        match self {
+            ImplKind::Cas => Arc::new(CasPartialSnapshot::new(m, n, initial)),
+            ImplKind::CasWithCollectActiveSet => Arc::new(CasPartialSnapshot::with_active_set(
+                m,
+                n,
+                initial,
+                CollectActiveSet::new(n),
+            )),
+            ImplKind::Register => Arc::new(RegisterPartialSnapshot::new(m, n, initial)),
+            ImplKind::AfekFull => Arc::new(AfekFullSnapshot::new(m, n, initial)),
+            ImplKind::DoubleCollect => Arc::new(DoubleCollectSnapshot::new(m, n, initial)),
+            ImplKind::Lock => Arc::new(LockSnapshot::new(m, n, initial)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psnap_core::ProcessId;
+
+    #[test]
+    fn every_kind_builds_and_answers_scans() {
+        for kind in ImplKind::ALL {
+            let snap = kind.build(16, 4, 0);
+            snap.update(ProcessId(0), 3, 33);
+            assert_eq!(
+                snap.scan(ProcessId(1), &[3, 4]),
+                vec![33, 0],
+                "{} misbehaved",
+                kind.label()
+            );
+            assert_eq!(snap.components(), 16);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = ImplKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ImplKind::ALL.len());
+    }
+}

@@ -1,0 +1,29 @@
+//! Benchmarks and the experiment harness for the partial snapshot
+//! reproduction.
+//!
+//! The paper's quantitative claims (Theorems 1–3) are stated in the
+//! base-object step model, so the primary measurement tool here is the step
+//! counter of `psnap-shmem`, driven by the [`runner`] over the scanner/updater
+//! mixes defined in `psnap-workloads`. The [`experiments`] module regenerates
+//! every table of EXPERIMENTS.md (E1–E7); the Criterion benches under
+//! `benches/` provide wall-clock companions to the same sweeps.
+//!
+//! Regenerate a table with, for example:
+//!
+//! ```text
+//! cargo run -p psnap-bench --release --bin harness -- e1
+//! cargo run -p psnap-bench --release --bin harness -- all
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod implementations;
+pub mod runner;
+pub mod stats;
+
+pub use experiments::{run_experiment, Effort, Table, ALL_EXPERIMENTS};
+pub use implementations::ImplKind;
+pub use runner::{run_point, PointConfig, PointResult};
+pub use stats::Summary;

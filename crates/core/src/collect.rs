@@ -1,0 +1,349 @@
+//! Collects and the termination trackers of the embedded scans.
+//!
+//! Both snapshot algorithms repeatedly *collect* (read once each) the
+//! registers of the components being scanned until one of two termination
+//! conditions holds:
+//!
+//! 1. two consecutive collects return identical results ("clean double
+//!    collect"), in which case the values read are a consistent view that was
+//!    simultaneously present in memory between the two collects; or
+//! 2. enough distinct values have been observed to prove that some concurrent
+//!    update performed its *entire* embedded scan inside this scan's interval,
+//!    in which case that update's recorded view can be borrowed.
+//!
+//! The two algorithms differ only in how condition (2) counts distinct values:
+//!
+//! * **Figure 1 (registers)**: three different values *written by the same
+//!   process*, observed anywhere; borrow the view of the one with the highest
+//!   counter ([`PerWriterTracker`]).
+//! * **Figure 3 (compare&swap)**: three different values observed *in the same
+//!   location*; borrow the view of the third value seen in that location
+//!   ([`PerLocationTracker`]). Because updates use compare&swap, a location
+//!   changes value at most once per concurrent update, which bounds the number
+//!   of collects by `2r + 1`.
+
+use std::sync::Arc;
+
+use psnap_shmem::{ProcessId, Versioned, VersionedCell};
+
+use crate::entry::Entry;
+use crate::view::View;
+
+/// One collect: the versions read for each requested component, in the same
+/// order as the request.
+pub(crate) type Collect<T> = Vec<Versioned<Entry<T>>>;
+
+/// Reads each listed component register once, in index order of `components`.
+pub(crate) fn collect<T: Send + Sync + 'static>(
+    registers: &[VersionedCell<Entry<T>>],
+    components: &[usize],
+) -> Collect<T> {
+    components.iter().map(|&c| registers[c].load()).collect()
+}
+
+/// True if two collects returned identical register versions everywhere.
+///
+/// Versions are compared by install stamp, which is exactly the paper's
+/// "(id, counter) has not changed, hence the register has not changed".
+pub(crate) fn same_collect<T>(a: &Collect<T>, b: &Collect<T>) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).all(|(x, y)| x.same_version(y))
+}
+
+/// Builds the view corresponding to a clean double collect: component `j` of
+/// the request maps to the value read for it.
+pub(crate) fn view_of_collect<T>(components: &[usize], c: &Collect<T>) -> View<T> {
+    View::from_pairs(
+        components
+            .iter()
+            .zip(c.iter())
+            .map(|(&idx, v)| (idx, Arc::clone(&v.value().value)))
+            .collect(),
+    )
+}
+
+/// Condition (2) tracker for Figure 3: three distinct values in one location.
+///
+/// Distinctness is judged by register version stamp; with compare&swap updates
+/// a register never holds the same version twice, so stamps and the paper's
+/// "values" coincide.
+pub(crate) struct PerLocationTracker<T> {
+    /// For each requested component (by position in the request): the stamps
+    /// of the distinct versions seen so far (at most 3 are retained).
+    seen: Vec<Vec<u64>>,
+    /// The third distinct version observed in some location, once found.
+    third: Option<Versioned<Entry<T>>>,
+}
+
+impl<T> PerLocationTracker<T> {
+    pub(crate) fn new(width: usize) -> Self {
+        PerLocationTracker {
+            seen: vec![Vec::with_capacity(3); width],
+            third: None,
+        }
+    }
+
+    /// Feeds one collect into the tracker. Returns the borrowed view source if
+    /// some location has now shown three distinct values.
+    pub(crate) fn observe(&mut self, c: &Collect<T>) -> Option<&Versioned<Entry<T>>> {
+        for (pos, version) in c.iter().enumerate() {
+            if self.third.is_some() {
+                break;
+            }
+            let stamps = &mut self.seen[pos];
+            if !stamps.contains(&version.stamp()) {
+                stamps.push(version.stamp());
+                if stamps.len() >= 3 {
+                    self.third = Some(version.clone());
+                }
+            }
+        }
+        self.third.as_ref()
+    }
+}
+
+/// Condition (2) tracker for Figure 1 (and for the classic full snapshot):
+/// three distinct values written by the same process, seen anywhere.
+///
+/// A value only counts towards the trigger if the scan has *evidence that the
+/// write happened during the scan*: the value must have been observed in a
+/// location where a different value was observed earlier (a location's very
+/// first observed value may have been written long before the scan began and
+/// therefore proves nothing). This is the "process has been seen to move"
+/// counting of the original Afek et al. algorithm; it is what makes the
+/// borrowed view's embedded scan start inside the borrowing scan's interval,
+/// which in turn guarantees that the borrowed view covers every component the
+/// borrowing scanner announced (see the coverage argument in Section 3 of the
+/// paper and the discussion in DESIGN.md).
+pub(crate) struct PerWriterTracker<T> {
+    /// For each requested component (by position): the stamp first observed
+    /// there. Values carrying that stamp are not counted.
+    first_stamp: Vec<Option<u64>>,
+    /// For each writer id: the distinct `(seq, entry)` pairs seen (at most 3
+    /// retained, highest-seq entry kept for borrowing).
+    seen: Vec<WriterHistory<T>>,
+}
+
+struct WriterHistory<T> {
+    seqs: Vec<u64>,
+    best: Option<Versioned<Entry<T>>>,
+}
+
+impl<T> WriterHistory<T> {
+    fn new() -> Self {
+        WriterHistory {
+            seqs: Vec::with_capacity(3),
+            best: None,
+        }
+    }
+}
+
+impl<T> PerWriterTracker<T> {
+    /// `writers` is the number of process ids that may appear as writers;
+    /// `width` is the number of components being collected.
+    pub(crate) fn new(writers: usize, width: usize) -> Self {
+        PerWriterTracker {
+            first_stamp: vec![None; width],
+            seen: (0..writers).map(|_| WriterHistory::new()).collect(),
+        }
+    }
+
+    /// Feeds one collect into the tracker. Returns the entry whose view should
+    /// be borrowed (the highest-counter value among the three seen from the
+    /// triggering writer) once some writer has shown three distinct values
+    /// that provably appeared during this scan.
+    pub(crate) fn observe(&mut self, c: &Collect<T>) -> Option<&Versioned<Entry<T>>> {
+        let mut triggered: Option<usize> = None;
+        for (pos, version) in c.iter().enumerate() {
+            // The first value observed in a location establishes the baseline;
+            // it may have been written before the scan began, so it never
+            // counts towards condition (2).
+            match self.first_stamp[pos] {
+                None => {
+                    self.first_stamp[pos] = Some(version.stamp());
+                    continue;
+                }
+                Some(first) if first == version.stamp() => continue,
+                Some(_) => {}
+            }
+            if triggered.is_some() {
+                continue;
+            }
+            let entry = version.value();
+            // Initial entries were not written by any process and do not count
+            // towards condition (2).
+            if entry.is_initial() {
+                continue;
+            }
+            let w: ProcessId = entry.writer;
+            let hist = &mut self.seen[w.index()];
+            if !hist.seqs.contains(&entry.seq) {
+                hist.seqs.push(entry.seq);
+                let replace = match &hist.best {
+                    None => true,
+                    Some(b) => entry.seq > b.value().seq,
+                };
+                if replace {
+                    hist.best = Some(version.clone());
+                }
+                if hist.seqs.len() >= 3 {
+                    triggered = Some(w.index());
+                }
+            }
+        }
+        triggered.and_then(move |w| self.seen[w].best.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::View;
+    use psnap_shmem::ProcessId;
+
+    fn registers(values: &[u64]) -> Vec<VersionedCell<Entry<u64>>> {
+        values
+            .iter()
+            .map(|&v| VersionedCell::new(Entry::initial(v)))
+            .collect()
+    }
+
+    fn write(regs: &[VersionedCell<Entry<u64>>], comp: usize, val: u64, seq: u64, writer: usize) {
+        regs[comp].store(Entry::written(
+            Arc::new(val),
+            View::empty(),
+            seq,
+            ProcessId(writer),
+        ));
+    }
+
+    #[test]
+    fn collect_reads_requested_components_in_order() {
+        let regs = registers(&[10, 11, 12, 13]);
+        let c = collect(&regs, &[3, 1]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(*c[0].value().value, 13);
+        assert_eq!(*c[1].value().value, 11);
+    }
+
+    #[test]
+    fn same_collect_detects_changes() {
+        let regs = registers(&[0, 0, 0]);
+        let a = collect(&regs, &[0, 2]);
+        let b = collect(&regs, &[0, 2]);
+        assert!(same_collect(&a, &b));
+        write(&regs, 2, 99, 1, 0);
+        let c = collect(&regs, &[0, 2]);
+        assert!(!same_collect(&b, &c));
+        // A write to a component outside the request does not affect equality.
+        write(&regs, 1, 5, 2, 0);
+        let d = collect(&regs, &[0, 2]);
+        assert!(same_collect(&c, &d));
+    }
+
+    #[test]
+    fn view_of_collect_maps_components_to_values() {
+        let regs = registers(&[7, 8, 9]);
+        let c = collect(&regs, &[2, 0]);
+        let view = view_of_collect(&[2, 0], &c);
+        assert_eq!(**view.get(2).unwrap(), 9);
+        assert_eq!(**view.get(0).unwrap(), 7);
+        assert_eq!(view.len(), 2);
+    }
+
+    #[test]
+    fn per_location_tracker_triggers_on_third_distinct_value_in_one_location() {
+        let regs = registers(&[0, 0]);
+        let mut tracker = PerLocationTracker::new(2);
+        assert!(tracker.observe(&collect(&regs, &[0, 1])).is_none());
+        // Change both locations once: still only 2 distinct values per location.
+        write(&regs, 0, 1, 1, 0);
+        write(&regs, 1, 1, 1, 1);
+        assert!(tracker.observe(&collect(&regs, &[0, 1])).is_none());
+        // Change location 1 again: third distinct value there.
+        write(&regs, 1, 2, 2, 1);
+        let third = tracker
+            .observe(&collect(&regs, &[0, 1]))
+            .expect("third distinct value in location 1");
+        assert_eq!(*third.value().value, 2);
+    }
+
+    #[test]
+    fn per_location_tracker_ignores_repeats() {
+        let regs = registers(&[0]);
+        let mut tracker = PerLocationTracker::new(1);
+        for _ in 0..10 {
+            assert!(tracker.observe(&collect(&regs, &[0])).is_none());
+        }
+    }
+
+    #[test]
+    fn per_writer_tracker_triggers_on_three_values_by_same_writer_across_locations() {
+        let regs = registers(&[0, 0, 0]);
+        let mut tracker = PerWriterTracker::new(4, 3);
+        // Baseline collect (the scan's first collect).
+        assert!(tracker.observe(&collect(&regs, &[0, 1, 2])).is_none());
+        write(&regs, 0, 10, 1, 2);
+        assert!(tracker.observe(&collect(&regs, &[0, 1, 2])).is_none());
+        write(&regs, 1, 11, 2, 2);
+        assert!(tracker.observe(&collect(&regs, &[0, 1, 2])).is_none());
+        // Third distinct write by process 2, in yet another location.
+        write(&regs, 2, 12, 3, 2);
+        let borrowed = tracker
+            .observe(&collect(&regs, &[0, 1, 2]))
+            .expect("three values by writer 2");
+        // The borrowed entry is the one with the highest counter.
+        assert_eq!(borrowed.value().seq, 3);
+        assert_eq!(*borrowed.value().value, 12);
+    }
+
+    #[test]
+    fn per_writer_tracker_does_not_mix_writers_or_count_initial_entries() {
+        let regs = registers(&[0, 0, 0]);
+        let mut tracker = PerWriterTracker::new(4, 3);
+        // Three initial entries share the sentinel writer but must not trigger.
+        assert!(tracker.observe(&collect(&regs, &[0, 1, 2])).is_none());
+        // Two writes by process 0 and one by process 1: no writer has three.
+        write(&regs, 0, 1, 1, 0);
+        write(&regs, 1, 2, 2, 0);
+        write(&regs, 2, 3, 1, 1);
+        assert!(tracker.observe(&collect(&regs, &[0, 1, 2])).is_none());
+    }
+
+    #[test]
+    fn per_writer_tracker_ignores_values_present_before_the_first_collect() {
+        // Process 1 wrote three different components long before the scan
+        // began. Seeing those pre-existing values must NOT trigger condition
+        // (2): their embedded views could predate the scanner's announcement.
+        let regs = registers(&[0, 0, 0]);
+        write(&regs, 0, 10, 1, 1);
+        write(&regs, 1, 11, 2, 1);
+        write(&regs, 2, 12, 3, 1);
+        let mut tracker = PerWriterTracker::new(4, 3);
+        for _ in 0..5 {
+            assert!(
+                tracker.observe(&collect(&regs, &[0, 1, 2])).is_none(),
+                "stale values must never trigger the helping path"
+            );
+        }
+    }
+
+    #[test]
+    fn per_writer_tracker_keeps_highest_counter_even_if_seen_out_of_order() {
+        let regs = registers(&[0, 0, 0]);
+        let mut tracker = PerWriterTracker::new(2, 3);
+        // Baseline collect.
+        assert!(tracker.observe(&collect(&regs, &[0, 1, 2])).is_none());
+        // Writer 1's highest-counter write is observed first (in location 0),
+        // then two lower-counter writes in other locations.
+        write(&regs, 0, 30, 3, 1);
+        assert!(tracker.observe(&collect(&regs, &[0, 1, 2])).is_none());
+        write(&regs, 1, 10, 1, 1);
+        assert!(tracker.observe(&collect(&regs, &[0, 1, 2])).is_none());
+        write(&regs, 2, 20, 2, 1);
+        let borrowed = tracker
+            .observe(&collect(&regs, &[0, 1, 2]))
+            .expect("triggered");
+        assert_eq!(borrowed.value().seq, 3, "highest counter wins");
+    }
+}

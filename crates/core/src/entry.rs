@@ -1,0 +1,84 @@
+//! The record stored in each component register / compare&swap object.
+//!
+//! Both snapshot algorithms of the paper store a 4-tuple `(v, view, c, id)`
+//! per component: the component's current value `v`, the result `view` of the
+//! embedded scan performed by the update that wrote it (the helping
+//! information), the writer's per-process counter `c`, and the writer's id.
+//! [`Entry`] is that record. Records are immutable once installed; the
+//! enclosing `VersionedCell` provides atomic replacement and version identity.
+
+use std::sync::Arc;
+
+use psnap_shmem::ProcessId;
+
+use crate::view::View;
+
+/// The writer id recorded on initial (never-updated) components.
+pub const INITIAL_WRITER: ProcessId = ProcessId(usize::MAX);
+
+/// The `(value, view, counter, id)` record of one component.
+#[derive(Clone, Debug)]
+pub struct Entry<T> {
+    /// The component's value.
+    pub value: Arc<T>,
+    /// The embedded-scan result written by the update that installed this
+    /// entry (empty for initial entries).
+    pub view: View<T>,
+    /// The writer's per-process counter at the time of the update.
+    pub seq: u64,
+    /// The id of the process that performed the update
+    /// ([`INITIAL_WRITER`] for initial entries).
+    pub writer: ProcessId,
+}
+
+impl<T> Entry<T> {
+    /// The entry every component holds before its first update.
+    pub fn initial(value: T) -> Self {
+        Entry {
+            value: Arc::new(value),
+            view: View::empty(),
+            seq: 0,
+            writer: INITIAL_WRITER,
+        }
+    }
+
+    /// An entry produced by an update operation.
+    pub fn written(value: Arc<T>, view: View<T>, seq: u64, writer: ProcessId) -> Self {
+        Entry {
+            value,
+            view,
+            seq,
+            writer,
+        }
+    }
+
+    /// True if this entry is the initial (never-updated) record.
+    pub fn is_initial(&self) -> bool {
+        self.writer == INITIAL_WRITER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_entry_has_sentinel_writer_and_empty_view() {
+        let e = Entry::initial(42u64);
+        assert!(e.is_initial());
+        assert_eq!(*e.value, 42);
+        assert!(e.view.is_empty());
+        assert_eq!(e.seq, 0);
+    }
+
+    #[test]
+    fn written_entry_carries_all_fields() {
+        let view = View::from_pairs(vec![(3, Arc::new(30u64))]);
+        let e = Entry::written(Arc::new(7u64), view, 12, ProcessId(2));
+        assert!(!e.is_initial());
+        assert_eq!(*e.value, 7);
+        assert_eq!(e.seq, 12);
+        assert_eq!(e.writer, ProcessId(2));
+        assert_eq!(**e.view.get(3).unwrap(), 30);
+    }
+}

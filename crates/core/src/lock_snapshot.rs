@@ -1,0 +1,107 @@
+//! A lock-based comparator.
+//!
+//! Not part of the paper's model (it is blocking, so a stalled updater can
+//! block every scanner forever), but it is what a practitioner would reach for
+//! first, so experiments E6/E7 include it to show where the wait-free
+//! algorithms stand against a straightforward `RwLock<Vec<T>>`.
+
+use parking_lot::RwLock;
+
+use psnap_shmem::ProcessId;
+
+use crate::traits::{validate_args, PartialSnapshot};
+
+/// Reader-writer-lock based snapshot: trivially consistent, but blocking.
+pub struct LockSnapshot<T> {
+    state: RwLock<Vec<T>>,
+    n: usize,
+}
+
+impl<T: Clone + Send + Sync + 'static> LockSnapshot<T> {
+    /// Creates an object with `m` components, all holding `initial`, usable by
+    /// processes `0..max_processes`.
+    pub fn new(m: usize, max_processes: usize, initial: T) -> Self {
+        assert!(m > 0, "a snapshot object needs at least one component");
+        assert!(max_processes > 0, "at least one process must be allowed");
+        LockSnapshot {
+            state: RwLock::new(vec![initial; m]),
+            n: max_processes,
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for LockSnapshot<T> {
+    fn components(&self) -> usize {
+        self.state.read().len()
+    }
+
+    fn max_processes(&self) -> usize {
+        self.n
+    }
+
+    fn update(&self, pid: ProcessId, component: usize, value: T) {
+        let mut guard = self.state.write();
+        validate_args(guard.len(), self.n, pid, &[component]);
+        guard[component] = value;
+    }
+
+    fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T> {
+        let guard = self.state.read();
+        validate_args(guard.len(), self.n, pid, components);
+        components.iter().map(|&c| guard[c].clone()).collect()
+    }
+
+    fn is_wait_free(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "rwlock-snapshot (blocking baseline)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn sequential_semantics() {
+        let snap = LockSnapshot::new(3, 2, String::from("init"));
+        snap.update(ProcessId(0), 1, String::from("x"));
+        assert_eq!(
+            snap.scan(ProcessId(1), &[0, 1]),
+            vec![String::from("init"), String::from("x")]
+        );
+        assert_eq!(snap.components(), 3);
+        assert!(!snap.is_wait_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "component")]
+    fn rejects_out_of_range() {
+        let snap = LockSnapshot::new(3, 1, 0u8);
+        snap.update(ProcessId(0), 3, 1);
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        let snap = Arc::new(LockSnapshot::new(8, 4, 0u64));
+        let handles: Vec<_> = (0..3usize)
+            .map(|t| {
+                let snap = Arc::clone(&snap);
+                thread::spawn(move || {
+                    for v in 0..500u64 {
+                        snap.update(ProcessId(t), t, v);
+                        let got = snap.scan(ProcessId(t), &[t]);
+                        assert_eq!(got, vec![v]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

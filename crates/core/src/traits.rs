@@ -1,0 +1,107 @@
+//! The partial snapshot object interface.
+
+use psnap_shmem::ProcessId;
+
+/// A linearizable partial snapshot object over `m` components of type `T`
+/// (Section 2.1 of the paper).
+///
+/// * [`update`](PartialSnapshot::update) atomically replaces one component.
+/// * [`scan`](PartialSnapshot::scan) atomically reads an arbitrary subset of
+///   the components: the returned vector holds the value of component
+///   `components[j]` at position `j`, and all returned values are consistent
+///   with a single linearization point inside the scan's interval.
+///
+/// All methods take the id of the calling process explicitly; process ids must
+/// be smaller than the `max_processes` the object was created with (they index
+/// the per-process announcement registers of the paper's algorithms).
+pub trait PartialSnapshot<T: Clone + Send + Sync + 'static>: Send + Sync {
+    /// Number of components `m`.
+    fn components(&self) -> usize;
+
+    /// Maximum number of processes `n` the object was configured for.
+    fn max_processes(&self) -> usize;
+
+    /// Atomically writes `value` into `component` on behalf of process `pid`.
+    fn update(&self, pid: ProcessId, component: usize, value: T);
+
+    /// Atomically reads the listed components on behalf of process `pid`.
+    ///
+    /// The `components` slice may list indices in any order; duplicates are
+    /// allowed and each occurrence is answered. The result has the same length
+    /// and order as `components`.
+    fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T>;
+
+    /// Scans all `m` components (the classical snapshot `scan`).
+    fn scan_all(&self, pid: ProcessId) -> Vec<T> {
+        let all: Vec<usize> = (0..self.components()).collect();
+        self.scan(pid, &all)
+    }
+
+    /// True if every operation of this implementation completes in a bounded
+    /// number of its own steps (used by the harness to decide whether an
+    /// implementation may be exposed to adversarial stalls).
+    fn is_wait_free(&self) -> bool;
+
+    /// Short name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+impl<T: Clone + Send + Sync + 'static, S: PartialSnapshot<T> + ?Sized> PartialSnapshot<T>
+    for std::sync::Arc<S>
+{
+    fn components(&self) -> usize {
+        (**self).components()
+    }
+    fn max_processes(&self) -> usize {
+        (**self).max_processes()
+    }
+    fn update(&self, pid: ProcessId, component: usize, value: T) {
+        (**self).update(pid, component, value)
+    }
+    fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T> {
+        (**self).scan(pid, components)
+    }
+    fn scan_all(&self, pid: ProcessId) -> Vec<T> {
+        (**self).scan_all(pid)
+    }
+    fn is_wait_free(&self) -> bool {
+        (**self).is_wait_free()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Validates scan/update arguments; shared by all implementations.
+pub(crate) fn validate_args(m: usize, n: usize, pid: ProcessId, components: &[usize]) {
+    assert!(
+        pid.index() < n,
+        "process id {pid} out of range: object configured for {n} processes"
+    );
+    for &c in components {
+        assert!(c < m, "component {c} out of range: object has {m} components");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_good_args() {
+        validate_args(8, 4, ProcessId(3), &[0, 7, 7]);
+        validate_args(1, 1, ProcessId(0), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "process id")]
+    fn validate_rejects_bad_pid() {
+        validate_args(8, 4, ProcessId(4), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "component")]
+    fn validate_rejects_bad_component() {
+        validate_args(8, 4, ProcessId(0), &[8]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Views: the results of (embedded) partial scans.
+//!
+//! A view is an association list of `(component index, value)` pairs, sorted
+//! by component index. The paper's embedded-scan "result is a list of
+//! index-value pairs (i, v), such that component i of the partial snapshot
+//! object has value v at the moment the embedded-scan is linearized. In
+//! general, the indices appearing in this list will be a superset of the
+//! arguments given to the embedded-scan." Views are stored inside every
+//! component record (the helping mechanism), so they hold cheap shared handles
+//! (`Arc<T>`) rather than deep copies of the values.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A consistent view of a set of components, produced by an embedded scan.
+#[derive(Clone)]
+pub struct View<T> {
+    /// Sorted by component index; at most one entry per component.
+    entries: Vec<(usize, Arc<T>)>,
+}
+
+impl<T> View<T> {
+    /// The empty view (used for the initial state of every component record).
+    pub fn empty() -> Self {
+        View {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds a view from `(component, value)` pairs. The pairs are sorted by
+    /// component; duplicate components keep the first occurrence.
+    pub fn from_pairs(mut pairs: Vec<(usize, Arc<T>)>) -> Self {
+        pairs.sort_by_key(|(i, _)| *i);
+        pairs.dedup_by_key(|(i, _)| *i);
+        View { entries: pairs }
+    }
+
+    /// Number of components covered by this view.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the view covers no components.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value recorded for `component`, if the view covers it.
+    /// Binary search — `O(log |view|)`, as in the paper's small-register
+    /// variant discussion.
+    pub fn get(&self, component: usize) -> Option<&Arc<T>> {
+        self.entries
+            .binary_search_by_key(&component, |(i, _)| *i)
+            .ok()
+            .map(|pos| &self.entries[pos].1)
+    }
+
+    /// True if the view covers every component in `components`.
+    pub fn covers(&self, components: &[usize]) -> bool {
+        components.iter().all(|c| self.get(*c).is_some())
+    }
+
+    /// Iterates over `(component, value)` pairs in component order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Arc<T>)> {
+        self.entries.iter().map(|(i, v)| (*i, v))
+    }
+
+    /// The component indices covered, in increasing order.
+    pub fn components(&self) -> impl Iterator<Item = usize> + '_ {
+        self.entries.iter().map(|(i, _)| *i)
+    }
+
+    /// Projects the view onto `components`, cloning the values out, in the
+    /// order the components are listed.
+    ///
+    /// Returns `None` if some requested component is not covered (which the
+    /// paper proves cannot happen for the views consulted by a scan).
+    pub fn project(&self, components: &[usize]) -> Option<Vec<T>>
+    where
+        T: Clone,
+    {
+        components
+            .iter()
+            .map(|c| self.get(*c).map(|v| (**v).clone()))
+            .collect()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for View<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.entries.iter().map(|(i, v)| (i, v.as_ref())))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_of(pairs: &[(usize, u64)]) -> View<u64> {
+        View::from_pairs(pairs.iter().map(|(i, v)| (*i, Arc::new(*v))).collect())
+    }
+
+    #[test]
+    fn empty_view() {
+        let v: View<u64> = View::empty();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.get(0), None);
+        assert!(v.covers(&[]));
+        assert!(!v.covers(&[1]));
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_dedups() {
+        let v = view_of(&[(5, 50), (1, 10), (5, 99), (3, 30)]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.components().collect::<Vec<_>>(), vec![1, 3, 5]);
+        // First occurrence of a duplicated component wins (5 -> 50).
+        assert_eq!(**v.get(5).unwrap(), 50);
+    }
+
+    #[test]
+    fn get_and_covers() {
+        let v = view_of(&[(2, 20), (4, 40), (8, 80)]);
+        assert_eq!(**v.get(4).unwrap(), 40);
+        assert_eq!(v.get(3), None);
+        assert!(v.covers(&[2, 8]));
+        assert!(v.covers(&[2, 4, 8]));
+        assert!(!v.covers(&[2, 3]));
+    }
+
+    #[test]
+    fn project_in_requested_order() {
+        let v = view_of(&[(2, 20), (4, 40), (8, 80)]);
+        assert_eq!(v.project(&[8, 2]), Some(vec![80, 20]));
+        assert_eq!(v.project(&[2, 5]), None);
+        assert_eq!(v.project(&[]), Some(vec![]));
+    }
+
+    #[test]
+    fn iter_is_in_component_order() {
+        let v = view_of(&[(9, 90), (1, 10), (5, 50)]);
+        let pairs: Vec<(usize, u64)> = v.iter().map(|(i, x)| (i, **x)).collect();
+        assert_eq!(pairs, vec![(1, 10), (5, 50), (9, 90)]);
+    }
+
+    #[test]
+    fn values_are_shared_not_cloned() {
+        let value = Arc::new(String::from("big payload"));
+        let v = View::from_pairs(vec![(0, Arc::clone(&value))]);
+        assert!(Arc::ptr_eq(v.get(0).unwrap(), &value));
+    }
+
+    #[test]
+    fn debug_output_lists_pairs() {
+        let v = view_of(&[(1, 10)]);
+        assert_eq!(format!("{v:?}"), "{1: 10}");
+    }
+}

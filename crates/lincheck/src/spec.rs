@@ -1,0 +1,135 @@
+//! The sequential specification of a partial snapshot object.
+//!
+//! Linearizability is defined with respect to a sequential object: a state, an
+//! initial state, and a transition function giving the new state and the
+//! response of each operation. For the partial snapshot object the state is
+//! simply the `m`-vector of component values, `update` replaces one entry and
+//! returns `Ack`, and `scan` leaves the state unchanged and returns the
+//! requested entries.
+
+use crate::history::{OpResult, Operation};
+
+/// Sequential specification of a partial snapshot object over `u64` values.
+#[derive(Clone, Debug)]
+pub struct SnapshotSpec {
+    /// Number of components `m`.
+    pub components: usize,
+    /// Initial value of every component.
+    pub initial: u64,
+}
+
+impl SnapshotSpec {
+    /// Creates the specification for an `m`-component object.
+    pub fn new(components: usize, initial: u64) -> Self {
+        SnapshotSpec {
+            components,
+            initial,
+        }
+    }
+
+    /// The initial state.
+    pub fn initial_state(&self) -> Vec<u64> {
+        vec![self.initial; self.components]
+    }
+
+    /// Applies `op` to `state`, returning the response. The state is mutated
+    /// in place for updates and untouched for scans.
+    pub fn apply(&self, state: &mut Vec<u64>, op: &Operation) -> OpResult {
+        match op {
+            Operation::Update { component, value } => {
+                state[*component] = *value;
+                OpResult::Ack
+            }
+            Operation::Scan { components } => {
+                OpResult::Values(components.iter().map(|&c| state[c]).collect())
+            }
+        }
+    }
+
+    /// True if applying `op` to `state` would produce exactly `expected`.
+    /// Scans do not modify the state; updates do, so callers that only want to
+    /// test compatibility should pass a clone.
+    pub fn is_legal(&self, state: &[u64], op: &Operation, expected: &OpResult) -> bool {
+        match (op, expected) {
+            (Operation::Update { .. }, OpResult::Ack) => true,
+            (Operation::Scan { components }, OpResult::Values(values)) => {
+                components.len() == values.len()
+                    && components
+                        .iter()
+                        .zip(values.iter())
+                        .all(|(&c, &v)| state[c] == v)
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_is_uniform() {
+        let spec = SnapshotSpec::new(4, 7);
+        assert_eq!(spec.initial_state(), vec![7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn apply_update_then_scan() {
+        let spec = SnapshotSpec::new(3, 0);
+        let mut state = spec.initial_state();
+        let r = spec.apply(
+            &mut state,
+            &Operation::Update {
+                component: 1,
+                value: 42,
+            },
+        );
+        assert_eq!(r, OpResult::Ack);
+        let r = spec.apply(
+            &mut state,
+            &Operation::Scan {
+                components: vec![1, 0, 1],
+            },
+        );
+        assert_eq!(r, OpResult::Values(vec![42, 0, 42]));
+        assert_eq!(state, vec![0, 42, 0], "scan must not change the state");
+    }
+
+    #[test]
+    fn is_legal_matches_apply() {
+        let spec = SnapshotSpec::new(2, 0);
+        let state = vec![3, 4];
+        assert!(spec.is_legal(
+            &state,
+            &Operation::Scan {
+                components: vec![0, 1]
+            },
+            &OpResult::Values(vec![3, 4])
+        ));
+        assert!(!spec.is_legal(
+            &state,
+            &Operation::Scan {
+                components: vec![0]
+            },
+            &OpResult::Values(vec![4])
+        ));
+        assert!(spec.is_legal(
+            &state,
+            &Operation::Update {
+                component: 0,
+                value: 9
+            },
+            &OpResult::Ack
+        ));
+        // Kind mismatch is never legal.
+        assert!(!spec.is_legal(
+            &state,
+            &Operation::Update {
+                component: 0,
+                value: 9
+            },
+            &OpResult::Values(vec![])
+        ));
+    }
+}

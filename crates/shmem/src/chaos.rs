@@ -1,0 +1,167 @@
+//! Seeded schedule perturbation ("chaos") at base-object boundaries.
+//!
+//! Correctness bugs in wait-free algorithms hide in rare interleavings. The
+//! chaos layer widens the set of interleavings a stress test explores by
+//! occasionally yielding, spinning, or sleeping *immediately after a
+//! base-object operation* — exactly the points at which the adversarial
+//! scheduler of the model is allowed to preempt a process. Perturbation is
+//! per-thread, seeded, and disabled by default, so production use and
+//! benchmarking pay only the cost of a thread-local flag check.
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the chaos layer for one thread.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Probability (0.0 ..= 1.0) of perturbing after any base-object step.
+    pub perturb_probability: f64,
+    /// Probability that a perturbation is a sleep rather than a yield/spin.
+    pub sleep_probability: f64,
+    /// Maximum sleep duration in microseconds.
+    pub max_sleep_us: u64,
+    /// Maximum number of spin iterations for spin perturbations.
+    pub max_spin: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            perturb_probability: 0.05,
+            sleep_probability: 0.02,
+            max_sleep_us: 50,
+            max_spin: 64,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// An aggressive configuration used by adversarial stress tests.
+    pub fn aggressive() -> Self {
+        ChaosConfig {
+            perturb_probability: 0.25,
+            sleep_probability: 0.10,
+            max_sleep_us: 200,
+            max_spin: 256,
+        }
+    }
+
+    /// A light configuration that mostly yields, for long-running stress runs.
+    pub fn light() -> Self {
+        ChaosConfig {
+            perturb_probability: 0.01,
+            sleep_probability: 0.0,
+            max_sleep_us: 0,
+            max_spin: 16,
+        }
+    }
+}
+
+struct ChaosState {
+    config: ChaosConfig,
+    rng: SmallRng,
+}
+
+thread_local! {
+    static CHAOS: RefCell<Option<ChaosState>> = const { RefCell::new(None) };
+}
+
+/// Enables chaos on the calling thread with the given seed and configuration,
+/// until the returned guard is dropped.
+pub fn enable(seed: u64, config: ChaosConfig) -> ChaosGuard {
+    CHAOS.with(|c| {
+        *c.borrow_mut() = Some(ChaosState {
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+        });
+    });
+    ChaosGuard { _private: () }
+}
+
+/// Returns true if chaos is currently enabled on the calling thread.
+pub fn is_enabled() -> bool {
+    CHAOS.with(|c| c.borrow().is_some())
+}
+
+/// Guard disabling chaos on drop.
+#[must_use = "chaos is disabled as soon as the guard is dropped"]
+pub struct ChaosGuard {
+    _private: (),
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        CHAOS.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+/// Possibly perturbs the calling thread's schedule. Called by the step
+/// accounting layer after every base-object operation.
+#[inline]
+pub(crate) fn maybe_perturb() {
+    // Fast path: a single thread-local check when chaos is off.
+    CHAOS.with(|c| {
+        let mut state = c.borrow_mut();
+        let Some(state) = state.as_mut() else {
+            return;
+        };
+        if !state.rng.gen_bool(state.config.perturb_probability) {
+            return;
+        }
+        if state.config.max_sleep_us > 0 && state.rng.gen_bool(state.config.sleep_probability) {
+            let us = state.rng.gen_range(1..=state.config.max_sleep_us);
+            std::thread::sleep(Duration::from_micros(us));
+        } else if state.rng.gen_bool(0.5) {
+            std::thread::yield_now();
+        } else {
+            let spins = state.rng.gen_range(1..=state.config.max_spin);
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steps::{record, OpKind};
+
+    #[test]
+    fn enable_and_disable() {
+        assert!(!is_enabled());
+        {
+            let _g = enable(42, ChaosConfig::default());
+            assert!(is_enabled());
+            // Perturbation must never panic or deadlock.
+            for _ in 0..1000 {
+                record(OpKind::Read);
+            }
+        }
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn aggressive_config_perturbs_without_hanging() {
+        let _g = enable(7, ChaosConfig::aggressive());
+        for _ in 0..200 {
+            record(OpKind::Cas);
+        }
+    }
+
+    #[test]
+    fn light_config_never_sleeps() {
+        let cfg = ChaosConfig::light();
+        assert_eq!(cfg.max_sleep_us, 0);
+        let _g = enable(9, cfg);
+        let start = std::time::Instant::now();
+        for _ in 0..10_000 {
+            record(OpKind::Read);
+        }
+        // Yield/spin only: this must stay fast even for many steps.
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

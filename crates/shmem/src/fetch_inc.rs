@@ -1,0 +1,96 @@
+//! The fetch&increment base object used by the paper's active set algorithm
+//! (Figure 2).
+//!
+//! The paper's `fetch&increment` atomically increments the stored integer and
+//! returns the *new* value; the object can also be read without modifying it.
+//! Indices handed out by the object in Figure 2 start at 1 (index 0 is "no
+//! slot"), which is why the increment-then-return-new convention is kept here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::steps::{self, OpKind};
+
+/// A wait-free fetch&increment object over a `u64`.
+#[derive(Debug, Default)]
+pub struct FetchIncrement {
+    value: AtomicU64,
+}
+
+impl FetchIncrement {
+    /// Creates an object with initial value `initial`.
+    pub fn new(initial: u64) -> Self {
+        FetchIncrement {
+            value: AtomicU64::new(initial),
+        }
+    }
+
+    /// Atomically increments the value and returns the **new** value
+    /// (the paper's `fetch&increment`).
+    pub fn fetch_increment(&self) -> u64 {
+        steps::record(OpKind::FetchInc);
+        self.value.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Reads the current value without modifying it.
+    pub fn read(&self) -> u64 {
+        steps::record(OpKind::Read);
+        self.value.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn returns_new_value() {
+        let f = FetchIncrement::new(0);
+        assert_eq!(f.fetch_increment(), 1);
+        assert_eq!(f.fetch_increment(), 2);
+        assert_eq!(f.read(), 2);
+    }
+
+    #[test]
+    fn starts_from_initial() {
+        let f = FetchIncrement::new(10);
+        assert_eq!(f.read(), 10);
+        assert_eq!(f.fetch_increment(), 11);
+    }
+
+    #[test]
+    fn concurrent_increments_hand_out_unique_values() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 1000;
+        let f = Arc::new(FetchIncrement::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let f = Arc::clone(&f);
+                thread::spawn(move || (0..PER_THREAD).map(|_| f.fetch_increment()).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all = HashSet::new();
+        for h in handles {
+            for v in h.join().unwrap() {
+                assert!(all.insert(v), "duplicate value {v} handed out");
+            }
+        }
+        assert_eq!(all.len(), THREADS * PER_THREAD);
+        assert_eq!(f.read(), (THREADS * PER_THREAD) as u64);
+        assert_eq!(*all.iter().min().unwrap(), 1);
+        assert_eq!(*all.iter().max().unwrap(), (THREADS * PER_THREAD) as u64);
+    }
+
+    #[test]
+    fn steps_are_counted() {
+        let f = FetchIncrement::new(0);
+        let scope = crate::steps::StepScope::start();
+        f.fetch_increment();
+        f.read();
+        let report = scope.finish();
+        assert_eq!(report.fetch_incs, 1);
+        assert_eq!(report.reads, 1);
+    }
+}

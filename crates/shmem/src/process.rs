@@ -1,0 +1,139 @@
+//! Process identities.
+//!
+//! The algorithms in the paper are written for processes `p_0, p_1, …` with
+//! dense integer identifiers; per-process single-writer registers (the
+//! announcement arrays `A[1..n]` / `S[1..n]`) are indexed by these identifiers.
+//! In this reproduction a *process* is an OS thread that has registered itself
+//! with [`register`] (usually done by the scenario runner in `psnap-sim` or by
+//! the high-level object handles in `psnap-core`).
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Identifier of a process (thread) participating in an algorithm.
+///
+/// Process ids are small dense integers, exactly as in the paper, so that they
+/// can index per-process announcement registers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// Returns the id as an index usable with per-process arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Global source of fresh process ids, used when a thread asks for an identity
+/// without being assigned one explicitly.
+static NEXT_AUTO_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Registers the calling thread as process `pid` until the returned guard is
+/// dropped.
+///
+/// Nested registration is allowed (the previous identity is restored on drop),
+/// which keeps the scenario runner simple when it layers helpers.
+pub fn register(pid: ProcessId) -> ProcessGuard {
+    let previous = CURRENT.with(|c| c.replace(Some(pid.0)));
+    ProcessGuard { previous }
+}
+
+/// Returns the identity of the calling thread.
+///
+/// If the thread has not been registered explicitly, a fresh id is allocated
+/// and installed; this makes the base objects usable from ad-hoc threads in
+/// examples without ceremony while still giving every thread a distinct id.
+pub fn current() -> ProcessId {
+    CURRENT.with(|c| match c.get() {
+        Some(id) => ProcessId(id),
+        None => {
+            let id = NEXT_AUTO_ID.fetch_add(1, Ordering::Relaxed) + AUTO_ID_BASE;
+            c.set(Some(id));
+            ProcessId(id)
+        }
+    })
+}
+
+/// Auto-assigned ids start high so that they never collide with the dense ids
+/// handed out by scenario runners (which start at zero).
+const AUTO_ID_BASE: usize = 1 << 20;
+
+/// Returns the identity of the calling thread if it has one, without
+/// allocating a fresh id.
+pub fn current_opt() -> Option<ProcessId> {
+    CURRENT.with(|c| c.get().map(ProcessId))
+}
+
+/// Guard restoring the previous thread identity when dropped.
+#[must_use = "the registration lasts only while the guard is alive"]
+pub struct ProcessGuard {
+    previous: Option<usize>,
+}
+
+impl Drop for ProcessGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_restore() {
+        {
+            let _g = register(ProcessId(3));
+            assert_eq!(current(), ProcessId(3));
+            {
+                let _g2 = register(ProcessId(7));
+                assert_eq!(current(), ProcessId(7));
+            }
+            assert_eq!(current(), ProcessId(3));
+        }
+        // After all guards are dropped the thread falls back to an auto id,
+        // which is stable for the rest of the thread's life.
+        let auto = current();
+        assert!(auto.index() >= AUTO_ID_BASE);
+        assert_eq!(current(), auto);
+    }
+
+    #[test]
+    fn auto_ids_are_distinct_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(current))
+            .collect();
+        let mut ids: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn current_opt_does_not_allocate() {
+        std::thread::spawn(|| {
+            assert_eq!(current_opt(), None);
+            let _g = register(ProcessId(1));
+            assert_eq!(current_opt(), Some(ProcessId(1)));
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ProcessId(5).to_string(), "p5");
+    }
+}

@@ -1,0 +1,250 @@
+//! A lock-free, growable array with stable element addresses.
+//!
+//! The active set algorithm of Figure 2 uses an array `I[1..]` "of registers,
+//! each element of which stores the id of one active process". The array is
+//! unbounded: the paper explicitly leaves space reclamation as an open
+//! question and assumes a fresh slot per `join`. [`SegmentedArray`] provides
+//! exactly that: an array indexed from 0 whose slots are allocated lazily in
+//! geometrically growing segments. Slots never move once allocated, so a
+//! reference to a slot remains valid for the lifetime of the array, and
+//! allocation of new segments is lock-free (competing allocators race with a
+//! single compare-exchange; losers free their segment).
+//!
+//! The companion type [`WordRegister`] is a step-counted single-word
+//! read/write register — the element type used for `I[1..]`.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use crate::steps::{self, OpKind};
+
+/// Number of slots in segment 0. Segment `s` holds `BASE << s` slots.
+const BASE: usize = 64;
+/// Maximum number of segments; total capacity is `BASE * (2^MAX_SEGMENTS - 1)`,
+/// which exceeds any realistic execution length.
+const MAX_SEGMENTS: usize = 40;
+
+/// A lock-free growable array of `T` with stable addresses.
+///
+/// Elements are created with `T::default()` the first time their segment is
+/// touched. Typical element types are atomics ([`WordRegister`],
+/// `AtomicU64`, …), so interior mutability is provided by the element itself.
+pub struct SegmentedArray<T> {
+    segments: Box<[AtomicPtr<T>]>,
+}
+
+impl<T: Default> SegmentedArray<T> {
+    /// Creates an empty array (no segments allocated yet).
+    pub fn new() -> Self {
+        let segments: Vec<AtomicPtr<T>> = (0..MAX_SEGMENTS)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        SegmentedArray {
+            segments: segments.into_boxed_slice(),
+        }
+    }
+
+    /// Maps a flat index to (segment, offset within segment).
+    #[inline]
+    fn locate(index: usize) -> (usize, usize) {
+        // Segment s covers indices [BASE*(2^s - 1), BASE*(2^(s+1) - 1)).
+        let block = index / BASE + 1;
+        let seg = (usize::BITS - 1 - block.leading_zeros()) as usize;
+        let seg_start = BASE * ((1usize << seg) - 1);
+        (seg, index - seg_start)
+    }
+
+    #[inline]
+    fn segment_len(seg: usize) -> usize {
+        BASE << seg
+    }
+
+    fn segment_ptr(&self, seg: usize) -> *mut T {
+        let slot = &self.segments[seg];
+        let existing = slot.load(Ordering::Acquire);
+        if !existing.is_null() {
+            return existing;
+        }
+        // Allocate a fresh segment and race to install it.
+        let len = Self::segment_len(seg);
+        let mut fresh: Vec<T> = Vec::with_capacity(len);
+        fresh.resize_with(len, T::default);
+        let boxed: Box<[T]> = fresh.into_boxed_slice();
+        let raw = Box::into_raw(boxed) as *mut T;
+        match slot.compare_exchange(
+            std::ptr::null_mut(),
+            raw,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => raw,
+            Err(winner) => {
+                // Another thread installed its segment first; free ours.
+                // Safety: `raw` came from Box::into_raw of a Box<[T]> of `len`
+                // elements and was never shared.
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(raw, len)));
+                }
+                winner
+            }
+        }
+    }
+
+    /// Returns a reference to slot `index`, allocating its segment if needed.
+    pub fn get(&self, index: usize) -> &T {
+        let (seg, off) = Self::locate(index);
+        assert!(seg < MAX_SEGMENTS, "SegmentedArray index out of range");
+        let base = self.segment_ptr(seg);
+        // Safety: `base` points to a live segment of `segment_len(seg)`
+        // elements that is never freed while `self` is alive, and `off` is in
+        // bounds by construction of `locate`.
+        unsafe { &*base.add(off) }
+    }
+}
+
+impl<T: Default> Default for SegmentedArray<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for SegmentedArray<T> {
+    fn drop(&mut self) {
+        for (seg, slot) in self.segments.iter().enumerate() {
+            let ptr = slot.load(Ordering::Relaxed);
+            if !ptr.is_null() {
+                let len = Self::segment_len_any(seg);
+                // Safety: installed segments were created by Box::into_raw with
+                // exactly `len` elements and are freed exactly once, here.
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len)));
+                }
+            }
+        }
+    }
+}
+
+impl<T> SegmentedArray<T> {
+    #[inline]
+    fn segment_len_any(seg: usize) -> usize {
+        BASE << seg
+    }
+}
+
+unsafe impl<T: Send + Sync> Send for SegmentedArray<T> {}
+unsafe impl<T: Send + Sync> Sync for SegmentedArray<T> {}
+
+/// A single-word read/write register with step accounting.
+///
+/// This is the element type of the `I[1..]` array in Figure 2: a register that
+/// holds either a process id (encoded as `id + 1`) or 0 when the slot is
+/// vacant. Encoding is left to the caller; the register just stores a `u64`.
+#[derive(Debug, Default)]
+pub struct WordRegister {
+    word: AtomicU64,
+}
+
+impl WordRegister {
+    /// Creates a register holding `initial`.
+    pub fn new(initial: u64) -> Self {
+        WordRegister {
+            word: AtomicU64::new(initial),
+        }
+    }
+
+    /// Reads the register (one [`OpKind::Read`] step).
+    pub fn read(&self) -> u64 {
+        steps::record(OpKind::Read);
+        self.word.load(Ordering::Acquire)
+    }
+
+    /// Writes the register (one [`OpKind::Write`] step).
+    pub fn write(&self, value: u64) {
+        steps::record(OpKind::Write);
+        self.word.store(value, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn locate_covers_indices_contiguously() {
+        // Index 0..BASE are in segment 0, the next 2*BASE in segment 1, etc.
+        let mut expected_seg = 0usize;
+        let mut remaining = BASE;
+        let mut offset = 0usize;
+        for index in 0..10_000usize {
+            if remaining == 0 {
+                expected_seg += 1;
+                remaining = BASE << expected_seg;
+                offset = 0;
+            }
+            let (seg, off) = SegmentedArray::<WordRegister>::locate(index);
+            assert_eq!(seg, expected_seg, "index {index}");
+            assert_eq!(off, offset, "index {index}");
+            remaining -= 1;
+            offset += 1;
+        }
+    }
+
+    #[test]
+    fn slots_are_default_initialized_and_stable() {
+        let arr: SegmentedArray<WordRegister> = SegmentedArray::new();
+        assert_eq!(arr.get(0).read(), 0);
+        assert_eq!(arr.get(500).read(), 0);
+        arr.get(500).write(7);
+        assert_eq!(arr.get(500).read(), 7);
+        // The address of a slot never changes.
+        let p1 = arr.get(500) as *const WordRegister;
+        let _ = arr.get(5000);
+        let p2 = arr.get(500) as *const WordRegister;
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn sparse_indices_allocate_independent_segments() {
+        let arr: SegmentedArray<WordRegister> = SegmentedArray::new();
+        arr.get(1_000_000).write(42);
+        assert_eq!(arr.get(1_000_000).read(), 42);
+        assert_eq!(arr.get(0).read(), 0);
+    }
+
+    #[test]
+    fn concurrent_first_touch_is_safe() {
+        // Many threads race to touch the same fresh segment; exactly one
+        // segment must win and all writes must land in it.
+        let arr: Arc<SegmentedArray<WordRegister>> = Arc::new(SegmentedArray::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let arr = Arc::clone(&arr);
+                thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let idx = (i * 8 + t) as usize;
+                        arr.get(idx).write(idx as u64 + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for idx in 0..1600usize {
+            assert_eq!(arr.get(idx).read(), idx as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn word_register_counts_steps() {
+        let reg = WordRegister::new(3);
+        let scope = crate::steps::StepScope::start();
+        assert_eq!(reg.read(), 3);
+        reg.write(4);
+        assert_eq!(reg.read(), 4);
+        let report = scope.finish();
+        assert_eq!(report.reads, 2);
+        assert_eq!(report.writes, 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Step accounting in the paper's cost model.
+//!
+//! The paper measures the cost of an implemented operation as the number of
+//! base-object operations (reads, writes, compare&swaps, fetch&increments) the
+//! process performs. Every base object in this crate reports each operation it
+//! executes to a thread-local counter; higher layers wrap an implemented
+//! operation in a [`StepScope`] to obtain the exact step count of that single
+//! operation. Counters are thread-local `Cell`s, so accounting adds only a few
+//! nanoseconds per base-object operation and never introduces synchronization
+//! that could perturb the algorithms being measured.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// The kinds of base-object operations distinguished by the cost model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// A read of a register (or of a CAS / fetch&increment object's value).
+    Read,
+    /// A write to a register.
+    Write,
+    /// A compare&swap operation (successful or not).
+    Cas,
+    /// A fetch&increment operation.
+    FetchInc,
+}
+
+impl OpKind {
+    /// All operation kinds, in a fixed order (used for reporting).
+    pub const ALL: [OpKind; 4] = [OpKind::Read, OpKind::Write, OpKind::Cas, OpKind::FetchInc];
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Cas => "cas",
+            OpKind::FetchInc => "fetch_inc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A snapshot of the per-kind step counters.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct StepReport {
+    /// Number of register/CAS/F&I reads.
+    pub reads: u64,
+    /// Number of register writes.
+    pub writes: u64,
+    /// Number of compare&swap operations.
+    pub cas: u64,
+    /// Number of fetch&increment operations.
+    pub fetch_incs: u64,
+}
+
+impl StepReport {
+    /// Total number of base-object operations.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.cas + self.fetch_incs
+    }
+
+    /// Returns the count for one operation kind.
+    pub fn of(&self, kind: OpKind) -> u64 {
+        match kind {
+            OpKind::Read => self.reads,
+            OpKind::Write => self.writes,
+            OpKind::Cas => self.cas,
+            OpKind::FetchInc => self.fetch_incs,
+        }
+    }
+
+    fn saturating_sub(self, other: StepReport) -> StepReport {
+        StepReport {
+            reads: self.reads.saturating_sub(other.reads),
+            writes: self.writes.saturating_sub(other.writes),
+            cas: self.cas.saturating_sub(other.cas),
+            fetch_incs: self.fetch_incs.saturating_sub(other.fetch_incs),
+        }
+    }
+}
+
+impl Add for StepReport {
+    type Output = StepReport;
+    fn add(self, rhs: StepReport) -> StepReport {
+        StepReport {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            cas: self.cas + rhs.cas,
+            fetch_incs: self.fetch_incs + rhs.fetch_incs,
+        }
+    }
+}
+
+impl AddAssign for StepReport {
+    fn add_assign(&mut self, rhs: StepReport) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for StepReport {
+    type Output = StepReport;
+    fn sub(self, rhs: StepReport) -> StepReport {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl fmt::Display for StepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} steps (r={}, w={}, cas={}, f&i={})",
+            self.total(),
+            self.reads,
+            self.writes,
+            self.cas,
+            self.fetch_incs
+        )
+    }
+}
+
+thread_local! {
+    static READS: Cell<u64> = const { Cell::new(0) };
+    static WRITES: Cell<u64> = const { Cell::new(0) };
+    static CAS: Cell<u64> = const { Cell::new(0) };
+    static FETCH_INCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records one base-object operation of the given kind performed by the
+/// calling thread. Called by the base objects in this crate; algorithm code
+/// never needs to call it directly.
+#[inline]
+pub fn record(kind: OpKind) {
+    match kind {
+        OpKind::Read => READS.with(|c| c.set(c.get() + 1)),
+        OpKind::Write => WRITES.with(|c| c.set(c.get() + 1)),
+        OpKind::Cas => CAS.with(|c| c.set(c.get() + 1)),
+        OpKind::FetchInc => FETCH_INCS.with(|c| c.set(c.get() + 1)),
+    }
+    crate::chaos::maybe_perturb();
+}
+
+/// Returns the cumulative counters of the calling thread.
+pub fn current_totals() -> StepReport {
+    StepReport {
+        reads: READS.with(Cell::get),
+        writes: WRITES.with(Cell::get),
+        cas: CAS.with(Cell::get),
+        fetch_incs: FETCH_INCS.with(Cell::get),
+    }
+}
+
+/// Measures the number of base-object operations performed by the calling
+/// thread between the scope's creation and the call to [`StepScope::finish`].
+///
+/// ```
+/// use psnap_shmem::{StepScope, VersionedCell};
+///
+/// let cell = VersionedCell::new(0u64);
+/// let scope = StepScope::start();
+/// let _v = cell.load();
+/// cell.store(1);
+/// let report = scope.finish();
+/// assert_eq!(report.reads, 1);
+/// assert_eq!(report.writes, 1);
+/// assert_eq!(report.total(), 2);
+/// ```
+#[must_use = "a StepScope only reports steps when finished"]
+pub struct StepScope {
+    at_start: StepReport,
+}
+
+impl StepScope {
+    /// Starts measuring.
+    pub fn start() -> StepScope {
+        StepScope {
+            at_start: current_totals(),
+        }
+    }
+
+    /// Stops measuring and returns the steps taken since [`StepScope::start`].
+    pub fn finish(self) -> StepReport {
+        current_totals() - self.at_start
+    }
+
+    /// Reports the steps taken so far without consuming the scope.
+    pub fn so_far(&self) -> StepReport {
+        current_totals() - self.at_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_scope() {
+        let scope = StepScope::start();
+        record(OpKind::Read);
+        record(OpKind::Read);
+        record(OpKind::Write);
+        record(OpKind::Cas);
+        record(OpKind::FetchInc);
+        let report = scope.finish();
+        assert_eq!(report.reads, 2);
+        assert_eq!(report.writes, 1);
+        assert_eq!(report.cas, 1);
+        assert_eq!(report.fetch_incs, 1);
+        assert_eq!(report.total(), 5);
+    }
+
+    #[test]
+    fn nested_scopes_are_independent() {
+        let outer = StepScope::start();
+        record(OpKind::Read);
+        let inner = StepScope::start();
+        record(OpKind::Write);
+        let inner_report = inner.finish();
+        record(OpKind::Cas);
+        let outer_report = outer.finish();
+        assert_eq!(inner_report.total(), 1);
+        assert_eq!(inner_report.writes, 1);
+        assert_eq!(outer_report.total(), 3);
+    }
+
+    #[test]
+    fn counters_are_thread_local() {
+        let before = current_totals();
+        std::thread::spawn(|| {
+            record(OpKind::Read);
+            record(OpKind::Read);
+        })
+        .join()
+        .unwrap();
+        // The other thread's steps must not leak into this thread's counters.
+        assert_eq!(current_totals(), before);
+    }
+
+    #[test]
+    fn report_arithmetic_and_display() {
+        let a = StepReport {
+            reads: 3,
+            writes: 2,
+            cas: 1,
+            fetch_incs: 0,
+        };
+        let b = StepReport {
+            reads: 1,
+            writes: 1,
+            cas: 0,
+            fetch_incs: 0,
+        };
+        assert_eq!((a + b).total(), 8);
+        assert_eq!((a - b).reads, 2);
+        assert_eq!(a.of(OpKind::Read), 3);
+        assert_eq!(a.of(OpKind::FetchInc), 0);
+        let text = a.to_string();
+        assert!(text.contains("6 steps"));
+        for kind in OpKind::ALL {
+            // Display must be stable — it is used in experiment tables.
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let small = StepReport {
+            reads: 1,
+            ..Default::default()
+        };
+        let big = StepReport {
+            reads: 5,
+            ..Default::default()
+        };
+        assert_eq!((small - big).reads, 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Concurrency scenario runner for the partial snapshot reproduction.
+//!
+//! This crate turns the abstract adversary of the paper's model into something
+//! executable: declarative [`scenario::Scenario`]s describe who updates and
+//! who scans what, the [`runner`] executes them on real threads against any
+//! [`psnap_core::PartialSnapshot`] implementation (optionally with seeded
+//! schedule perturbation from `psnap-shmem`'s chaos layer) and records a
+//! [`psnap_lincheck::History`], and the [`chaos_runner`] sweeps many seeds and
+//! checks every history with the appropriate checker (exhaustive WGL for small
+//! schedules, scalable monotone checks for stress schedules).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chaos_runner;
+pub mod runner;
+pub mod scenario;
+
+pub use chaos_runner::{fuzz_small_schedules, fuzz_stress_schedules, FuzzOutcome};
+pub use runner::run_scenario;
+pub use scenario::{Role, Scenario, ScenarioChaos};

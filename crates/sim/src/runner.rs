@@ -1,0 +1,158 @@
+//! Executes scenarios against snapshot implementations and records histories.
+
+use std::sync::Arc;
+
+use psnap_core::PartialSnapshot;
+use psnap_lincheck::{History, LogicalClock, OpRecord, OpResult, Operation};
+use psnap_shmem::{chaos, process, ProcessId};
+
+use crate::scenario::{Role, Scenario};
+
+/// Runs `scenario` against `snapshot`, one OS thread per process, and returns
+/// the recorded history of all completed operations.
+///
+/// The update values written by updater roles follow the monotone
+/// single-writer discipline: process `p`'s `k`-th update writes value
+/// `k * processes + p + 1`, which is strictly increasing per component (each
+/// component is owned by one process) and never equal to the initial value.
+pub fn run_scenario<S>(snapshot: &Arc<S>, scenario: &Scenario) -> History
+where
+    S: PartialSnapshot<u64> + 'static,
+{
+    scenario
+        .validate()
+        .expect("scenario must be valid before it is run");
+    assert!(
+        snapshot.components() >= scenario.components,
+        "snapshot object too small for the scenario"
+    );
+    assert!(
+        snapshot.max_processes() >= scenario.processes(),
+        "snapshot object configured for fewer processes than the scenario needs"
+    );
+
+    let clock = LogicalClock::new();
+    let barrier = Arc::new(std::sync::Barrier::new(scenario.processes()));
+    let n = scenario.processes();
+
+    let handles: Vec<_> = scenario
+        .roles
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(pid, role)| {
+            let snapshot = Arc::clone(snapshot);
+            let clock = clock.clone();
+            let barrier = Arc::clone(&barrier);
+            let chaos_cfg = scenario.chaos.clone();
+            std::thread::spawn(move || {
+                let _id = process::register(ProcessId(pid));
+                let _chaos_guard = chaos_cfg
+                    .map(|c| chaos::enable(c.seed.wrapping_add(pid as u64), c.config));
+                barrier.wait();
+                run_role(&*snapshot, pid, n, &role, &clock)
+            })
+        })
+        .collect();
+
+    let logs: Vec<Vec<OpRecord>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("scenario worker panicked"))
+        .collect();
+    History::from_logs(scenario.components, scenario.initial, logs)
+}
+
+fn run_role(
+    snapshot: &dyn PartialSnapshot<u64>,
+    pid: usize,
+    processes: usize,
+    role: &Role,
+    clock: &LogicalClock,
+) -> Vec<OpRecord> {
+    let mut log = Vec::new();
+    match role {
+        Role::Updater { components, ops } => {
+            for k in 0..*ops {
+                let component = components[k % components.len()];
+                let value = (k as u64 + 1) * processes as u64 + pid as u64 + 1;
+                let invoked_at = clock.now();
+                snapshot.update(ProcessId(pid), component, value);
+                let returned_at = clock.now();
+                log.push(OpRecord {
+                    pid: ProcessId(pid),
+                    op: Operation::Update { component, value },
+                    result: OpResult::Ack,
+                    invoked_at,
+                    returned_at,
+                });
+            }
+        }
+        Role::Scanner { scans } => {
+            for components in scans {
+                let invoked_at = clock.now();
+                let values = snapshot.scan(ProcessId(pid), components);
+                let returned_at = clock.now();
+                log.push(OpRecord {
+                    pid: ProcessId(pid),
+                    op: Operation::Scan {
+                        components: components.clone(),
+                    },
+                    result: OpResult::Values(values),
+                    invoked_at,
+                    returned_at,
+                });
+            }
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psnap_core::{CasPartialSnapshot, RegisterPartialSnapshot};
+    use psnap_lincheck::{check_history, check_monotone_history};
+
+    #[test]
+    fn stress_scenario_produces_well_formed_history() {
+        let scenario = Scenario::stress(8, 2, 2, 50, 30, 3, 7);
+        let snapshot = Arc::new(CasPartialSnapshot::new(8, scenario.processes(), 0u64));
+        let history = run_scenario(&snapshot, &scenario);
+        assert_eq!(history.len(), scenario.total_ops());
+        history.validate_well_formed().unwrap();
+        assert_eq!(check_monotone_history(&history), Ok(()));
+    }
+
+    #[test]
+    fn small_scenarios_are_wgl_checkable() {
+        for seed in 0..5 {
+            let scenario = Scenario::random_small(seed);
+            let snapshot = Arc::new(RegisterPartialSnapshot::new(
+                scenario.components,
+                scenario.processes(),
+                0u64,
+            ));
+            let history = run_scenario(&snapshot, &scenario);
+            assert!(
+                check_history(&history).is_linearizable(),
+                "seed {seed} produced a non-linearizable history"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn mismatched_object_size_is_rejected() {
+        let scenario = Scenario::stress(8, 2, 1, 5, 5, 2, 0);
+        let snapshot = Arc::new(CasPartialSnapshot::new(4, 8, 0u64));
+        let _ = run_scenario(&snapshot, &scenario);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer processes")]
+    fn mismatched_process_count_is_rejected() {
+        let scenario = Scenario::stress(8, 4, 4, 5, 5, 2, 0);
+        let snapshot = Arc::new(CasPartialSnapshot::new(8, 2, 0u64));
+        let _ = run_scenario(&snapshot, &scenario);
+    }
+}

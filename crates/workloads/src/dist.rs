@@ -1,0 +1,161 @@
+//! Component-selection distributions.
+//!
+//! Experiments need to choose *which* components a scan touches. Two
+//! distributions cover the cases the paper's motivation describes: uniform
+//! selection (every component equally likely — the worst case for locality
+//! arguments because scans spread over the whole object) and Zipf-like
+//! selection (a few hot components attract most of the traffic — the stock
+//! portfolio case, where popular stocks appear in many portfolios).
+
+use rand::Rng;
+
+/// A distribution over component indices `0..m`.
+#[derive(Clone, Debug)]
+pub enum IndexDist {
+    /// Every component equally likely.
+    Uniform {
+        /// Number of components.
+        m: usize,
+    },
+    /// Zipf-like: component `k` (0-based rank) has weight `1 / (k+1)^s`.
+    Zipf {
+        /// Number of components.
+        m: usize,
+        /// Skew parameter (`s = 0` is uniform; `s ≈ 1` is classic Zipf).
+        s: f64,
+        /// Cumulative weights, precomputed at construction.
+        cumulative: Vec<f64>,
+    },
+}
+
+impl IndexDist {
+    /// Uniform over `0..m`.
+    pub fn uniform(m: usize) -> Self {
+        assert!(m > 0);
+        IndexDist::Uniform { m }
+    }
+
+    /// Zipf with skew `s` over `0..m`.
+    pub fn zipf(m: usize, s: f64) -> Self {
+        assert!(m > 0);
+        assert!(s >= 0.0);
+        let mut cumulative = Vec::with_capacity(m);
+        let mut total = 0.0f64;
+        for k in 0..m {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        IndexDist::Zipf { m, s, cumulative }
+    }
+
+    /// Number of components.
+    pub fn m(&self) -> usize {
+        match self {
+            IndexDist::Uniform { m } => *m,
+            IndexDist::Zipf { m, .. } => *m,
+        }
+    }
+
+    /// Samples one component index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        match self {
+            IndexDist::Uniform { m } => rng.gen_range(0..*m),
+            IndexDist::Zipf { cumulative, .. } => {
+                let total = *cumulative.last().expect("m > 0");
+                let x = rng.gen_range(0.0..total);
+                cumulative.partition_point(|&c| c <= x).min(cumulative.len() - 1)
+            }
+        }
+    }
+
+    /// Samples `r` *distinct* component indices (a scan's argument set).
+    ///
+    /// `r` is capped at `m`. The result is sorted.
+    pub fn sample_set<R: Rng>(&self, rng: &mut R, r: usize) -> Vec<usize> {
+        let m = self.m();
+        let r = r.min(m);
+        let mut set = std::collections::BTreeSet::new();
+        // Rejection sampling; for r close to m fall back to a shuffle.
+        if r * 2 >= m {
+            let mut all: Vec<usize> = (0..m).collect();
+            use rand::seq::SliceRandom;
+            all.shuffle(rng);
+            all.truncate(r);
+            all.sort_unstable();
+            return all;
+        }
+        while set.len() < r {
+            set.insert(self.sample(rng));
+        }
+        set.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_samples_are_in_range_and_spread() {
+        let dist = IndexDist::uniform(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 16];
+        for _ in 0..16_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(*c > 500, "component {i} sampled only {c} times");
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let dist = IndexDist::zipf(64, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 64];
+        for _ in 0..50_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[60]);
+        assert!(counts[0] > 4 * counts[20], "Zipf head must dominate the tail");
+    }
+
+    #[test]
+    fn zipf_with_zero_skew_is_roughly_uniform() {
+        let dist = IndexDist::zipf(8, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 8];
+        for _ in 0..8000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(*max < 2 * *min, "counts {counts:?} not roughly uniform");
+    }
+
+    #[test]
+    fn sample_set_returns_distinct_sorted_indices() {
+        let dist = IndexDist::uniform(32);
+        let mut rng = StdRng::seed_from_u64(4);
+        for r in [1usize, 5, 16, 31, 32, 40] {
+            let set = dist.sample_set(&mut rng, r);
+            assert_eq!(set.len(), r.min(32));
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(set, sorted, "must be sorted and distinct");
+            assert!(set.iter().all(|&c| c < 32));
+        }
+    }
+
+    #[test]
+    fn zipf_sample_set_respects_distribution_support() {
+        let dist = IndexDist::zipf(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let set = dist.sample_set(&mut rng, 4);
+        assert_eq!(set.len(), 4);
+        assert!(set.iter().all(|&c| c < 10));
+    }
+}

@@ -1,0 +1,77 @@
+//! Operation mixes: how many processes scan, how many update, and how often.
+
+use serde::{Deserialize, Serialize};
+
+/// A scanner/updater role mix for a throughput or step-count experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mix {
+    /// Number of processes performing updates.
+    pub updaters: usize,
+    /// Number of processes performing partial scans.
+    pub scanners: usize,
+}
+
+impl Mix {
+    /// A mix with `updaters` updaters and `scanners` scanners.
+    pub fn new(updaters: usize, scanners: usize) -> Self {
+        assert!(updaters + scanners > 0, "a mix needs at least one process");
+        Mix { updaters, scanners }
+    }
+
+    /// Total number of processes.
+    pub fn processes(&self) -> usize {
+        self.updaters + self.scanners
+    }
+
+    /// A descriptive label used in experiment tables, e.g. `"4u/2s"`.
+    pub fn label(&self) -> String {
+        format!("{}u/{}s", self.updaters, self.scanners)
+    }
+
+    /// The standard ladder of mixes used by the contention experiments:
+    /// update-heavy, balanced and scan-heavy at several scales.
+    pub fn ladder() -> Vec<Mix> {
+        vec![
+            Mix::new(1, 1),
+            Mix::new(2, 2),
+            Mix::new(4, 2),
+            Mix::new(2, 4),
+            Mix::new(4, 4),
+            Mix::new(6, 2),
+            Mix::new(2, 6),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_and_processes() {
+        let m = Mix::new(4, 2);
+        assert_eq!(m.processes(), 6);
+        assert_eq!(m.label(), "4u/2s");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_mix_is_rejected() {
+        let _ = Mix::new(0, 0);
+    }
+
+    #[test]
+    fn ladder_is_nonempty_and_bounded() {
+        let ladder = Mix::ladder();
+        assert!(!ladder.is_empty());
+        assert!(ladder.iter().all(|m| m.processes() <= 8));
+    }
+
+    #[test]
+    fn mix_serializes_roundtrip() {
+        let m = Mix::new(3, 5);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Mix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

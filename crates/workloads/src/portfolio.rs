@@ -1,0 +1,211 @@
+//! The stock-portfolio workload from the paper's introduction.
+//!
+//! "Consider the problem of computing the total assets of a stock portfolio by
+//! checking the value of each stock one by one, while, concurrently, the
+//! values of the stocks are fluctuating […]. The result might exceed the
+//! maximum value the portfolio had at any time during the day if each stock is
+//! checked when it is at its peak value for the day."
+//!
+//! This module generates that scenario: a market of `m` stocks whose prices
+//! follow bounded random walks, and a set of portfolios, each holding a small
+//! number of stocks. The snapshot object stores one component per stock;
+//! valuing a portfolio is a partial scan of its holdings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dist::IndexDist;
+
+/// Configuration of a market workload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MarketConfig {
+    /// Number of stocks (components of the snapshot object).
+    pub stocks: usize,
+    /// Initial price of every stock, in cents.
+    pub initial_price: u64,
+    /// Maximum per-tick price change, in cents.
+    pub max_tick: u64,
+    /// Number of portfolios to generate.
+    pub portfolios: usize,
+    /// Holdings per portfolio.
+    pub holdings_per_portfolio: usize,
+    /// Zipf skew of stock popularity (0 = uniform).
+    pub popularity_skew: f64,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            stocks: 1024,
+            initial_price: 10_000,
+            max_tick: 50,
+            portfolios: 64,
+            holdings_per_portfolio: 8,
+            popularity_skew: 0.8,
+        }
+    }
+}
+
+/// A portfolio: which stocks it holds and how many shares of each.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Portfolio {
+    /// `(stock index, number of shares)`, sorted by stock index, no duplicates.
+    pub holdings: Vec<(usize, u64)>,
+}
+
+impl Portfolio {
+    /// The component indices this portfolio needs a consistent view of.
+    pub fn components(&self) -> Vec<usize> {
+        self.holdings.iter().map(|(s, _)| *s).collect()
+    }
+
+    /// Values the portfolio given the prices of its holdings (in the order of
+    /// [`Portfolio::components`]).
+    pub fn value(&self, prices: &[u64]) -> u64 {
+        assert_eq!(prices.len(), self.holdings.len());
+        self.holdings
+            .iter()
+            .zip(prices.iter())
+            .map(|((_, shares), price)| shares * price)
+            .sum()
+    }
+}
+
+/// A generated market workload.
+#[derive(Clone, Debug)]
+pub struct Market {
+    /// The configuration it was generated from.
+    pub config: MarketConfig,
+    /// The portfolios querying the market.
+    pub portfolios: Vec<Portfolio>,
+}
+
+impl Market {
+    /// Generates a market deterministically from a seed.
+    pub fn generate(config: MarketConfig, seed: u64) -> Self {
+        assert!(config.stocks > 0);
+        assert!(config.holdings_per_portfolio > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = IndexDist::zipf(config.stocks, config.popularity_skew);
+        let portfolios = (0..config.portfolios)
+            .map(|_| {
+                let stocks = dist.sample_set(&mut rng, config.holdings_per_portfolio);
+                Portfolio {
+                    holdings: stocks
+                        .into_iter()
+                        .map(|s| (s, rng.gen_range(1..=100u64)))
+                        .collect(),
+                }
+            })
+            .collect();
+        Market { config, portfolios }
+    }
+
+    /// A deterministic price tick stream: an infinite iterator of
+    /// `(stock, new_price)` pairs forming bounded random walks that never go
+    /// below 1 cent.
+    pub fn price_ticks(&self, seed: u64) -> PriceTicks {
+        PriceTicks {
+            rng: StdRng::seed_from_u64(seed),
+            prices: vec![self.config.initial_price; self.config.stocks],
+            max_tick: self.config.max_tick,
+        }
+    }
+}
+
+/// Infinite stream of price updates (see [`Market::price_ticks`]).
+#[derive(Clone, Debug)]
+pub struct PriceTicks {
+    rng: StdRng,
+    prices: Vec<u64>,
+    max_tick: u64,
+}
+
+impl Iterator for PriceTicks {
+    type Item = (usize, u64);
+
+    fn next(&mut self) -> Option<(usize, u64)> {
+        let stock = self.rng.gen_range(0..self.prices.len());
+        let delta = self.rng.gen_range(0..=self.max_tick) as i64;
+        let sign = if self.rng.gen_bool(0.5) { 1 } else { -1 };
+        let current = self.prices[stock] as i64;
+        let new_price = (current + sign * delta).max(1) as u64;
+        self.prices[stock] = new_price;
+        Some((stock, new_price))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = MarketConfig::default();
+        let a = Market::generate(cfg.clone(), 42);
+        let b = Market::generate(cfg, 42);
+        assert_eq!(a.portfolios, b.portfolios);
+    }
+
+    #[test]
+    fn portfolios_have_requested_shape() {
+        let cfg = MarketConfig {
+            stocks: 100,
+            portfolios: 20,
+            holdings_per_portfolio: 5,
+            ..Default::default()
+        };
+        let market = Market::generate(cfg, 1);
+        assert_eq!(market.portfolios.len(), 20);
+        for p in &market.portfolios {
+            assert_eq!(p.holdings.len(), 5);
+            let comps = p.components();
+            let mut sorted = comps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(comps, sorted, "holdings must be sorted and distinct");
+            assert!(comps.iter().all(|&s| s < 100));
+            assert!(p.holdings.iter().all(|(_, shares)| *shares >= 1));
+        }
+    }
+
+    #[test]
+    fn portfolio_value_is_dot_product() {
+        let p = Portfolio {
+            holdings: vec![(0, 2), (5, 3)],
+        };
+        assert_eq!(p.value(&[100, 10]), 230);
+    }
+
+    #[test]
+    fn price_ticks_stay_positive_and_bounded() {
+        let market = Market::generate(
+            MarketConfig {
+                stocks: 4,
+                initial_price: 10,
+                max_tick: 5,
+                ..Default::default()
+            },
+            3,
+        );
+        let mut prices = vec![10u64; 4];
+        for (stock, price) in market.price_ticks(9).take(10_000) {
+            assert!(price >= 1);
+            let old = prices[stock];
+            let diff = price.abs_diff(old);
+            assert!(diff <= 5 || old <= 5, "tick jumped by {diff}");
+            prices[stock] = price;
+        }
+    }
+
+    #[test]
+    fn price_ticks_are_deterministic_per_seed() {
+        let market = Market::generate(MarketConfig::default(), 0);
+        let a: Vec<_> = market.price_ticks(7).take(100).collect();
+        let b: Vec<_> = market.price_ticks(7).take(100).collect();
+        let c: Vec<_> = market.price_ticks(8).take(100).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,194 @@
+//! Parameter sweeps for the experiment harness.
+//!
+//! Every experiment in EXPERIMENTS.md is a sweep over one axis (object width
+//! `m`, scan width `r`, number of scanners, thread mix, …) with everything
+//! else held fixed. This module gives those sweeps names and default ranges so
+//! the harness, the Criterion benches and the documentation all agree on what
+//! is being measured.
+
+use serde::{Deserialize, Serialize};
+
+/// The default values of the object width axis (experiment E1).
+pub const DEFAULT_M_SWEEP: &[usize] = &[16, 64, 256, 1024, 4096];
+
+/// The default values of the scan width axis (experiment E2).
+pub const DEFAULT_R_SWEEP: &[usize] = &[1, 2, 4, 8, 16, 32];
+
+/// The default values of the concurrent-scanner axis (experiments E3/E4).
+pub const DEFAULT_SCANNER_SWEEP: &[usize] = &[0, 1, 2, 4, 6];
+
+/// One point of an experiment: the fixed parameters of a single measurement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Object width (number of components).
+    pub m: usize,
+    /// Scan width (components per partial scan).
+    pub r: usize,
+    /// Number of concurrent updater processes.
+    pub updaters: usize,
+    /// Number of concurrent scanner processes.
+    pub scanners: usize,
+    /// Operations measured per process.
+    pub ops: usize,
+}
+
+impl SweepPoint {
+    /// Total number of processes at this point.
+    pub fn processes(&self) -> usize {
+        self.updaters + self.scanners
+    }
+
+    /// A compact label for tables, e.g. `m=1024 r=8 2u/2s`.
+    pub fn label(&self) -> String {
+        format!(
+            "m={} r={} {}u/{}s",
+            self.m, self.r, self.updaters, self.scanners
+        )
+    }
+}
+
+/// A named sweep: which axis varies and the points to measure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sweep {
+    /// Experiment identifier (e.g. `"E1"`).
+    pub id: String,
+    /// Human-readable description of what the sweep demonstrates.
+    pub description: String,
+    /// The measurement points, in presentation order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// E1: fixed `r`, growing `m` — the locality experiment.
+    pub fn e1_locality(ops: usize) -> Sweep {
+        Sweep {
+            id: "E1".into(),
+            description: "partial-scan cost vs object width m (r fixed): Figure 3 is local, \
+                          full-snapshot baselines are not"
+                .into(),
+            points: DEFAULT_M_SWEEP
+                .iter()
+                .map(|&m| SweepPoint {
+                    m,
+                    r: 8,
+                    updaters: 2,
+                    scanners: 2,
+                    ops,
+                })
+                .collect(),
+        }
+    }
+
+    /// E2: fixed `m`, growing `r` — the `O(r²)` worst-case experiment.
+    pub fn e2_scan_width(ops: usize) -> Sweep {
+        Sweep {
+            id: "E2".into(),
+            description: "partial-scan cost vs scan width r under update pressure \
+                          (Theorem 3: worst case O(r²))"
+                .into(),
+            points: DEFAULT_R_SWEEP
+                .iter()
+                .map(|&r| SweepPoint {
+                    m: 256,
+                    r,
+                    updaters: 2,
+                    scanners: 1,
+                    ops,
+                })
+                .collect(),
+        }
+    }
+
+    /// E3: update cost vs number of concurrent scanners and their scan width.
+    pub fn e3_update_cost(ops: usize) -> Sweep {
+        Sweep {
+            id: "E3".into(),
+            description: "update cost vs concurrent scanners × rmax \
+                          (Theorem 3: amortized O(Cs²·rmax²), independent of m)"
+                .into(),
+            points: DEFAULT_SCANNER_SWEEP
+                .iter()
+                .map(|&scanners| SweepPoint {
+                    m: 1024,
+                    r: 8,
+                    updaters: 1,
+                    scanners,
+                    ops,
+                })
+                .collect(),
+        }
+    }
+
+    /// E7: throughput comparison across implementations at several mixes.
+    pub fn e7_throughput(ops: usize) -> Sweep {
+        Sweep {
+            id: "E7".into(),
+            description: "cross-implementation throughput at several scanner/updater mixes"
+                .into(),
+            points: crate::mix::Mix::ladder()
+                .into_iter()
+                .map(|mix| SweepPoint {
+                    m: 512,
+                    r: 8,
+                    updaters: mix.updaters,
+                    scanners: mix.scanners,
+                    ops,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_points_have_labels_and_processes() {
+        let p = SweepPoint {
+            m: 64,
+            r: 4,
+            updaters: 2,
+            scanners: 3,
+            ops: 100,
+        };
+        assert_eq!(p.processes(), 5);
+        assert_eq!(p.label(), "m=64 r=4 2u/3s");
+    }
+
+    #[test]
+    fn e1_varies_m_only() {
+        let s = Sweep::e1_locality(100);
+        assert_eq!(s.id, "E1");
+        assert_eq!(s.points.len(), DEFAULT_M_SWEEP.len());
+        assert!(s.points.windows(2).all(|w| w[0].m < w[1].m));
+        assert!(s.points.iter().all(|p| p.r == 8));
+    }
+
+    #[test]
+    fn e2_varies_r_only() {
+        let s = Sweep::e2_scan_width(100);
+        assert!(s.points.windows(2).all(|w| w[0].r < w[1].r));
+        assert!(s.points.iter().all(|p| p.m == 256));
+    }
+
+    #[test]
+    fn e3_varies_scanners() {
+        let s = Sweep::e3_update_cost(100);
+        assert!(s.points.windows(2).all(|w| w[0].scanners < w[1].scanners));
+    }
+
+    #[test]
+    fn e7_follows_the_mix_ladder() {
+        let s = Sweep::e7_throughput(100);
+        assert_eq!(s.points.len(), crate::mix::Mix::ladder().len());
+    }
+
+    #[test]
+    fn sweeps_serialize_roundtrip() {
+        let s = Sweep::e1_locality(10);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sweep = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.points, s.points);
+    }
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for workspace-level examples and integration tests.
+//!
+//! Re-exports the public API of every crate in the reproduction so examples
+//! and integration tests can use a single import root.
+
+pub use psnap_activeset as activeset;
+pub use psnap_core as snapshot;
+pub use psnap_lincheck as lincheck;
+pub use psnap_shmem as shmem;
+pub use psnap_sim as sim;
+pub use psnap_workloads as workloads;

@@ -1,0 +1,147 @@
+//! Specification tests for the active set abstraction, run against both
+//! implementations under identical concurrent loads (with chaos enabled on
+//! the member threads to widen the join/leave race windows).
+//!
+//! The active-set specification (Section 2.1 of the paper):
+//! * a `getSet` contains every process that was active (join completed, leave
+//!   not yet invoked) for the whole duration of the `getSet`;
+//! * it contains no process that was inactive (leave completed, or never
+//!   joined) for the whole duration;
+//! * processes that are joining or leaving concurrently may appear or not.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use partial_snapshot::activeset::{ActiveSet, CasActiveSet, CollectActiveSet};
+use partial_snapshot::shmem::chaos::{self, ChaosConfig};
+use partial_snapshot::shmem::ProcessId;
+
+/// Drives `set` with `workers` churning threads while the main thread checks
+/// every `getSet` against a ground-truth state log.
+fn check_spec_under_churn<A: ActiveSet + 'static>(set: Arc<A>, workers: usize, queries: usize) {
+    let clock = Arc::new(AtomicU64::new(1));
+    // state[p] = (joined_at, leaving_at): joined_at > leaving_at means the
+    // process believes it is active. joined_at is stamped after join returns,
+    // leaving_at is stamped before leave is invoked.
+    let state: Arc<Vec<(AtomicU64, AtomicU64)>> = Arc::new(
+        (0..workers)
+            .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+            .collect(),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for pid in 0..workers {
+        let set = Arc::clone(&set);
+        let clock = Arc::clone(&clock);
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let _chaos = chaos::enable(pid as u64 * 7 + 3, ChaosConfig::aggressive());
+            while !stop.load(Ordering::Relaxed) {
+                let ticket = set.join(ProcessId(pid));
+                state[pid]
+                    .0
+                    .store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+                for _ in 0..10 {
+                    std::hint::spin_loop();
+                }
+                state[pid]
+                    .1
+                    .store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+                set.leave(ProcessId(pid), ticket);
+            }
+        }));
+    }
+
+    for _ in 0..queries {
+        let start_ts = clock.fetch_add(1, Ordering::SeqCst);
+        let before: Vec<(u64, u64)> = (0..workers)
+            .map(|p| {
+                (
+                    state[p].0.load(Ordering::SeqCst),
+                    state[p].1.load(Ordering::SeqCst),
+                )
+            })
+            .collect();
+        let members = set.get_set();
+        let after: Vec<(u64, u64)> = (0..workers)
+            .map(|p| {
+                (
+                    state[p].0.load(Ordering::SeqCst),
+                    state[p].1.load(Ordering::SeqCst),
+                )
+            })
+            .collect();
+        for p in 0..workers {
+            let (joined, leaving) = before[p];
+            // The worker's state did not change across the whole getSet and it
+            // had completed a join (with no leave begun) before the getSet
+            // started: it was active throughout, so it must be reported.
+            if before[p] == after[p] && joined > leaving && joined < start_ts {
+                assert!(
+                    members.contains(&ProcessId(p)),
+                    "{}: active process p{p} missing from getSet",
+                    set.name()
+                );
+            }
+        }
+        for m in &members {
+            assert!(
+                m.index() < workers && state[m.index()].0.load(Ordering::SeqCst) > 0,
+                "{}: getSet reported a process that never joined",
+                set.name()
+            );
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn figure2_active_set_satisfies_the_spec_under_chaotic_churn() {
+    check_spec_under_churn(Arc::new(CasActiveSet::new()), 4, 1500);
+}
+
+#[test]
+fn collect_active_set_satisfies_the_spec_under_chaotic_churn() {
+    check_spec_under_churn(Arc::new(CollectActiveSet::new(4)), 4, 1500);
+}
+
+/// After any amount of churn, a quiescent getSet must be exact: it reports all
+/// still-active processes and nothing else, for both implementations.
+#[test]
+fn quiescent_getset_is_exact_after_heavy_churn() {
+    let cas = CasActiveSet::new();
+    let collect = CollectActiveSet::new(8);
+    let sets: [&dyn ActiveSet; 2] = [&cas, &collect];
+    for set in sets {
+        // live[p] holds the current ticket of process p, if it is a member.
+        let mut live: Vec<Option<partial_snapshot::activeset::JoinTicket>> = vec![None; 8];
+        for round in 0..500usize {
+            let pid = round % 8;
+            match live[pid].take() {
+                Some(ticket) => set.leave(ProcessId(pid), ticket),
+                None => {
+                    let ticket = set.join(ProcessId(pid));
+                    if round % 3 == 0 {
+                        // Keep every third new membership alive.
+                        live[pid] = Some(ticket);
+                    } else {
+                        set.leave(ProcessId(pid), ticket);
+                    }
+                }
+            }
+        }
+        let expected: Vec<usize> = (0..8).filter(|&p| live[p].is_some()).collect();
+        let got: Vec<usize> = set.get_set().into_iter().map(|p| p.index()).collect();
+        assert_eq!(got, expected, "{}", set.name());
+        for (p, slot) in live.iter_mut().enumerate() {
+            if let Some(ticket) = slot.take() {
+                set.leave(ProcessId(p), ticket);
+            }
+        }
+        assert!(set.get_set().is_empty(), "{}", set.name());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based conformance tests: arbitrary sequential operation sequences
+//! applied to every implementation must reproduce the sequential
+//! specification exactly, and arbitrary *per-process* programs executed
+//! concurrently must produce linearizable histories.
+
+use std::sync::Arc;
+
+use partial_snapshot::lincheck::{check_history, OpResult, Operation, SnapshotSpec};
+use partial_snapshot::shmem::ProcessId;
+use partial_snapshot::sim::{run_scenario, Role, Scenario};
+use partial_snapshot::snapshot::{
+    AfekFullSnapshot, CasPartialSnapshot, PartialSnapshot, RegisterPartialSnapshot,
+};
+use proptest::prelude::*;
+
+const M: usize = 6;
+
+#[derive(Clone, Debug)]
+enum SeqOp {
+    Update { component: usize, value: u64 },
+    Scan { components: Vec<usize> },
+}
+
+fn op_strategy() -> impl Strategy<Value = SeqOp> {
+    prop_oneof![
+        ((0..M), (1u64..1_000_000)).prop_map(|(component, value)| SeqOp::Update {
+            component,
+            value
+        }),
+        proptest::collection::vec(0..M, 1..=M).prop_map(|components| SeqOp::Scan { components }),
+    ]
+}
+
+fn check_sequential<S: PartialSnapshot<u64>>(snapshot: &S, ops: &[SeqOp]) {
+    let spec = SnapshotSpec::new(M, 0);
+    let mut model = spec.initial_state();
+    for op in ops {
+        match op {
+            SeqOp::Update { component, value } => {
+                snapshot.update(ProcessId(0), *component, *value);
+                spec.apply(
+                    &mut model,
+                    &Operation::Update {
+                        component: *component,
+                        value: *value,
+                    },
+                );
+            }
+            SeqOp::Scan { components } => {
+                let got = snapshot.scan(ProcessId(1), components);
+                let expected = spec.apply(
+                    &mut model,
+                    &Operation::Scan {
+                        components: components.clone(),
+                    },
+                );
+                assert_eq!(OpResult::Values(got), expected);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cas_snapshot_conforms_to_spec(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let snapshot = CasPartialSnapshot::new(M, 2, 0u64);
+        check_sequential(&snapshot, &ops);
+    }
+
+    #[test]
+    fn register_snapshot_conforms_to_spec(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let snapshot = RegisterPartialSnapshot::new(M, 2, 0u64);
+        check_sequential(&snapshot, &ops);
+    }
+
+    #[test]
+    fn afek_snapshot_conforms_to_spec(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let snapshot = AfekFullSnapshot::new(M, 2, 0u64);
+        check_sequential(&snapshot, &ops);
+    }
+}
+
+/// Strategy for a small concurrent scenario: 1–2 updaters with disjoint
+/// components and 1–2 scanners with explicit scan lists.
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    let scan_list = proptest::collection::vec(
+        proptest::collection::btree_set(0..4usize, 1..=3)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+        1..=3,
+    );
+    (1..=2usize, 1..=2usize, proptest::collection::vec(scan_list, 2), 1..=3usize).prop_map(
+        |(updaters, scanners, scan_lists, updates)| {
+            let mut roles = Vec::new();
+            for u in 0..updaters {
+                roles.push(Role::Updater {
+                    components: (0..4).filter(|c| c % updaters == u).collect(),
+                    ops: updates,
+                });
+            }
+            for s in 0..scanners {
+                roles.push(Role::Scanner {
+                    scans: scan_lists[s % scan_lists.len()].clone(),
+                });
+            }
+            Scenario {
+                components: 4,
+                initial: 0,
+                roles,
+                chaos: None,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every concurrent execution of an arbitrary small program against the
+    /// paper's main algorithm is linearizable (verified exhaustively).
+    #[test]
+    fn cas_snapshot_concurrent_programs_linearize(scenario in scenario_strategy()) {
+        prop_assume!(scenario.total_ops() <= 14);
+        let snapshot = Arc::new(CasPartialSnapshot::new(
+            scenario.components,
+            scenario.processes(),
+            0u64,
+        ));
+        let history = run_scenario(&snapshot, &scenario);
+        prop_assert!(check_history(&history).is_linearizable());
+    }
+
+    /// Same property for the register-only algorithm of Figure 1.
+    #[test]
+    fn register_snapshot_concurrent_programs_linearize(scenario in scenario_strategy()) {
+        prop_assume!(scenario.total_ops() <= 14);
+        let snapshot = Arc::new(RegisterPartialSnapshot::new(
+            scenario.components,
+            scenario.processes(),
+            0u64,
+        ));
+        let history = run_scenario(&snapshot, &scenario);
+        prop_assert!(check_history(&history).is_linearizable());
+    }
+}
