@@ -236,7 +236,11 @@ mod tests {
             "second getSet must skip the coalesced interval, took {}",
             second.total()
         );
-        assert_eq!(set.skip_interval_count(), 1, "all slots coalesce into one interval");
+        assert_eq!(
+            set.skip_interval_count(),
+            1,
+            "all slots coalesce into one interval"
+        );
     }
 
     #[test]
@@ -312,12 +316,16 @@ mod tests {
                 while !stop.load(Ordering::Relaxed) {
                     let ticket = set.join(ProcessId(pid));
                     // Record "active since" only after join completes.
-                    state[pid].0.store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+                    state[pid]
+                        .0
+                        .store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
                     for _ in 0..20 {
                         std::hint::spin_loop();
                     }
                     // Record "leaving at" before starting the leave.
-                    state[pid].1.store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+                    state[pid]
+                        .1
+                        .store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
                     set.leave(ProcessId(pid), ticket);
                 }
             }));

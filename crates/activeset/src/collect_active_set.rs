@@ -51,7 +51,9 @@ impl ActiveSet for CollectActiveSet {
             self.n
         );
         self.flags.get(pid.index()).write(1);
-        JoinTicket { slot: pid.index() as u64 }
+        JoinTicket {
+            slot: pid.index() as u64,
+        }
     }
 
     fn leave(&self, pid: ProcessId, _ticket: JoinTicket) {

@@ -116,7 +116,10 @@ impl IntervalSet {
         for w in self.intervals.windows(2) {
             let (_, hi_a) = w[0];
             let (lo_b, _) = w[1];
-            assert!(hi_a + 1 < lo_b, "intervals must be disjoint and non-adjacent");
+            assert!(
+                hi_a + 1 < lo_b,
+                "intervals must be disjoint and non-adjacent"
+            );
         }
         for &(lo, hi) in &self.intervals {
             assert!(lo <= hi);

@@ -42,7 +42,7 @@ proptest! {
         let mut runs = 0usize;
         let mut prev: Option<u64> = None;
         for &x in &model {
-            if prev.map_or(true, |p| p + 1 != x) {
+            if prev.is_none_or(|p| p + 1 != x) {
                 runs += 1;
             }
             prev = Some(x);

@@ -17,18 +17,21 @@ fn scan_vs_m(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
     let comps_of = |m: usize| -> Vec<usize> { (0..8).map(|k| k * (m / 8)).collect() };
     for &m in &[64usize, 512, 4096] {
-        for kind in [ImplKind::Cas, ImplKind::Register, ImplKind::AfekFull, ImplKind::Lock] {
+        for kind in [
+            ImplKind::Cas,
+            ImplKind::Register,
+            ImplKind::AfekFull,
+            ImplKind::Lock,
+        ] {
             let snapshot = kind.build(m, 2, 0);
             // Populate so scans read real entries.
             for i in (0..m).step_by(7) {
                 snapshot.update(ProcessId(0), i, i as u64 + 1);
             }
             let comps = comps_of(m);
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), m),
-                &m,
-                |b, _| b.iter(|| snapshot.scan(ProcessId(1), &comps)),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), m), &m, |b, _| {
+                b.iter(|| snapshot.scan(ProcessId(1), &comps))
+            });
         }
     }
     group.finish();

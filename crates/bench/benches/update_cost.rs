@@ -16,7 +16,12 @@ fn quiescent_update(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
     for &m in &[256usize, 4096] {
-        for kind in [ImplKind::Cas, ImplKind::Register, ImplKind::AfekFull, ImplKind::Lock] {
+        for kind in [
+            ImplKind::Cas,
+            ImplKind::Register,
+            ImplKind::AfekFull,
+            ImplKind::Lock,
+        ] {
             let snapshot = kind.build(m, 2, 0);
             let mut i = 0u64;
             group.bench_with_input(BenchmarkId::new(kind.label(), m), &m, |b, _| {
@@ -53,16 +58,12 @@ fn update_with_active_scanners(c: &mut Criterion) {
             })
             .collect();
         let mut i = 0u64;
-        group.bench_with_input(
-            BenchmarkId::new("fig3-cas", scanners),
-            &scanners,
-            |b, _| {
-                b.iter(|| {
-                    i += 1;
-                    snapshot.update(ProcessId(0), (i % 64) as usize, i)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fig3-cas", scanners), &scanners, |b, _| {
+            b.iter(|| {
+                i += 1;
+                snapshot.update(ProcessId(0), (i % 64) as usize, i)
+            })
+        });
         stop.store(true, Ordering::Relaxed);
         for h in handles {
             h.join().unwrap();

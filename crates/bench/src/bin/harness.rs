@@ -1,30 +1,37 @@
-//! The experiment harness: regenerates the E1–E7 tables of EXPERIMENTS.md.
+//! The experiment harness: regenerates the E1–E8 tables of EXPERIMENTS.md.
 //!
 //! Usage:
 //!
 //! ```text
-//! harness [--quick] <experiment id | all> [more ids...]
+//! harness [--quick] [--json] <experiment id | all> [more ids...]
 //! ```
 //!
 //! `--quick` runs each point with a small number of operations (for smoke
 //! testing the harness itself); without it, the full effort used for
-//! EXPERIMENTS.md is applied.
+//! EXPERIMENTS.md is applied. `--json` additionally writes machine-readable
+//! results for the experiments that define a JSON schema (currently E8 →
+//! `BENCH_E8.json`), so the performance trajectory of the sharded store can
+//! be tracked across commits.
 
-use psnap_bench::{run_experiment, Effort, ALL_EXPERIMENTS};
+use psnap_bench::{e8_sharding_data, run_experiment, Effort, ALL_EXPERIMENTS};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut effort = Effort::full();
-    args.retain(|a| {
-        if a == "--quick" {
+    let mut json = false;
+    args.retain(|a| match a.as_str() {
+        "--quick" => {
             effort = Effort::smoke();
             false
-        } else {
-            true
         }
+        "--json" => {
+            json = true;
+            false
+        }
+        _ => true,
     });
     if args.is_empty() {
-        eprintln!("usage: harness [--quick] <E1..E7 | all> [more ids...]");
+        eprintln!("usage: harness [--quick] [--json] <E1..E8 | all> [more ids...]");
         std::process::exit(2);
     }
     let ids: Vec<String> = if args.iter().any(|a| a.eq_ignore_ascii_case("all")) {
@@ -33,6 +40,20 @@ fn main() {
         args
     };
     for id in ids {
+        if json && id.eq_ignore_ascii_case("E8") {
+            // Run the measurement once and derive both the JSON document and
+            // the table from the same data. The file is written before the
+            // table prints so an early-closed stdout (e.g. `| head`) cannot
+            // lose the machine-readable results.
+            let data = e8_sharding_data(effort);
+            let path = "BENCH_E8.json";
+            std::fs::write(path, data.to_json().to_string_pretty())
+                .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+            eprintln!("wrote {path}");
+            let table = psnap_bench::experiments::e8_sharding_table(&data);
+            println!("{}", table.to_markdown());
+            continue;
+        }
         match run_experiment(&id, effort) {
             Some(table) => {
                 println!("{}", table.to_markdown());

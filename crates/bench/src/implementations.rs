@@ -7,6 +7,7 @@ use psnap_core::{
     AfekFullSnapshot, CasPartialSnapshot, DoubleCollectSnapshot, LockSnapshot, PartialSnapshot,
     RegisterPartialSnapshot,
 };
+use psnap_shard::{Partition, ShardConfig, ShardedSnapshot};
 
 /// The implementations compared by the experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,22 +25,71 @@ pub enum ImplKind {
     DoubleCollect,
     /// Blocking reader-writer-lock baseline.
     Lock,
+    /// `psnap-shard`: components partitioned over `shards` inner instances of
+    /// `inner`, with epoch-validated cross-shard scans.
+    Sharded {
+        /// The implementation each shard runs.
+        inner: &'static ImplKind,
+        /// Number of shards (clamped to the component count at build time).
+        shards: usize,
+        /// Component-to-shard placement.
+        partition: Partition,
+    },
 }
 
 impl ImplKind {
     /// Every implementation, in the order used by the experiment tables.
-    pub const ALL: [ImplKind; 6] = [
+    pub const ALL: [ImplKind; 9] = [
         ImplKind::Cas,
         ImplKind::CasWithCollectActiveSet,
         ImplKind::Register,
         ImplKind::AfekFull,
         ImplKind::DoubleCollect,
         ImplKind::Lock,
+        ImplKind::SHARDED_CAS_2,
+        ImplKind::SHARDED_CAS_4,
+        ImplKind::SHARDED_CAS_4_HASHED,
     ];
 
     /// The wait-free implementations from the paper (used where baselines
     /// would only add noise).
     pub const PAPER: [ImplKind; 2] = [ImplKind::Cas, ImplKind::Register];
+
+    /// Two contiguous Figure-3 shards.
+    pub const SHARDED_CAS_2: ImplKind = ImplKind::Sharded {
+        inner: &ImplKind::Cas,
+        shards: 2,
+        partition: Partition::Contiguous,
+    };
+
+    /// Four contiguous Figure-3 shards.
+    pub const SHARDED_CAS_4: ImplKind = ImplKind::Sharded {
+        inner: &ImplKind::Cas,
+        shards: 4,
+        partition: Partition::Contiguous,
+    };
+
+    /// Four hash-partitioned Figure-3 shards.
+    pub const SHARDED_CAS_4_HASHED: ImplKind = ImplKind::Sharded {
+        inner: &ImplKind::Cas,
+        shards: 4,
+        partition: Partition::Hashed,
+    };
+
+    /// A sharded Figure-3 object with an arbitrary shard count (used by the
+    /// E8 shard-count sweep).
+    pub fn sharded_cas(shards: usize, partition: Partition) -> ImplKind {
+        match (shards, partition) {
+            (2, Partition::Contiguous) => ImplKind::SHARDED_CAS_2,
+            (4, Partition::Contiguous) => ImplKind::SHARDED_CAS_4,
+            (4, Partition::Hashed) => ImplKind::SHARDED_CAS_4_HASHED,
+            (shards, partition) => ImplKind::Sharded {
+                inner: &ImplKind::Cas,
+                shards,
+                partition,
+            },
+        }
+    }
 
     /// Short label used in tables.
     pub fn label(&self) -> &'static str {
@@ -50,6 +100,16 @@ impl ImplKind {
             ImplKind::AfekFull => "full-snapshot",
             ImplKind::DoubleCollect => "double-collect",
             ImplKind::Lock => "rwlock",
+            ImplKind::Sharded {
+                shards, partition, ..
+            } => match (shards, partition) {
+                (2, Partition::Contiguous) => "sharded-cas-k2",
+                (4, Partition::Contiguous) => "sharded-cas-k4",
+                (8, Partition::Contiguous) => "sharded-cas-k8",
+                (4, Partition::Hashed) => "sharded-cas-k4-hashed",
+                (_, Partition::Contiguous) => "sharded-cas",
+                (_, Partition::Hashed) => "sharded-cas-hashed",
+            },
         }
     }
 
@@ -68,6 +128,24 @@ impl ImplKind {
             ImplKind::AfekFull => Arc::new(AfekFullSnapshot::new(m, n, initial)),
             ImplKind::DoubleCollect => Arc::new(DoubleCollectSnapshot::new(m, n, initial)),
             ImplKind::Lock => Arc::new(LockSnapshot::new(m, n, initial)),
+            ImplKind::Sharded {
+                inner,
+                shards,
+                partition,
+            } => {
+                let config = ShardConfig {
+                    shards: *shards,
+                    partition: *partition,
+                    max_optimistic_retries: 8,
+                };
+                Arc::new(ShardedSnapshot::with_factory(
+                    m,
+                    n,
+                    initial,
+                    config,
+                    |_, shard_m, shard_n, init| inner.build(shard_m, shard_n, init),
+                ))
+            }
         }
     }
 }
@@ -98,5 +176,39 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), ImplKind::ALL.len());
+    }
+
+    #[test]
+    fn sharded_kinds_scan_across_shard_boundaries() {
+        for kind in [
+            ImplKind::SHARDED_CAS_2,
+            ImplKind::SHARDED_CAS_4,
+            ImplKind::SHARDED_CAS_4_HASHED,
+            ImplKind::sharded_cas(8, Partition::Contiguous),
+        ] {
+            let snap = kind.build(32, 4, 0);
+            for c in 0..32 {
+                snap.update(ProcessId(0), c, c as u64 + 100);
+            }
+            let comps: Vec<usize> = vec![0, 9, 17, 31];
+            assert_eq!(
+                snap.scan(ProcessId(1), &comps),
+                vec![100, 109, 117, 131],
+                "{}",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_cas_reuses_canonical_kinds() {
+        assert_eq!(
+            ImplKind::sharded_cas(4, Partition::Contiguous),
+            ImplKind::SHARDED_CAS_4
+        );
+        assert_eq!(
+            ImplKind::sharded_cas(16, Partition::Contiguous).label(),
+            "sharded-cas"
+        );
     }
 }

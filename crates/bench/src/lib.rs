@@ -23,7 +23,9 @@ pub mod implementations;
 pub mod runner;
 pub mod stats;
 
-pub use experiments::{run_experiment, Effort, Table, ALL_EXPERIMENTS};
+pub use experiments::{
+    e8_sharding_data, run_experiment, E8Data, E8Point, Effort, Table, ALL_EXPERIMENTS,
+};
 pub use implementations::ImplKind;
 pub use runner::{run_point, PointConfig, PointResult};
 pub use stats::Summary;

@@ -10,7 +10,7 @@ use psnap_core::{PartialSnapshot, ProcessId};
 use psnap_shmem::StepScope;
 use psnap_workloads::IndexDist;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use crate::stats::Summary;
 
@@ -32,6 +32,9 @@ pub struct PointConfig {
     /// If set, updaters only write components `0..k` (used to force update
     /// pressure onto the scanned components for worst-case experiments).
     pub update_range: Option<usize>,
+    /// If set, components are chosen Zipf-distributed with this skew (hot
+    /// components attract most traffic); otherwise uniformly.
+    pub zipf_s: Option<f64>,
     /// Seed for component selection.
     pub seed: u64,
 }
@@ -47,8 +50,15 @@ impl PointConfig {
             ops_per_updater: ops,
             ops_per_scanner: ops,
             update_range: None,
+            zipf_s: None,
             seed: 0x5eed,
         }
+    }
+
+    /// The same configuration with Zipf-distributed component selection.
+    pub fn with_zipf(mut self, s: f64) -> Self {
+        self.zipf_s = Some(s);
+        self
     }
 }
 
@@ -103,11 +113,15 @@ pub fn run_point(snapshot: &Arc<dyn PartialSnapshot<u64>>, cfg: &PointConfig) ->
         updater_handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ (u as u64) << 1);
             let range = cfg.update_range.unwrap_or(cfg.m).max(1);
+            let dist = match cfg.zipf_s {
+                Some(s) => IndexDist::zipf(range, s),
+                None => IndexDist::uniform(range),
+            };
             let mut steps = Vec::with_capacity(cfg.ops_per_updater);
             let mut latency = Vec::with_capacity(cfg.ops_per_updater);
             barrier.wait();
             for k in 0..cfg.ops_per_updater {
-                let component = rng.gen_range(0..range);
+                let component = dist.sample(&mut rng);
                 let value = (k as u64 + 1) * 1000 + u as u64;
                 let scope = StepScope::start();
                 let t0 = Instant::now();
@@ -130,7 +144,10 @@ pub fn run_point(snapshot: &Arc<dyn PartialSnapshot<u64>>, cfg: &PointConfig) ->
         scanner_handles.push(std::thread::spawn(move || {
             let pid = cfg.updaters + s;
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xABCD ^ ((s as u64) << 17));
-            let dist = IndexDist::uniform(cfg.m);
+            let dist = match cfg.zipf_s {
+                Some(skew) => IndexDist::zipf(cfg.m, skew),
+                None => IndexDist::uniform(cfg.m),
+            };
             let mut steps = Vec::with_capacity(cfg.ops_per_scanner);
             let mut latency = Vec::with_capacity(cfg.ops_per_scanner);
             barrier.wait();
@@ -164,7 +181,10 @@ pub fn run_point(snapshot: &Arc<dyn PartialSnapshot<u64>>, cfg: &PointConfig) ->
     stop.store(true, Ordering::Relaxed);
 
     let collect_steps = |samples: &[OpSamples]| -> Vec<u64> {
-        samples.iter().flat_map(|s| s.steps.iter().copied()).collect()
+        samples
+            .iter()
+            .flat_map(|s| s.steps.iter().copied())
+            .collect()
     };
     let collect_latency = |samples: &[OpSamples]| -> Vec<f64> {
         samples
@@ -198,7 +218,10 @@ mod tests {
         assert_eq!(result.scan_steps.count, 100);
         assert_eq!(result.update_steps.count, 100);
         assert_eq!(result.total_ops, 200);
-        assert!(result.scan_steps.mean >= 4.0, "a scan reads at least r registers");
+        assert!(
+            result.scan_steps.mean >= 4.0,
+            "a scan reads at least r registers"
+        );
         assert!(result.throughput_ops_per_sec() > 0.0);
     }
 
@@ -212,6 +235,15 @@ mod tests {
         let update_only = run_point(&snapshot, &PointConfig::new(16, 4, 2, 0, 20));
         assert_eq!(update_only.scan_steps.count, 0);
         assert_eq!(update_only.update_steps.count, 40);
+    }
+
+    #[test]
+    fn zipf_points_run_and_collect_samples() {
+        let snapshot = ImplKind::SHARDED_CAS_4.build(64, 4, 0);
+        let cfg = PointConfig::new(64, 8, 2, 2, 40).with_zipf(0.9);
+        let result = run_point(&snapshot, &cfg);
+        assert_eq!(result.scan_steps.count, 80);
+        assert_eq!(result.update_steps.count, 80);
     }
 
     #[test]

@@ -150,7 +150,11 @@ mod tests {
         let scope = StepScope::start();
         snap.update(ProcessId(0), 0, 1);
         let steps = scope.finish();
-        assert!(steps.reads >= 1024, "update read only {} registers", steps.reads);
+        assert!(
+            steps.reads >= 1024,
+            "update read only {} registers",
+            steps.reads
+        );
     }
 
     #[test]

@@ -163,7 +163,10 @@ impl<T: Clone + Send + Sync + 'static, A: ActiveSet> PartialSnapshot<T>
         // compare&swap(old, (v, view, counter, id)) on R[i]
         let seq = self.counters[pid.index()].load(Ordering::Relaxed);
         let entry = Entry::written(Arc::new(value), view, seq, pid);
-        if self.registers[component].compare_and_swap(&old, entry).is_ok() {
+        if self.registers[component]
+            .compare_and_swap(&old, entry)
+            .is_ok()
+        {
             // if the compare&swap was successful then counter ← counter + 1
             self.counters[pid.index()].store(seq + 1, Ordering::Relaxed);
         }
@@ -350,10 +353,7 @@ mod tests {
                     while !stop.load(Ordering::Relaxed) && scans < 2000 {
                         let got = snap.scan(ProcessId(pid), &comps);
                         for (g, l) in got.iter().zip(last.iter_mut()) {
-                            assert!(
-                                *g >= *l,
-                                "component value went backwards: {g} < {l}"
-                            );
+                            assert!(*g >= *l, "component value went backwards: {g} < {l}");
                             *l = *g;
                         }
                         scans += 1;

@@ -127,11 +127,9 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for DoubleCollectSnaps
 
     fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T> {
         // Unbounded retry: correct (linearizable) but only non-blocking.
-        loop {
-            match self.try_scan(pid, components, usize::MAX) {
-                Ok(values) => return values,
-                Err(_) => unreachable!("unbounded try_scan cannot starve"),
-            }
+        match self.try_scan(pid, components, usize::MAX) {
+            Ok(values) => values,
+            Err(_) => unreachable!("unbounded try_scan cannot starve"),
         }
     }
 
@@ -227,7 +225,7 @@ mod tests {
                 }
             })
         };
-        let mut last = vec![0u64; 2];
+        let mut last = [0u64; 2];
         for _ in 0..500 {
             let got = snap.scan(ProcessId(1), &[0, 3]);
             for (g, l) in got.iter().zip(last.iter_mut()) {

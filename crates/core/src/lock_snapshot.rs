@@ -5,7 +5,7 @@
 //! first, so experiments E6/E7 include it to show where the wait-free
 //! algorithms stand against a straightforward `RwLock<Vec<T>>`.
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use psnap_shmem::ProcessId;
 
@@ -28,11 +28,17 @@ impl<T: Clone + Send + Sync + 'static> LockSnapshot<T> {
             n: max_processes,
         }
     }
+
+    fn read_state(&self) -> std::sync::RwLockReadGuard<'_, Vec<T>> {
+        // Writers only assign whole elements, so a panicking writer cannot
+        // leave torn state; poisoning is therefore ignored.
+        self.state.read().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for LockSnapshot<T> {
     fn components(&self) -> usize {
-        self.state.read().len()
+        self.read_state().len()
     }
 
     fn max_processes(&self) -> usize {
@@ -40,13 +46,13 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for LockSnapshot<T> {
     }
 
     fn update(&self, pid: ProcessId, component: usize, value: T) {
-        let mut guard = self.state.write();
+        let mut guard = self.state.write().unwrap_or_else(|e| e.into_inner());
         validate_args(guard.len(), self.n, pid, &[component]);
         guard[component] = value;
     }
 
     fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T> {
-        let guard = self.state.read();
+        let guard = self.read_state();
         validate_args(guard.len(), self.n, pid, components);
         components.iter().map(|&c| guard[c].clone()).collect()
     }

@@ -55,7 +55,12 @@ impl<T: Clone + Send + Sync + 'static> RegisterPartialSnapshot<T, CollectActiveS
     /// Creates an object with `m` components, all holding `initial`, usable by
     /// processes `0..max_processes`, with the register-based active set.
     pub fn new(m: usize, max_processes: usize, initial: T) -> Self {
-        Self::with_active_set(m, max_processes, initial, CollectActiveSet::new(max_processes))
+        Self::with_active_set(
+            m,
+            max_processes,
+            initial,
+            CollectActiveSet::new(max_processes),
+        )
     }
 }
 
@@ -232,8 +237,7 @@ mod tests {
 
     #[test]
     fn works_with_the_figure_2_active_set() {
-        let snap =
-            RegisterPartialSnapshot::with_active_set(16, 4, 0u64, CasActiveSet::new());
+        let snap = RegisterPartialSnapshot::with_active_set(16, 4, 0u64, CasActiveSet::new());
         snap.update(ProcessId(0), 2, 22);
         assert_eq!(snap.scan(ProcessId(3), &[2, 3]), vec![22, 0]);
     }

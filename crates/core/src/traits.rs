@@ -79,7 +79,10 @@ pub(crate) fn validate_args(m: usize, n: usize, pid: ProcessId, components: &[us
         "process id {pid} out of range: object configured for {n} processes"
     );
     for &c in components {
-        assert!(c < m, "component {c} out of range: object has {m} components");
+        assert!(
+            c < m,
+            "component {c} out of range: object has {m} components"
+        );
     }
 }
 

@@ -283,7 +283,10 @@ mod tests {
             components: 2,
             initial: 0,
         };
-        assert!(h.validate_well_formed().unwrap_err().contains("out of range"));
+        assert!(h
+            .validate_well_formed()
+            .unwrap_err()
+            .contains("out of range"));
     }
 
     #[test]

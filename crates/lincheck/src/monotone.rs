@@ -93,11 +93,11 @@ impl std::fmt::Display for Violation {
 
 /// Runs every monotone check; returns the first violation found, if any.
 pub fn check_monotone_history(history: &History) -> Result<(), Violation> {
-    history.validate_well_formed().map_err(|reason| {
-        Violation::DisciplineViolated {
+    history
+        .validate_well_formed()
+        .map_err(|reason| Violation::DisciplineViolated {
             reason: format!("history not well-formed: {reason}"),
-        }
-    })?;
+        })?;
     let updates = index_updates(history)?;
     check_scan_values(history, &updates)?;
     check_scan_pairs(history)?;
@@ -125,10 +125,11 @@ fn index_updates(history: &History) -> Result<UpdateIndex, Violation> {
                     });
                 }
             }
-            by_component
-                .entry(*component)
-                .or_default()
-                .push((*value, op.invoked_at, op.returned_at));
+            by_component.entry(*component).or_default().push((
+                *value,
+                op.invoked_at,
+                op.returned_at,
+            ));
         }
     }
     for (component, writes) in by_component.iter_mut() {
@@ -349,7 +350,11 @@ mod tests {
         let h = history(1, vec![update(0, 0, 1, 1, 2), scan(1, &[0], &[9], 3, 4)]);
         assert!(matches!(
             check_monotone_history(&h),
-            Err(Violation::PhantomValue { component: 0, value: 9, .. })
+            Err(Violation::PhantomValue {
+                component: 0,
+                value: 9,
+                ..
+            })
         ));
     }
 
@@ -374,7 +379,11 @@ mod tests {
         );
         assert!(matches!(
             check_monotone_history(&h),
-            Err(Violation::StaleRead { value: 1, newer_value: 2, .. })
+            Err(Violation::StaleRead {
+                value: 1,
+                newer_value: 2,
+                ..
+            })
         ));
     }
 
@@ -383,7 +392,11 @@ mod tests {
         let h = history(1, vec![update(0, 0, 3, 1, 2), scan(1, &[0], &[0], 3, 4)]);
         assert!(matches!(
             check_monotone_history(&h),
-            Err(Violation::StaleRead { value: 0, newer_value: 3, .. })
+            Err(Violation::StaleRead {
+                value: 0,
+                newer_value: 3,
+                ..
+            })
         ));
     }
 

@@ -34,7 +34,7 @@ impl SnapshotSpec {
 
     /// Applies `op` to `state`, returning the response. The state is mutated
     /// in place for updates and untouched for scans.
-    pub fn apply(&self, state: &mut Vec<u64>, op: &Operation) -> OpResult {
+    pub fn apply(&self, state: &mut [u64], op: &Operation) -> OpResult {
         match op {
             Operation::Update { component, value } => {
                 state[*component] = *value;

@@ -1,0 +1,44 @@
+//! `psnap-shard`: a sharded, scan-coalescing partial snapshot store.
+//!
+//! The paper's partial snapshot object makes a scan pay for the `r`
+//! components it reads instead of the full `m` — but a single object still
+//! funnels every process through one set of coordination registers
+//! (announcements, the active set, the per-component CAS cells), which caps
+//! update throughput long before the component space does. This crate adds
+//! the scaling layer: [`ShardedSnapshot`] partitions the component space
+//! across `K` independent inner partial snapshot instances (contiguous
+//! ranges or hashed, see [`Partition`]), routes each `update` to one shard,
+//! and answers each `scan` by coalescing per-shard sub-scans validated with
+//! per-shard epoch counters — retrying on cross-shard epoch movement and
+//! escalating to a coordinated scan after a bounded number of retries.
+//!
+//! Because `ShardedSnapshot` itself implements
+//! [`psnap_core::PartialSnapshot`], the whole existing stack — the scenario
+//! runner, both linearizability checkers, the experiment harness, even
+//! another `ShardedSnapshot` — applies to it unchanged.
+//!
+//! ```
+//! use psnap_core::PartialSnapshot;
+//! use psnap_core::CasPartialSnapshot;
+//! use psnap_shard::{ShardConfig, ShardedSnapshot};
+//! use psnap_shmem::ProcessId;
+//!
+//! // 1024 components split over 8 Figure-3 shards, up to 16 processes.
+//! let snapshot = ShardedSnapshot::with_factory(
+//!     1024, 16, 0u64, ShardConfig::contiguous(8),
+//!     |_shard, m, n, init| CasPartialSnapshot::new(m, n, init),
+//! );
+//! snapshot.update(ProcessId(0), 17, 170);    // lands on one shard
+//! snapshot.update(ProcessId(1), 900, 9000);  // lands on another
+//! // One atomic partial scan spanning both shards:
+//! assert_eq!(snapshot.scan(ProcessId(2), &[17, 900]), vec![170, 9000]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod partition;
+pub mod sharded;
+
+pub use partition::{Partition, ScanPlan, ShardRouter};
+pub use sharded::{CoordinationStats, ShardConfig, ShardedSnapshot};

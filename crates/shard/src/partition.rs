@@ -1,0 +1,266 @@
+//! Component-space partitioning: which shard owns which component, and how a
+//! multi-component scan decomposes into per-shard sub-scans.
+
+use std::collections::BTreeMap;
+
+/// How the component space `0..m` is split across shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partition {
+    /// Shard `s` owns a contiguous range of components (balanced: the first
+    /// `m % k` shards own one extra component). Best when workloads have
+    /// spatial locality — a scan of neighbouring components stays on one
+    /// shard.
+    Contiguous,
+    /// Components are spread by a Fibonacci multiplicative hash. Best when a
+    /// few hot components would otherwise overload one shard (the Zipf case):
+    /// hashing decorrelates popularity from placement.
+    Hashed,
+}
+
+/// Maps components to `(shard, slot)` pairs and back, and groups scan
+/// requests by shard.
+///
+/// The mapping is computed once at construction and stored as a flat table,
+/// so routing is one array read regardless of the partition strategy. The
+/// mapping is a bijection from `0..m` onto `{(s, i) : s < shards, i <
+/// shard_size(s)}` — every component lands in exactly one slot of exactly one
+/// shard, which is what makes the sharded object's per-shard sub-scans cover
+/// exactly the requested components.
+#[derive(Clone, Debug)]
+pub struct ShardRouter {
+    /// `routes[c] = (shard, slot)`.
+    routes: Vec<(u32, u32)>,
+    /// Number of slots per shard.
+    sizes: Vec<usize>,
+    /// `inverse[shard][slot] = component`.
+    inverse: Vec<Vec<usize>>,
+    partition: Partition,
+}
+
+impl ShardRouter {
+    /// Builds a router over `m` components and (up to) `shards` shards.
+    ///
+    /// The effective shard count is clamped to `1..=m` so that every shard
+    /// owns at least one component.
+    pub fn new(m: usize, shards: usize, partition: Partition) -> ShardRouter {
+        assert!(m > 0, "a router needs at least one component");
+        let k = shards.clamp(1, m);
+        let mut routes = vec![(0u32, 0u32); m];
+        let mut inverse: Vec<Vec<usize>> = vec![Vec::new(); k];
+        match partition {
+            Partition::Contiguous => {
+                let base = m / k;
+                let extra = m % k;
+                let mut next = 0usize;
+                for (s, inv) in inverse.iter_mut().enumerate() {
+                    let size = base + usize::from(s < extra);
+                    for slot in 0..size {
+                        routes[next] = (s as u32, slot as u32);
+                        inv.push(next);
+                        next += 1;
+                    }
+                }
+            }
+            Partition::Hashed => {
+                for (c, route) in routes.iter_mut().enumerate() {
+                    let h = (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    // Multiply-shift onto 0..k: unbiased enough and cheap.
+                    let s = (((h >> 32) * k as u64) >> 32) as usize;
+                    let slot = inverse[s].len();
+                    *route = (s as u32, slot as u32);
+                    inverse[s].push(c);
+                }
+                // Hashing may leave a shard empty when k is close to m; fold
+                // empty shards away by rebuilding contiguously over non-empty
+                // ones so inner snapshots never have zero components.
+                if inverse.iter().any(Vec::is_empty) {
+                    let filled: Vec<Vec<usize>> =
+                        inverse.into_iter().filter(|v| !v.is_empty()).collect();
+                    inverse = filled;
+                    for (s, inv) in inverse.iter_mut().enumerate() {
+                        for (slot, &c) in inv.iter().enumerate() {
+                            routes[c] = (s as u32, slot as u32);
+                        }
+                    }
+                }
+            }
+        }
+        let sizes = inverse.iter().map(Vec::len).collect();
+        ShardRouter {
+            routes,
+            sizes,
+            inverse,
+            partition,
+        }
+    }
+
+    /// Number of components `m`.
+    pub fn components(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Effective number of shards.
+    pub fn shards(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The partition strategy in use.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// Number of components owned by `shard`.
+    pub fn shard_size(&self, shard: usize) -> usize {
+        self.sizes[shard]
+    }
+
+    /// Routes a component to its `(shard, slot)` pair.
+    #[inline]
+    pub fn route(&self, component: usize) -> (usize, usize) {
+        let (s, i) = self.routes[component];
+        (s as usize, i as usize)
+    }
+
+    /// The inverse of [`route`](Self::route).
+    pub fn component_of(&self, shard: usize, slot: usize) -> usize {
+        self.inverse[shard][slot]
+    }
+
+    /// Decomposes a scan request into per-shard sub-scans.
+    ///
+    /// `components` may be unordered and contain duplicates, exactly like the
+    /// argument of `PartialSnapshot::scan`; the plan records, for every
+    /// requested position, where its value will sit in the sub-scan results,
+    /// so [`ScanPlan::assemble`] can rebuild the answer in request order with
+    /// duplicates answered per occurrence.
+    pub fn plan(&self, components: &[usize]) -> ScanPlan {
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut group_of_shard: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut slot_pos: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        let mut positions = Vec::with_capacity(components.len());
+        for &c in components {
+            let (shard, slot) = self.route(c);
+            let g = *group_of_shard.entry(shard).or_insert_with(|| {
+                groups.push((shard, Vec::new()));
+                groups.len() - 1
+            });
+            let pos = *slot_pos.entry((shard, slot)).or_insert_with(|| {
+                groups[g].1.push(slot);
+                groups[g].1.len() - 1
+            });
+            positions.push((g, pos));
+        }
+        ScanPlan { groups, positions }
+    }
+}
+
+/// A scan request decomposed by shard (see [`ShardRouter::plan`]).
+#[derive(Clone, Debug)]
+pub struct ScanPlan {
+    /// `(shard index, deduplicated slots to scan on that shard)`, in first-use
+    /// order.
+    pub groups: Vec<(usize, Vec<usize>)>,
+    /// For each position of the original request: which group and which index
+    /// inside that group's sub-scan result holds its value.
+    pub positions: Vec<(usize, usize)>,
+}
+
+impl ScanPlan {
+    /// True if the request touched more than one shard.
+    pub fn is_cross_shard(&self) -> bool {
+        self.groups.len() > 1
+    }
+
+    /// Rebuilds the scan answer in request order from per-group sub-scan
+    /// results (`results[g]` must be the values for `groups[g].1`).
+    pub fn assemble<T: Clone>(&self, results: &[Vec<T>]) -> Vec<T> {
+        self.positions
+            .iter()
+            .map(|&(g, pos)| results[g][pos].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_partition_is_balanced_and_ordered() {
+        let router = ShardRouter::new(10, 4, Partition::Contiguous);
+        assert_eq!(router.shards(), 4);
+        let sizes: Vec<usize> = (0..4).map(|s| router.shard_size(s)).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        // Components of one shard are contiguous.
+        assert_eq!(router.route(0), (0, 0));
+        assert_eq!(router.route(2), (0, 2));
+        assert_eq!(router.route(3), (1, 0));
+        assert_eq!(router.route(9), (3, 1));
+    }
+
+    #[test]
+    fn routing_is_a_bijection_for_both_partitions() {
+        for partition in [Partition::Contiguous, Partition::Hashed] {
+            let router = ShardRouter::new(97, 8, partition);
+            let mut seen = std::collections::BTreeSet::new();
+            for c in 0..97 {
+                let (s, i) = router.route(c);
+                assert!(s < router.shards());
+                assert!(i < router.shard_size(s));
+                assert!(seen.insert((s, i)), "{partition:?}: duplicate slot");
+                assert_eq!(router.component_of(s, i), c);
+            }
+            assert_eq!(seen.len(), 97);
+            let total: usize = (0..router.shards())
+                .map(|s| router.shard_size(s))
+                .collect::<Vec<_>>()
+                .iter()
+                .sum();
+            assert_eq!(total, 97);
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        let router = ShardRouter::new(3, 16, Partition::Contiguous);
+        assert_eq!(router.shards(), 3);
+        let router = ShardRouter::new(5, 0, Partition::Hashed);
+        assert_eq!(router.shards(), 1);
+    }
+
+    #[test]
+    fn hashed_partition_never_leaves_a_shard_empty() {
+        for m in [4usize, 5, 7, 9, 16, 33] {
+            for k in 1..=m {
+                let router = ShardRouter::new(m, k, Partition::Hashed);
+                for s in 0..router.shards() {
+                    assert!(router.shard_size(s) > 0, "m={m} k={k} shard {s} empty");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_handles_duplicates_and_order() {
+        let router = ShardRouter::new(8, 2, Partition::Contiguous);
+        // Shard 0 owns 0..4, shard 1 owns 4..8.
+        let plan = router.plan(&[6, 1, 6, 0, 1]);
+        assert!(plan.is_cross_shard());
+        assert_eq!(plan.groups.len(), 2);
+        // First-use order: shard 1 first (component 6 leads the request).
+        assert_eq!(plan.groups[0], (1, vec![2]));
+        assert_eq!(plan.groups[1], (0, vec![1, 0]));
+        let assembled = plan.assemble(&[vec![60], vec![10, 0]]);
+        assert_eq!(assembled, vec![60, 10, 60, 0, 10]);
+    }
+
+    #[test]
+    fn single_shard_plans_are_recognized() {
+        let router = ShardRouter::new(8, 2, Partition::Contiguous);
+        let plan = router.plan(&[1, 3, 2]);
+        assert!(!plan.is_cross_shard());
+        let empty = router.plan(&[]);
+        assert!(!empty.is_cross_shard());
+        assert!(empty.assemble::<u64>(&[]).is_empty());
+    }
+}

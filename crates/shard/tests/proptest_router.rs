@@ -1,0 +1,191 @@
+//! Property-based tests for the shard router and the sharded store's
+//! epoch-validation machinery.
+//!
+//! * partition/route round-trips: `route` and `component_of` are mutually
+//!   inverse bijections for arbitrary `(m, k, partition)`;
+//! * scan planning: for arbitrary component lists — duplicated, unordered —
+//!   the plan reassembles exactly the identity mapping of the request;
+//! * epoch-validation retry logic: arbitrary retry budgets (including zero,
+//!   which forces the coordinated path) under a chaos schedule still produce
+//!   exact sequential semantics and untorn cross-shard scans.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use psnap_core::{CasPartialSnapshot, PartialSnapshot};
+use psnap_shard::{Partition, ShardConfig, ShardRouter, ShardedSnapshot};
+use psnap_shmem::{chaos, ProcessId};
+
+fn partition_strategy() -> impl Strategy<Value = Partition> {
+    prop_oneof![Just(Partition::Contiguous), Just(Partition::Hashed)]
+}
+
+proptest! {
+    /// `route` is a bijection onto the shard/slot space and `component_of`
+    /// inverts it, for arbitrary object widths and shard counts.
+    #[test]
+    fn route_and_component_of_roundtrip(
+        m in 1usize..300,
+        k in 0usize..40,
+        partition in partition_strategy(),
+    ) {
+        let router = ShardRouter::new(m, k, partition);
+        prop_assert!(router.shards() >= 1);
+        prop_assert!(router.shards() <= m.max(1));
+        let mut seen = std::collections::BTreeSet::new();
+        let mut total = 0usize;
+        for s in 0..router.shards() {
+            prop_assert!(router.shard_size(s) > 0, "shard {s} empty");
+            total += router.shard_size(s);
+        }
+        prop_assert_eq!(total, m, "slots must cover the component space exactly");
+        for c in 0..m {
+            let (s, i) = router.route(c);
+            prop_assert!(s < router.shards());
+            prop_assert!(i < router.shard_size(s));
+            prop_assert!(seen.insert((s, i)), "component {c} collides");
+            prop_assert_eq!(router.component_of(s, i), c);
+        }
+    }
+
+    /// Contiguous partitions keep each shard's components contiguous and in
+    /// order (the property callers rely on for range scans).
+    #[test]
+    fn contiguous_shards_are_contiguous(m in 1usize..200, k in 1usize..20) {
+        let router = ShardRouter::new(m, k, Partition::Contiguous);
+        let mut boundary = 0usize;
+        for s in 0..router.shards() {
+            for i in 0..router.shard_size(s) {
+                prop_assert_eq!(router.component_of(s, i), boundary + i);
+            }
+            boundary += router.shard_size(s);
+        }
+        prop_assert_eq!(boundary, m);
+    }
+
+    /// Scan planning handles duplicate and unordered indices: assembling the
+    /// per-shard identity values reproduces the request exactly.
+    #[test]
+    fn plan_assembles_requests_exactly(
+        m in 1usize..120,
+        k in 1usize..10,
+        partition in partition_strategy(),
+        raw in proptest::collection::vec(0usize..1000, 0..60),
+    ) {
+        let router = ShardRouter::new(m, k, partition);
+        let components: Vec<usize> = raw.into_iter().map(|c| c % m).collect();
+        let plan = router.plan(&components);
+        // Sub-scan results where each slot reports its own component index.
+        let results: Vec<Vec<usize>> = plan
+            .groups
+            .iter()
+            .map(|(shard, slots)| {
+                slots.iter().map(|&slot| router.component_of(*shard, slot)).collect()
+            })
+            .collect();
+        prop_assert_eq!(plan.assemble(&results), components.clone());
+        // Dedup really happened: no slot appears twice within a group.
+        for (_, slots) in &plan.groups {
+            let mut sorted = slots.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), slots.len(), "duplicate slot in sub-scan");
+        }
+    }
+}
+
+/// Mirrors the sequential specification for a mixed op sequence.
+fn check_sequential_exact(
+    snap: &ShardedSnapshot<u64, CasPartialSnapshot<u64>>,
+    ops: &[(usize, u64, Vec<usize>)],
+) {
+    let m = snap.components();
+    let mut model = vec![0u64; m];
+    for (component, value, scan) in ops {
+        if scan.is_empty() {
+            snap.update(ProcessId(0), component % m, *value);
+            model[component % m] = *value;
+        } else {
+            let comps: Vec<usize> = scan.iter().map(|c| c % m).collect();
+            let got = snap.scan(ProcessId(1), &comps);
+            let expected: Vec<u64> = comps.iter().map(|&c| model[c]).collect();
+            assert_eq!(got, expected);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary sequential workloads against arbitrary shard layouts and
+    /// retry budgets reproduce the specification exactly (retry budget 0
+    /// routes every cross-shard scan through the coordinated path).
+    #[test]
+    fn sharded_store_conforms_sequentially(
+        m in 1usize..64,
+        k in 1usize..8,
+        retries in 0usize..4,
+        partition in partition_strategy(),
+        ops in proptest::collection::vec(
+            (0usize..64, 1u64..1_000_000, proptest::collection::vec(0usize..64, 0..6)),
+            1..60,
+        ),
+    ) {
+        let config = ShardConfig { shards: k, partition, max_optimistic_retries: retries };
+        let snap = ShardedSnapshot::with_factory(m, 2, 0u64, config, |_, sm, sn, init| {
+            CasPartialSnapshot::new(sm, sn, init)
+        });
+        check_sequential_exact(&snap, &ops);
+    }
+}
+
+/// The epoch-validation retry loop under a chaos schedule: writers perturbed
+/// at every base-object step keep cross-shard transfers flowing while a
+/// scanner validates; the scan must never observe a torn transfer, for any
+/// retry budget.
+#[test]
+fn epoch_validation_survives_chaos_schedules() {
+    for retries in [0usize, 1, 8] {
+        let snap = Arc::new(ShardedSnapshot::with_factory(
+            8,
+            3,
+            0u64,
+            ShardConfig::contiguous(4).with_retries(retries),
+            |_, m, n, init| CasPartialSnapshot::new(m, n, init),
+        ));
+        // Components 1 and 6 live on different shards; transfers keep their
+        // sum at 2000 (± one in-flight delta of 50).
+        snap.update(ProcessId(0), 1, 1000);
+        snap.update(ProcessId(0), 6, 1000);
+        let stop = Arc::new(AtomicBool::new(false));
+        let updater = {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let _chaos = chaos::enable(7 + retries as u64, chaos::ChaosConfig::aggressive());
+                let mut a = 1000i64;
+                let mut up = false;
+                while !stop.load(Ordering::Relaxed) {
+                    a += if up { 50 } else { -50 };
+                    up = !up;
+                    snap.update(ProcessId(0), 1, a as u64);
+                    snap.update(ProcessId(0), 6, (2000 - a) as u64);
+                }
+            })
+        };
+        {
+            let _chaos = chaos::enable(retries as u64, chaos::ChaosConfig::aggressive());
+            for _ in 0..300 {
+                let v = snap.scan(ProcessId(1), &[1, 6]);
+                let total = v[0] + v[1];
+                assert!(
+                    (1950..=2050).contains(&total),
+                    "retries={retries}: torn cross-shard scan {v:?}"
+                );
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        updater.join().unwrap();
+    }
+}

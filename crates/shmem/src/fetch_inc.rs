@@ -68,7 +68,11 @@ mod tests {
         let handles: Vec<_> = (0..THREADS)
             .map(|_| {
                 let f = Arc::clone(&f);
-                thread::spawn(move || (0..PER_THREAD).map(|_| f.fetch_increment()).collect::<Vec<_>>())
+                thread::spawn(move || {
+                    (0..PER_THREAD)
+                        .map(|_| f.fetch_increment())
+                        .collect::<Vec<_>>()
+                })
             })
             .collect();
         let mut all = HashSet::new();

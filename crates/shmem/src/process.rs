@@ -112,9 +112,7 @@ mod tests {
 
     #[test]
     fn auto_ids_are_distinct_across_threads() {
-        let handles: Vec<_> = (0..4)
-            .map(|_| std::thread::spawn(current))
-            .collect();
+        let handles: Vec<_> = (0..4).map(|_| std::thread::spawn(current)).collect();
         let mut ids: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         ids.sort();
         ids.dedup();

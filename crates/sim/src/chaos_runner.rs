@@ -48,7 +48,7 @@ impl FuzzOutcome {
 /// against fresh objects produced by `factory` and WGL-checks every history.
 pub fn fuzz_small_schedules<S, F>(factory: F, seeds: std::ops::Range<u64>) -> FuzzOutcome
 where
-    S: PartialSnapshot<u64> + 'static,
+    S: PartialSnapshot<u64> + ?Sized + 'static,
     F: Fn(&Scenario) -> Arc<S>,
 {
     let mut schedules = 0usize;
@@ -86,7 +86,7 @@ pub fn fuzz_stress_schedules<S, F>(
     seeds: std::ops::Range<u64>,
 ) -> FuzzOutcome
 where
-    S: PartialSnapshot<u64> + 'static,
+    S: PartialSnapshot<u64> + ?Sized + 'static,
     F: Fn(&Scenario) -> Arc<S>,
 {
     let mut schedules = 0usize;

@@ -17,7 +17,7 @@ use crate::scenario::{Role, Scenario};
 /// component is owned by one process) and never equal to the initial value.
 pub fn run_scenario<S>(snapshot: &Arc<S>, scenario: &Scenario) -> History
 where
-    S: PartialSnapshot<u64> + 'static,
+    S: PartialSnapshot<u64> + ?Sized + 'static,
 {
     scenario
         .validate()
@@ -47,8 +47,8 @@ where
             let chaos_cfg = scenario.chaos.clone();
             std::thread::spawn(move || {
                 let _id = process::register(ProcessId(pid));
-                let _chaos_guard = chaos_cfg
-                    .map(|c| chaos::enable(c.seed.wrapping_add(pid as u64), c.config));
+                let _chaos_guard =
+                    chaos_cfg.map(|c| chaos::enable(c.seed.wrapping_add(pid as u64), c.config));
                 barrier.wait();
                 run_role(&*snapshot, pid, n, &role, &clock)
             })
@@ -62,8 +62,8 @@ where
     History::from_logs(scenario.components, scenario.initial, logs)
 }
 
-fn run_role(
-    snapshot: &dyn PartialSnapshot<u64>,
+fn run_role<S: PartialSnapshot<u64> + ?Sized>(
+    snapshot: &S,
     pid: usize,
     processes: usize,
     role: &Role,

@@ -63,7 +63,9 @@ impl IndexDist {
             IndexDist::Zipf { cumulative, .. } => {
                 let total = *cumulative.last().expect("m > 0");
                 let x = rng.gen_range(0.0..total);
-                cumulative.partition_point(|&c| c <= x).min(cumulative.len() - 1)
+                cumulative
+                    .partition_point(|&c| c <= x)
+                    .min(cumulative.len() - 1)
             }
         }
     }
@@ -101,7 +103,7 @@ mod tests {
     fn uniform_samples_are_in_range_and_spread() {
         let dist = IndexDist::uniform(16);
         let mut rng = StdRng::seed_from_u64(1);
-        let mut counts = vec![0usize; 16];
+        let mut counts = [0usize; 16];
         for _ in 0..16_000 {
             counts[dist.sample(&mut rng)] += 1;
         }
@@ -119,7 +121,10 @@ mod tests {
             counts[dist.sample(&mut rng)] += 1;
         }
         assert!(counts[0] > counts[10] && counts[10] > counts[60]);
-        assert!(counts[0] > 4 * counts[20], "Zipf head must dominate the tail");
+        assert!(
+            counts[0] > 4 * counts[20],
+            "Zipf head must dominate the tail"
+        );
     }
 
     #[test]

@@ -19,4 +19,6 @@ pub mod sweep;
 pub use dist::IndexDist;
 pub use mix::Mix;
 pub use portfolio::{Market, MarketConfig, Portfolio, PriceTicks};
-pub use sweep::{Sweep, SweepPoint, DEFAULT_M_SWEEP, DEFAULT_R_SWEEP, DEFAULT_SCANNER_SWEEP};
+pub use sweep::{
+    Sweep, SweepPoint, DEFAULT_M_SWEEP, DEFAULT_R_SWEEP, DEFAULT_SCANNER_SWEEP, DEFAULT_SHARD_SWEEP,
+};

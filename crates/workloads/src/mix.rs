@@ -1,9 +1,9 @@
 //! Operation mixes: how many processes scan, how many update, and how often.
 
-use serde::{Deserialize, Serialize};
+use psnap_json::Json;
 
 /// A scanner/updater role mix for a throughput or step-count experiment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Mix {
     /// Number of processes performing updates.
     pub updaters: usize,
@@ -26,6 +26,22 @@ impl Mix {
     /// A descriptive label used in experiment tables, e.g. `"4u/2s"`.
     pub fn label(&self) -> String {
         format!("{}u/{}s", self.updaters, self.scanners)
+    }
+
+    /// Serializes the mix as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("updaters", Json::Num(self.updaters as f64)),
+            ("scanners", Json::Num(self.scanners as f64)),
+        ])
+    }
+
+    /// Deserializes a mix from the [`Mix::to_json`] format.
+    pub fn from_json(json: &Json) -> Option<Mix> {
+        Some(Mix {
+            updaters: json.get("updaters")?.as_usize()?,
+            scanners: json.get("scanners")?.as_usize()?,
+        })
     }
 
     /// The standard ladder of mixes used by the contention experiments:
@@ -70,8 +86,8 @@ mod tests {
     #[test]
     fn mix_serializes_roundtrip() {
         let m = Mix::new(3, 5);
-        let json = serde_json::to_string(&m).unwrap();
-        let back: Mix = serde_json::from_str(&json).unwrap();
+        let text = m.to_json().to_string_compact();
+        let back = Mix::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(m, back);
     }
 }

@@ -13,12 +13,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::dist::IndexDist;
 
 /// Configuration of a market workload.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MarketConfig {
     /// Number of stocks (components of the snapshot object).
     pub stocks: usize,
@@ -48,7 +47,7 @@ impl Default for MarketConfig {
 }
 
 /// A portfolio: which stocks it holds and how many shares of each.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Portfolio {
     /// `(stock index, number of shares)`, sorted by stock index, no duplicates.
     pub holdings: Vec<(usize, u64)>,
@@ -189,7 +188,7 @@ mod tests {
             },
             3,
         );
-        let mut prices = vec![10u64; 4];
+        let mut prices = [10u64; 4];
         for (stock, price) in market.price_ticks(9).take(10_000) {
             assert!(price >= 1);
             let old = prices[stock];

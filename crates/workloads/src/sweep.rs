@@ -6,7 +6,7 @@
 //! the harness, the Criterion benches and the documentation all agree on what
 //! is being measured.
 
-use serde::{Deserialize, Serialize};
+use psnap_json::Json;
 
 /// The default values of the object width axis (experiment E1).
 pub const DEFAULT_M_SWEEP: &[usize] = &[16, 64, 256, 1024, 4096];
@@ -17,8 +17,11 @@ pub const DEFAULT_R_SWEEP: &[usize] = &[1, 2, 4, 8, 16, 32];
 /// The default values of the concurrent-scanner axis (experiments E3/E4).
 pub const DEFAULT_SCANNER_SWEEP: &[usize] = &[0, 1, 2, 4, 6];
 
+/// The default values of the shard-count axis (experiment E8).
+pub const DEFAULT_SHARD_SWEEP: &[usize] = &[1, 2, 4, 8];
+
 /// One point of an experiment: the fixed parameters of a single measurement.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SweepPoint {
     /// Object width (number of components).
     pub m: usize,
@@ -30,6 +33,8 @@ pub struct SweepPoint {
     pub scanners: usize,
     /// Operations measured per process.
     pub ops: usize,
+    /// Number of shards the object is split into (1 = unsharded).
+    pub shards: usize,
 }
 
 impl SweepPoint {
@@ -38,17 +43,51 @@ impl SweepPoint {
         self.updaters + self.scanners
     }
 
-    /// A compact label for tables, e.g. `m=1024 r=8 2u/2s`.
+    /// A compact label for tables, e.g. `m=1024 r=8 2u/2s` (with a `k=K`
+    /// suffix when the point is sharded).
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "m={} r={} {}u/{}s",
             self.m, self.r, self.updaters, self.scanners
-        )
+        );
+        if self.shards > 1 {
+            format!("{base} k={}", self.shards)
+        } else {
+            base
+        }
+    }
+
+    /// Serializes the point as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("m", Json::Num(self.m as f64)),
+            ("r", Json::Num(self.r as f64)),
+            ("updaters", Json::Num(self.updaters as f64)),
+            ("scanners", Json::Num(self.scanners as f64)),
+            ("ops", Json::Num(self.ops as f64)),
+            ("shards", Json::Num(self.shards as f64)),
+        ])
+    }
+
+    /// Deserializes a point from the [`SweepPoint::to_json`] format.
+    /// A missing `shards` field reads as 1, so pre-sharding documents parse.
+    pub fn from_json(json: &Json) -> Option<SweepPoint> {
+        Some(SweepPoint {
+            m: json.get("m")?.as_usize()?,
+            r: json.get("r")?.as_usize()?,
+            updaters: json.get("updaters")?.as_usize()?,
+            scanners: json.get("scanners")?.as_usize()?,
+            ops: json.get("ops")?.as_usize()?,
+            shards: match json.get("shards") {
+                Some(s) => s.as_usize()?,
+                None => 1,
+            },
+        })
     }
 }
 
 /// A named sweep: which axis varies and the points to measure.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Sweep {
     /// Experiment identifier (e.g. `"E1"`).
     pub id: String,
@@ -74,6 +113,7 @@ impl Sweep {
                     updaters: 2,
                     scanners: 2,
                     ops,
+                    shards: 1,
                 })
                 .collect(),
         }
@@ -94,6 +134,7 @@ impl Sweep {
                     updaters: 2,
                     scanners: 1,
                     ops,
+                    shards: 1,
                 })
                 .collect(),
         }
@@ -114,6 +155,7 @@ impl Sweep {
                     updaters: 1,
                     scanners,
                     ops,
+                    shards: 1,
                 })
                 .collect(),
         }
@@ -123,8 +165,7 @@ impl Sweep {
     pub fn e7_throughput(ops: usize) -> Sweep {
         Sweep {
             id: "E7".into(),
-            description: "cross-implementation throughput at several scanner/updater mixes"
-                .into(),
+            description: "cross-implementation throughput at several scanner/updater mixes".into(),
             points: crate::mix::Mix::ladder()
                 .into_iter()
                 .map(|mix| SweepPoint {
@@ -133,9 +174,62 @@ impl Sweep {
                     updaters: mix.updaters,
                     scanners: mix.scanners,
                     ops,
+                    shards: 1,
                 })
                 .collect(),
         }
+    }
+
+    /// E8: fixed workload, growing shard count — the sharding scalability
+    /// experiment (update throughput should scale with the shard count while
+    /// partial scans stay local and linearizable).
+    pub fn e8_shards(ops: usize) -> Sweep {
+        Sweep {
+            id: "E8".into(),
+            description: "update cost vs shard count (m = 1024, r = 8, 4u/2s, scanners \
+                          chaos-parked mid-scan so announcements stay live): sharding \
+                          divides the per-update helping work — and so multiplies \
+                          sustainable update throughput — while cross-shard scans remain \
+                          atomic; scan latency includes the deliberate chaos parks"
+                .into(),
+            points: DEFAULT_SHARD_SWEEP
+                .iter()
+                .map(|&shards| SweepPoint {
+                    m: 1024,
+                    r: 8,
+                    updaters: 4,
+                    scanners: 2,
+                    ops,
+                    shards,
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes the sweep as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("description", Json::Str(self.description.clone())),
+            (
+                "points",
+                Json::arr(self.points.iter().map(SweepPoint::to_json)),
+            ),
+        ])
+    }
+
+    /// Deserializes a sweep from the [`Sweep::to_json`] format.
+    pub fn from_json(json: &Json) -> Option<Sweep> {
+        Some(Sweep {
+            id: json.get("id")?.as_str()?.to_string(),
+            description: json.get("description")?.as_str()?.to_string(),
+            points: json
+                .get("points")?
+                .as_array()?
+                .iter()
+                .map(SweepPoint::from_json)
+                .collect::<Option<Vec<_>>>()?,
+        })
     }
 }
 
@@ -151,6 +245,7 @@ mod tests {
             updaters: 2,
             scanners: 3,
             ops: 100,
+            shards: 1,
         };
         assert_eq!(p.processes(), 5);
         assert_eq!(p.label(), "m=64 r=4 2u/3s");
@@ -186,9 +281,28 @@ mod tests {
 
     #[test]
     fn sweeps_serialize_roundtrip() {
-        let s = Sweep::e1_locality(10);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Sweep = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.points, s.points);
+        for s in [Sweep::e1_locality(10), Sweep::e8_shards(10)] {
+            let text = s.to_json().to_string_pretty();
+            let back = Sweep::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back.points, s.points);
+            assert_eq!(back.id, s.id);
+        }
+    }
+
+    #[test]
+    fn e8_varies_shards_and_labels_them() {
+        let s = Sweep::e8_shards(100);
+        assert_eq!(s.points.len(), DEFAULT_SHARD_SWEEP.len());
+        assert!(s.points.windows(2).all(|w| w[0].shards < w[1].shards));
+        assert!(s.points.iter().all(|p| p.m == 1024 && p.r == 8));
+        assert_eq!(s.points[0].label(), "m=1024 r=8 4u/2s");
+        assert_eq!(s.points[2].label(), "m=1024 r=8 4u/2s k=4");
+    }
+
+    #[test]
+    fn sweep_points_parse_without_shards_field() {
+        let legacy = Json::parse(r#"{"m":64,"r":4,"updaters":1,"scanners":1,"ops":10}"#).unwrap();
+        let p = SweepPoint::from_json(&legacy).unwrap();
+        assert_eq!(p.shards, 1);
     }
 }

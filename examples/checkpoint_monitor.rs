@@ -77,12 +77,17 @@ fn main() {
                         v[1] <= v[0] && v[3] <= v[2],
                         "inconsistent checkpoint observed: {comps:?} -> {v:?}"
                     );
-                    assert!(v[0] - v[1] <= 3 && v[2] - v[3] <= 3, "pipeline depth exceeded");
+                    assert!(
+                        v[0] - v[1] <= 3 && v[2] - v[3] <= 3,
+                        "pipeline depth exceeded"
+                    );
                     checkpoints += 1;
                 }
                 if last_report.elapsed().as_millis() >= 200 {
                     let progress = snapshot.scan(ProcessId(WORKERS), &[stage2(0), stage2(1)]);
-                    println!("checkpoints so far: {checkpoints}, worker progress sample: {progress:?}");
+                    println!(
+                        "checkpoints so far: {checkpoints}, worker progress sample: {progress:?}"
+                    );
                     last_report = std::time::Instant::now();
                 }
             }

@@ -52,7 +52,11 @@ fn main() {
     println!("final:   {watched:?} -> {final_values:?}");
     for (c, v) in watched.iter().zip(final_values.iter()) {
         let owner = c / 16;
-        assert_eq!(*v, 10_000 + owner as u64, "component {c} has an unexpected final value");
+        assert_eq!(
+            *v,
+            10_000 + owner as u64,
+            "component {c} has an unexpected final value"
+        );
     }
     println!("quickstart finished: all final values are the last writes of their owners");
 }

@@ -4,8 +4,11 @@
 //! and integration tests can use a single import root.
 
 pub use psnap_activeset as activeset;
+pub use psnap_bench as bench;
 pub use psnap_core as snapshot;
+pub use psnap_json as json;
 pub use psnap_lincheck as lincheck;
+pub use psnap_shard as shard;
 pub use psnap_shmem as shmem;
 pub use psnap_sim as sim;
 pub use psnap_workloads as workloads;

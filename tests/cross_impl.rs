@@ -1,16 +1,19 @@
 //! Cross-implementation equivalence: with no concurrency, every
 //! implementation must behave exactly like the sequential specification, and
 //! therefore exactly like every other implementation.
+//!
+//! The implementation list is `ImplKind::ALL` — every implementation
+//! registered with the bench harness (including the sharded ones) is covered
+//! here automatically — plus the two mixed active-set instantiations that
+//! only exist as ablations.
 
 use std::sync::Arc;
 
 use partial_snapshot::activeset::{CasActiveSet, CollectActiveSet};
+use partial_snapshot::bench::ImplKind;
 use partial_snapshot::lincheck::{OpResult, Operation, SnapshotSpec};
 use partial_snapshot::shmem::ProcessId;
-use partial_snapshot::snapshot::{
-    AfekFullSnapshot, CasPartialSnapshot, DoubleCollectSnapshot, LockSnapshot, PartialSnapshot,
-    RegisterPartialSnapshot,
-};
+use partial_snapshot::snapshot::{CasPartialSnapshot, PartialSnapshot, RegisterPartialSnapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,25 +21,24 @@ const M: usize = 12;
 const N: usize = 4;
 
 fn all_impls() -> Vec<Arc<dyn PartialSnapshot<u64>>> {
-    vec![
-        Arc::new(CasPartialSnapshot::new(M, N, 0u64)),
-        Arc::new(CasPartialSnapshot::with_active_set(
-            M,
-            N,
-            0u64,
-            CollectActiveSet::new(N),
-        )),
-        Arc::new(RegisterPartialSnapshot::new(M, N, 0u64)),
-        Arc::new(RegisterPartialSnapshot::with_active_set(
-            M,
-            N,
-            0u64,
-            CasActiveSet::new(),
-        )),
-        Arc::new(AfekFullSnapshot::new(M, N, 0u64)),
-        Arc::new(DoubleCollectSnapshot::new(M, N, 0u64)),
-        Arc::new(LockSnapshot::new(M, N, 0u64)),
-    ]
+    let mut impls: Vec<Arc<dyn PartialSnapshot<u64>>> = ImplKind::ALL
+        .iter()
+        .map(|kind| kind.build(M, N, 0))
+        .collect();
+    // Ablation instantiations not registered as kinds of their own.
+    impls.push(Arc::new(RegisterPartialSnapshot::with_active_set(
+        M,
+        N,
+        0u64,
+        CasActiveSet::new(),
+    )));
+    impls.push(Arc::new(CasPartialSnapshot::with_active_set(
+        M,
+        N,
+        0u64,
+        CollectActiveSet::new(N),
+    )));
+    impls
 }
 
 /// Generates a deterministic sequential mixed workload.
@@ -111,7 +113,8 @@ fn all_implementations_agree_with_each_other() {
     }
     for (i, t) in transcripts.iter().enumerate().skip(1) {
         assert_eq!(
-            t, &transcripts[0],
+            t,
+            &transcripts[0],
             "{} disagrees with {}",
             impls[i].name(),
             impls[0].name()
@@ -136,11 +139,38 @@ fn scan_all_equals_scanning_each_component() {
 
 #[test]
 fn implementations_report_their_wait_freedom_correctly() {
-    let impls = all_impls();
-    let wait_free: Vec<bool> = impls.iter().map(|s| s.is_wait_free()).collect();
-    // Figures 1 and 3 (in both active-set instantiations) and the classic full
-    // snapshot are wait-free; the double collect and the lock are not.
-    assert_eq!(wait_free, vec![true, true, true, true, true, false, false]);
+    // Figures 1 and 3 (in every active-set instantiation) and the classic
+    // full snapshot are wait-free; the double collect and the lock are not;
+    // multi-shard compositions are blocking (their coordinated cross-shard
+    // fallback waits on in-flight updates) and must say so. Assert per kind
+    // so the list stays in sync with ImplKind::ALL automatically.
+    for kind in ImplKind::ALL {
+        let expected = match kind {
+            ImplKind::DoubleCollect | ImplKind::Lock => false,
+            ImplKind::Sharded { shards, .. } => shards.clamp(1, M) == 1,
+            _ => true,
+        };
+        assert_eq!(
+            kind.build(M, N, 0).is_wait_free(),
+            expected,
+            "{}",
+            kind.label()
+        );
+    }
+    // A degenerate 1-shard composition inherits the inner guarantee — from a
+    // wait-free inner and from a blocking inner alike.
+    let single_cas = ImplKind::Sharded {
+        inner: &ImplKind::Cas,
+        shards: 1,
+        partition: partial_snapshot::shard::Partition::Contiguous,
+    };
+    assert!(single_cas.build(M, N, 0).is_wait_free());
+    let single_lock = ImplKind::Sharded {
+        inner: &ImplKind::Lock,
+        shards: 1,
+        partition: partial_snapshot::shard::Partition::Contiguous,
+    };
+    assert!(!single_lock.build(M, N, 0).is_wait_free());
 }
 
 #[test]

@@ -5,7 +5,9 @@
 
 use std::sync::Arc;
 
+use partial_snapshot::bench::ImplKind;
 use partial_snapshot::lincheck::{check_history, check_monotone_history};
+use partial_snapshot::shard::{ShardConfig, ShardedSnapshot};
 use partial_snapshot::sim::{fuzz_small_schedules, fuzz_stress_schedules, run_scenario, Scenario};
 use partial_snapshot::snapshot::{
     AfekFullSnapshot, CasPartialSnapshot, DoubleCollectSnapshot, LockSnapshot, PartialSnapshot,
@@ -26,7 +28,13 @@ fn cas_snapshot_small_schedules_are_linearizable() {
 #[test]
 fn register_snapshot_small_schedules_are_linearizable() {
     let outcome = fuzz_small_schedules(
-        |s| Arc::new(RegisterPartialSnapshot::new(s.components, s.processes(), 0u64)),
+        |s| {
+            Arc::new(RegisterPartialSnapshot::new(
+                s.components,
+                s.processes(),
+                0u64,
+            ))
+        },
         SMALL_SEEDS,
     );
     assert!(outcome.passed(), "{outcome:?}");
@@ -44,7 +52,13 @@ fn afek_full_snapshot_small_schedules_are_linearizable() {
 #[test]
 fn double_collect_snapshot_small_schedules_are_linearizable() {
     let outcome = fuzz_small_schedules(
-        |s| Arc::new(DoubleCollectSnapshot::new(s.components, s.processes(), 0u64)),
+        |s| {
+            Arc::new(DoubleCollectSnapshot::new(
+                s.components,
+                s.processes(),
+                0u64,
+            ))
+        },
         0..20,
     );
     assert!(outcome.passed(), "{outcome:?}");
@@ -55,6 +69,94 @@ fn lock_snapshot_small_schedules_are_linearizable() {
     let outcome = fuzz_small_schedules(
         |s| Arc::new(LockSnapshot::new(s.components, s.processes(), 0u64)),
         0..20,
+    );
+    assert!(outcome.passed(), "{outcome:?}");
+}
+
+/// Every registered implementation — including the sharded ones — passes the
+/// exhaustive WGL check on small adversarial schedules. Non-wait-free kinds
+/// get fewer seeds, matching the dedicated tests above.
+#[test]
+fn every_impl_kind_small_schedules_are_linearizable() {
+    for kind in ImplKind::ALL {
+        let seeds = if kind.build(4, 2, 0).is_wait_free() {
+            0..12u64
+        } else {
+            0..6u64
+        };
+        let outcome = fuzz_small_schedules(
+            |s: &Scenario| kind.build(s.components, s.processes(), 0),
+            seeds,
+        );
+        assert!(outcome.passed(), "{}: {outcome:?}", kind.label());
+    }
+}
+
+/// The dedicated multi-shard atomicity fuzz: scans that deliberately span at
+/// least two shards, checked exhaustively, across shard counts, partition
+/// styles and the forced-coordinated-path configuration.
+#[test]
+fn sharded_snapshot_cross_shard_scans_are_linearizable() {
+    for shards in [2usize, 3] {
+        for retries in [8usize, 0] {
+            for seed in 0..25u64 {
+                let scenario = Scenario::random_cross_shard(seed, shards);
+                let snapshot = Arc::new(ShardedSnapshot::with_factory(
+                    scenario.components,
+                    scenario.processes(),
+                    0u64,
+                    ShardConfig::contiguous(shards).with_retries(retries),
+                    |_, m, n, init| CasPartialSnapshot::new(m, n, init),
+                ));
+                let history = run_scenario(&snapshot, &scenario);
+                assert!(
+                    check_history(&history).is_linearizable(),
+                    "shards={shards} retries={retries} seed={seed}: \
+                     non-linearizable cross-shard history"
+                );
+            }
+        }
+    }
+}
+
+/// Same property under the hashed partition (scan sets land on shards
+/// unpredictably, so the generated scans cover mixed placements).
+#[test]
+fn sharded_snapshot_hashed_partition_small_schedules_are_linearizable() {
+    let outcome = fuzz_small_schedules(
+        |s: &Scenario| {
+            Arc::new(ShardedSnapshot::with_factory(
+                s.components,
+                s.processes(),
+                0u64,
+                ShardConfig::hashed(2),
+                |_, m, n, init| CasPartialSnapshot::new(m, n, init),
+            ))
+        },
+        0..25,
+    );
+    assert!(outcome.passed(), "{outcome:?}");
+}
+
+#[test]
+fn sharded_snapshot_stress_schedules_pass_monotone_checks() {
+    let outcome = fuzz_stress_schedules(
+        |s: &Scenario| {
+            Arc::new(ShardedSnapshot::with_factory(
+                s.components,
+                s.processes(),
+                0u64,
+                ShardConfig::contiguous(4),
+                |_, m, n, init| CasPartialSnapshot::new(m, n, init),
+            ))
+        },
+        32,
+        3,
+        3,
+        600,
+        300,
+        6,
+        0..3,
     );
     assert!(outcome.passed(), "{outcome:?}");
 }
@@ -77,7 +179,13 @@ fn cas_snapshot_stress_schedules_pass_monotone_checks() {
 #[test]
 fn register_snapshot_stress_schedules_pass_monotone_checks() {
     let outcome = fuzz_stress_schedules(
-        |s| Arc::new(RegisterPartialSnapshot::new(s.components, s.processes(), 0u64)),
+        |s| {
+            Arc::new(RegisterPartialSnapshot::new(
+                s.components,
+                s.processes(),
+                0u64,
+            ))
+        },
         32,
         3,
         3,
@@ -181,6 +289,9 @@ fn wgl_and_monotone_checkers_agree_on_small_histories() {
         let wgl = check_history(&history).is_linearizable();
         let monotone = check_monotone_history(&history).is_ok();
         assert!(wgl, "seed {seed}: WGL rejected a real execution");
-        assert!(monotone, "seed {seed}: monotone checker rejected a real execution");
+        assert!(
+            monotone,
+            "seed {seed}: monotone checker rejected a real execution"
+        );
     }
 }

@@ -23,10 +23,8 @@ enum SeqOp {
 
 fn op_strategy() -> impl Strategy<Value = SeqOp> {
     prop_oneof![
-        ((0..M), (1u64..1_000_000)).prop_map(|(component, value)| SeqOp::Update {
-            component,
-            value
-        }),
+        ((0..M), (1u64..1_000_000))
+            .prop_map(|(component, value)| SeqOp::Update { component, value }),
         proptest::collection::vec(0..M, 1..=M).prop_map(|components| SeqOp::Scan { components }),
     ]
 }
@@ -90,8 +88,13 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
             .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
         1..=3,
     );
-    (1..=2usize, 1..=2usize, proptest::collection::vec(scan_list, 2), 1..=3usize).prop_map(
-        |(updaters, scanners, scan_lists, updates)| {
+    (
+        1..=2usize,
+        1..=2usize,
+        proptest::collection::vec(scan_list, 2),
+        1..=3usize,
+    )
+        .prop_map(|(updaters, scanners, scan_lists, updates)| {
             let mut roles = Vec::new();
             for u in 0..updaters {
                 roles.push(Role::Updater {
@@ -110,8 +113,7 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                 roles,
                 chaos: None,
             }
-        },
-    )
+        })
 }
 
 proptest! {

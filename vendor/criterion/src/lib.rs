@@ -1,0 +1,215 @@
+//! Vendored, dependency-free subset of the `criterion` API.
+//!
+//! The workspace builds hermetically (no crates.io access), so the benchmark
+//! files are kept source-compatible with this small shim instead. It measures
+//! honestly — warm-up phase, then timed batches over the configured
+//! measurement window — and prints one `group/id: mean ns/iter` line per
+//! benchmark, but it performs no statistical outlier analysis, produces no
+//! HTML reports, and keeps no baselines. For regression tracking the
+//! repository relies on the step-count experiment harness
+//! (`psnap-bench`'s `harness` binary), which is deterministic; these
+//! wall-clock benches are companions for human eyes.
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (created by [`criterion_main!`]).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+}
+
+/// Per-benchmark throughput annotation.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The measured body processes this many logical elements per iteration.
+    Elements(u64),
+    /// The measured body processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier of the form `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for source compatibility; the shim sizes runs by time, not by
+    /// sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.into(), &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut adapter = |b: &mut Bencher| f(b, input);
+        self.run_one(&id.id, &mut adapter);
+        self
+    }
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.mean_ns;
+        let extra = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!(" ({:.0} elem/s)", n as f64 * 1e9 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!(" ({:.0} B/s)", n as f64 * 1e9 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: {per_iter:.0} ns/iter over {} iters{extra}",
+            self.name, bencher.iters
+        );
+    }
+
+    /// Ends the group (printing happens per benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times a closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`: runs it during the warm-up window, then repeatedly during
+    /// the measurement window, and records the mean wall-clock time per call.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let end = start + self.measurement;
+        while Instant::now() < end {
+            black_box(f());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters.max(1);
+        self.mean_ns = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        assert!(calls > 0, "the measured closure must actually run");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("param", 42), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+}

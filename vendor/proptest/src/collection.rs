@@ -1,0 +1,148 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// A length specification: an exact size or a range of sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.0.gen_range(self.min..=self.max)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `BTreeSet`s with between `size.min` and `size.max` *distinct*
+/// elements. If the element strategy cannot produce enough distinct values,
+/// the set saturates at whatever was reachable (mirroring proptest's
+/// best-effort behaviour for small domains).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        let mut misses = 0usize;
+        while set.len() < target && misses < 100 {
+            if !set.insert(self.element.generate(rng)) {
+                misses += 1;
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng(StdRng::seed_from_u64(5))
+    }
+
+    #[test]
+    fn vec_respects_size_specs() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(vec(0u8..10, 3usize).generate(&mut r).len(), 3);
+            let v = vec(0u8..10, 1..5).generate(&mut r);
+            assert!((1..5).contains(&v.len()));
+            let w = vec(0u8..10, 2..=6).generate(&mut r);
+            assert!((2..=6).contains(&w.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_distinct_and_saturates() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = btree_set(0usize..4, 1..=3).generate(&mut r);
+            assert!((1..=3).contains(&s.len()));
+            // Impossible request: only 2 distinct values exist; must not hang.
+            let t = btree_set(0usize..2, 2..=5).generate(&mut r);
+            assert!(t.len() <= 2);
+        }
+    }
+}

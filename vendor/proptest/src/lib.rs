@@ -1,0 +1,216 @@
+//! Vendored, dependency-light subset of the `proptest` API.
+//!
+//! The workspace builds hermetically (no crates.io access), so the pieces of
+//! proptest the test suites use are reimplemented here on top of the vendored
+//! `rand` shim:
+//!
+//! * the [`Strategy`] trait with ranges, tuples, [`Just`], `prop_map`,
+//!   [`collection::vec`] and [`collection::btree_set`];
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`), plus
+//!   [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assume!`];
+//! * a deterministic runner: each test derives its seed from the test name, so
+//!   failures reproduce exactly across runs and machines.
+//!
+//! Differences from real proptest, by design: no shrinking (the failing input
+//! is printed verbatim instead) and no persistence files. For the small,
+//! structured inputs used by this workspace, printed counterexamples are
+//! directly readable, so shrinking pays for little.
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Map, Strategy, Union};
+
+/// The generator handed to strategies.
+pub struct TestRng(pub(crate) StdRng);
+
+impl TestRng {
+    fn for_test(name: &str, seed: u64) -> TestRng {
+        // FNV-1a over the test name, mixed with the base seed: deterministic
+        // per test, independent across tests.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ seed))
+    }
+}
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one property test: generates `config.cases` inputs from `strategy`
+/// and applies `test` to each. On panic, prints the offending input (no
+/// shrinking) and re-raises. Used by the [`proptest!`] macro; not usually
+/// called directly.
+pub fn run_proptest<S: Strategy>(
+    config: ProptestConfig,
+    name: &str,
+    strategy: S,
+    mut test: impl FnMut(S::Value),
+) {
+    let mut rng = TestRng::for_test(name, 0x5EED_CAFE);
+    for case in 0..config.cases {
+        let input = strategy.generate(&mut rng);
+        let shown = format!("{input:?}");
+        let outcome = catch_unwind(AssertUnwindSafe(|| test(input)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest {name}: case {case}/{} failed for input:\n  {shown}",
+                config.cases
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `fn name(arg in strategy, ...) { body }` items carrying their own
+/// attributes (`#[test]`, doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]; expands one `fn` item per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$attr:meta])*
+      fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::run_proptest(
+                $cfg,
+                stringify!($name),
+                ($($strat,)+),
+                |($($arg,)+)| $body,
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// Asserts inside a property test (alias of `assert!` — no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test (alias of `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, ProptestConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![
+            (0usize..10).prop_map(|v| v * 2),
+            Just(99usize),
+        ]) {
+            prop_assert!(x == 99 || (x % 2 == 0 && x < 20));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        /// Config block plus doc comment must parse.
+        #[test]
+        fn config_is_honored(v in crate::collection::vec(0i32..5, 0..10)) {
+            prop_assert!(v.len() < 10);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_input() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_proptest(
+                crate::ProptestConfig::with_cases(50),
+                "demo",
+                (0u32..10,),
+                |(x,)| assert!(x < 9, "hit the failing value"),
+            );
+        });
+        assert!(result.is_err(), "a value of 9 must eventually appear");
+    }
+}

@@ -1,0 +1,122 @@
+//! Vendored, dependency-free subset of the `rand` 0.8 API.
+//!
+//! This workspace builds in hermetic environments with no access to crates.io,
+//! so the handful of `rand` features the reproduction uses are provided here:
+//! seedable deterministic generators ([`rngs::StdRng`], [`rngs::SmallRng`]),
+//! the [`Rng`] convenience methods `gen_range` / `gen_bool`, and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256++ seeded through
+//! SplitMix64 — high quality for simulation purposes, deterministic per seed,
+//! and explicitly **not** cryptographic.
+//!
+//! Only the API surface the workspace actually exercises is implemented; the
+//! sampling helpers live in [`distributions`] (sample-range plumbing) exactly
+//! far enough to keep call sites source-compatible with real `rand` 0.8.
+
+#![warn(rust_2018_idioms)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::SampleRange;
+
+/// Low-level generator interface: a source of uniformly random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the given range.
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of range"
+        );
+        // 53 random mantissa bits give a uniform float in [0, 1).
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from a 64-bit seed, mirroring
+/// `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a deterministic generator from `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64: expands a 64-bit seed into a stream of well-mixed words (used
+/// to key xoshiro, as its authors recommend).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.gen_range(0..1_000_000u64)).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.gen_range(0..1_000_000u64)).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.gen_range(0..1_000_000u64)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_covers_and_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let x = rng.gen_range(0..8usize);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values should appear");
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..=5u64);
+            assert!((3..=5).contains(&x));
+            let f = rng.gen_range(0.0..2.5f64);
+            assert!((0.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1800..3200).contains(&hits), "saw {hits} hits of ~2500");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

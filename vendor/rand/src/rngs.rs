@@ -1,0 +1,99 @@
+//! Concrete generators: [`StdRng`] and [`SmallRng`].
+//!
+//! Both are xoshiro256++ instances here; real `rand` distinguishes them by
+//! quality/speed trade-offs, but for deterministic simulation either is fine
+//! and keeping them distinct types preserves source compatibility.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// xoshiro256++ core state.
+#[derive(Clone, Debug)]
+pub(crate) struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut state);
+        }
+        // All-zero state is the one forbidden configuration.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The workspace's standard deterministic generator.
+#[derive(Clone, Debug)]
+pub struct StdRng(Xoshiro256);
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng(Xoshiro256::from_seed(state))
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next()
+    }
+}
+
+/// A small, fast generator for per-thread perturbation (the chaos layer).
+#[derive(Clone, Debug)]
+pub struct SmallRng(Xoshiro256);
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Domain-separate from StdRng so the same numeric seed produces
+        // unrelated streams in the two generator types.
+        SmallRng(Xoshiro256::from_seed(state ^ 0x5305_11E5_0DD5_EED5))
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_and_small_streams_differ() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = SmallRng::seed_from_u64(3);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let words: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        assert!(words.iter().any(|&w| w != 0));
+    }
+}

@@ -1,0 +1,64 @@
+//! Sequence helpers (`SliceRandom`).
+
+use crate::distributions::SampleRange;
+use crate::RngCore;
+
+/// Shuffling and random selection on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns one uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_from(rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(0..self.len()).sample_from(rng)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle virtually never is identity"
+        );
+    }
+
+    #[test]
+    fn choose_handles_empty_and_singleton() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let empty: [u8; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        assert_eq!([42u8].choose(&mut rng), Some(&42));
+    }
+}
