@@ -1,0 +1,132 @@
+//! E9 companion (wall-clock, criterion): single-cell operation latency for
+//! the lock-free `VersionedCell` vs the `RwLock`-guarded baseline, plus a
+//! multi-threaded mixed batch matching the E9 harness point.
+
+use std::sync::Barrier;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psnap_shmem::{RwLockVersionedCell, VersionedCell};
+
+fn single_thread_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_single_thread");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let lockfree = VersionedCell::new(0u64);
+    group.bench_function("lockfree_load", |b| b.iter(|| lockfree.load()));
+    group.bench_function("lockfree_store", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            lockfree.store(i)
+        })
+    });
+    let rwlock = RwLockVersionedCell::new(0u64);
+    group.bench_function("rwlock_load", |b| b.iter(|| rwlock.load()));
+    group.bench_function("rwlock_store", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            rwlock.store(i)
+        })
+    });
+    group.finish();
+}
+
+/// One mixed update+load batch over a small bank, split across threads —
+/// the wall-clock shadow of the harness's E9 measurement loop.
+fn mixed_batch<C: Sync>(
+    bank: &[C],
+    threads: usize,
+    ops: usize,
+    write: impl Fn(&C, u64) + Sync,
+    read: impl Fn(&C) -> u64 + Sync,
+) -> u64 {
+    let barrier = Barrier::new(threads);
+    let mut total = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let bank = &bank;
+            let barrier = &barrier;
+            let write = &write;
+            let read = &read;
+            handles.push(scope.spawn(move || {
+                let mut checksum = 0u64;
+                let mut state = 0x9E37_79B9u64.wrapping_add(t as u64);
+                barrier.wait();
+                for k in 0..ops {
+                    // Cheap xorshift index selection — the bench measures the
+                    // cells, not the RNG.
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let idx = (state as usize) % bank.len();
+                    if k % 2 == 0 {
+                        write(&bank[idx], k as u64);
+                    } else {
+                        checksum = checksum.wrapping_add(read(&bank[idx]));
+                    }
+                }
+                checksum
+            }));
+        }
+        for h in handles {
+            total = total.wrapping_add(h.join().expect("bench worker panicked"));
+        }
+    });
+    total
+}
+
+fn contended_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_contended_mixed");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let ops = 2_000usize;
+    for threads in [2usize, 4, 8] {
+        group.throughput(Throughput::Elements((threads * ops) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("lockfree", threads),
+            &threads,
+            |b, &threads| {
+                let bank: Vec<VersionedCell<u64>> =
+                    (0..64).map(|i| VersionedCell::new(i as u64)).collect();
+                b.iter(|| {
+                    mixed_batch(
+                        &bank,
+                        threads,
+                        ops,
+                        |cell, v| cell.store(v),
+                        |cell| *cell.load().value(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rwlock", threads),
+            &threads,
+            |b, &threads| {
+                let bank: Vec<RwLockVersionedCell<u64>> = (0..64)
+                    .map(|i| RwLockVersionedCell::new(i as u64))
+                    .collect();
+                b.iter(|| {
+                    mixed_batch(
+                        &bank,
+                        threads,
+                        ops,
+                        |cell, v| cell.store(v),
+                        |cell| *cell.load().value(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_thread_ops, contended_throughput);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! The experiment harness: regenerates the E1–E8 tables of EXPERIMENTS.md.
+//! The experiment harness: regenerates the E1–E9 tables of EXPERIMENTS.md.
 //!
 //! Usage:
 //!
@@ -9,11 +9,13 @@
 //! `--quick` runs each point with a small number of operations (for smoke
 //! testing the harness itself); without it, the full effort used for
 //! EXPERIMENTS.md is applied. `--json` additionally writes machine-readable
-//! results for the experiments that define a JSON schema (currently E8 →
-//! `BENCH_E8.json`), so the performance trajectory of the sharded store can
-//! be tracked across commits.
+//! results for the experiments that define a JSON schema (E8 →
+//! `BENCH_E8.json`, E9 → `BENCH_E9.json`), so the performance trajectory of
+//! the sharded store and of the lock-free cell can be tracked across commits.
 
-use psnap_bench::{e8_sharding_data, run_experiment, Effort, ALL_EXPERIMENTS};
+use psnap_bench::{
+    e8_sharding_data, e9_cell_contention_data, run_experiment, Effort, ALL_EXPERIMENTS,
+};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,7 +33,7 @@ fn main() {
         _ => true,
     });
     if args.is_empty() {
-        eprintln!("usage: harness [--quick] [--json] <E1..E8 | all> [more ids...]");
+        eprintln!("usage: harness [--quick] [--json] <E1..E9 | all> [more ids...]");
         std::process::exit(2);
     }
     let ids: Vec<String> = if args.iter().any(|a| a.eq_ignore_ascii_case("all")) {
@@ -40,17 +42,33 @@ fn main() {
         args
     };
     for id in ids {
-        if json && id.eq_ignore_ascii_case("E8") {
-            // Run the measurement once and derive both the JSON document and
-            // the table from the same data. The file is written before the
-            // table prints so an early-closed stdout (e.g. `| head`) cannot
-            // lose the machine-readable results.
-            let data = e8_sharding_data(effort);
-            let path = "BENCH_E8.json";
-            std::fs::write(path, data.to_json().to_string_pretty())
+        // Experiments with a JSON schema: run the measurement once and
+        // derive both the JSON document and the table from the same data.
+        let measured_with_json = match id.to_ascii_uppercase().as_str() {
+            "E8" if json => {
+                let data = e8_sharding_data(effort);
+                Some((
+                    "BENCH_E8.json",
+                    data.to_json(),
+                    psnap_bench::experiments::e8_sharding_table(&data),
+                ))
+            }
+            "E9" if json => {
+                let data = e9_cell_contention_data(effort);
+                Some((
+                    "BENCH_E9.json",
+                    data.to_json(),
+                    psnap_bench::experiments::e9_cell_contention_table(&data),
+                ))
+            }
+            _ => None,
+        };
+        if let Some((path, doc, table)) = measured_with_json {
+            // The file is written before the table prints so an early-closed
+            // stdout (e.g. `| head`) cannot lose the machine-readable results.
+            std::fs::write(path, doc.to_string_pretty())
                 .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
             eprintln!("wrote {path}");
-            let table = psnap_bench::experiments::e8_sharding_table(&data);
             println!("{}", table.to_markdown());
             continue;
         }

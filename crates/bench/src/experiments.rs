@@ -1,4 +1,4 @@
-//! The E1–E7 experiments of EXPERIMENTS.md.
+//! The E1–E9 experiments of EXPERIMENTS.md.
 //!
 //! Each function returns a [`Table`] that the harness binary prints as
 //! GitHub-flavoured markdown. The experiments measure the paper's cost metric
@@ -702,6 +702,7 @@ fn e8_point(
                         sleep_probability: 0.6,
                         max_sleep_us: 300,
                         max_spin: 32,
+                        ..ChaosConfig::default()
                     },
                 );
                 let mut rng = StdRng::seed_from_u64(0xE8AB ^ ((s as u64) << 13));
@@ -821,6 +822,283 @@ pub fn e8_sharding_table(data: &E8Data) -> Table {
     }
 }
 
+/// One measured row of experiment E9: both cell implementations at one
+/// (thread count, distribution) point.
+#[derive(Clone, Debug)]
+pub struct E9Point {
+    /// Number of worker threads (each mixes updates and r-wide scans).
+    pub threads: usize,
+    /// `"uniform"` or `"zipf"`.
+    pub dist: &'static str,
+    /// Aggregate update+scan throughput of the `RwLock`-guarded baseline
+    /// cell, in operations per second.
+    pub rwlock_ops_per_sec: f64,
+    /// Aggregate update+scan throughput of the lock-free cell, in operations
+    /// per second.
+    pub lockfree_ops_per_sec: f64,
+    /// `lockfree_ops_per_sec / rwlock_ops_per_sec`.
+    pub speedup: f64,
+}
+
+/// The raw data behind experiment E9 (also serialized to `BENCH_E9.json`).
+#[derive(Clone, Debug)]
+pub struct E9Data {
+    /// Number of cells in the bank the threads hammer.
+    pub m: usize,
+    /// Cells read per scan operation.
+    pub r: usize,
+    /// Operations per thread at each point.
+    pub ops_per_thread: usize,
+    /// One entry per (thread count × distribution).
+    pub points: Vec<E9Point>,
+}
+
+impl E9Data {
+    /// The experiment description used by the table and the JSON document.
+    pub fn description(&self) -> String {
+        format!(
+            "update+scan throughput vs thread count over a bank of {} VersionedCells \
+             (every 3rd op stores; the rest scan {} cells under one epoch pin, the \
+             access pattern of the algorithms' collect loops; uniform and Zipf(0.9) \
+             indices; median of 5 interleaved repetitions): lock-free AtomicPtr+epoch \
+             cell vs the RwLock-guarded baseline it replaced. Per-op base-object step \
+             counts are identical by construction; the lock-free cell wins because a \
+             read never writes the cell word, never blocks, and amortizes its epoch \
+             entry across a whole scan.",
+            self.m, self.r
+        )
+    }
+
+    /// Serializes the data for `BENCH_E9.json`.
+    pub fn to_json(&self) -> psnap_json::Json {
+        use psnap_json::Json;
+        Json::obj([
+            ("experiment", Json::Str("E9".into())),
+            ("description", Json::Str(self.description())),
+            ("m", Json::Num(self.m as f64)),
+            ("r", Json::Num(self.r as f64)),
+            ("ops_per_thread", Json::Num(self.ops_per_thread as f64)),
+            (
+                "points",
+                Json::arr(self.points.iter().map(|p| {
+                    Json::obj([
+                        ("threads", Json::Num(p.threads as f64)),
+                        ("dist", Json::Str(p.dist.into())),
+                        ("rwlock_ops_per_sec", Json::Num(p.rwlock_ops_per_sec)),
+                        ("lockfree_ops_per_sec", Json::Num(p.lockfree_ops_per_sec)),
+                        ("speedup_vs_rwlock", Json::Num(p.speedup)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+/// The cell surface E9 drives. Both implementations expose the identical
+/// `VersionedCell` API; this trait only erases the type for the measurement
+/// loop.
+trait ContentionCell: Send + Sync + Sized + 'static {
+    fn make(initial: u64) -> Self;
+    fn read_value(&self) -> u64;
+    fn write_value(&self, v: u64);
+}
+
+impl ContentionCell for psnap_shmem::VersionedCell<u64> {
+    fn make(initial: u64) -> Self {
+        Self::new(initial)
+    }
+    fn read_value(&self) -> u64 {
+        *self.load().value()
+    }
+    fn write_value(&self, v: u64) {
+        self.store(v);
+    }
+}
+
+impl ContentionCell for psnap_shmem::RwLockVersionedCell<u64> {
+    fn make(initial: u64) -> Self {
+        Self::new(initial)
+    }
+    fn read_value(&self) -> u64 {
+        *self.load().value()
+    }
+    fn write_value(&self, v: u64) {
+        self.store(v);
+    }
+}
+
+/// Aggregate update+scan throughput (ops/sec) of one cell implementation at
+/// one (threads, distribution) point. Every 3rd thread op is a store; the
+/// others scan `r` cells under a single epoch pin — exactly the access
+/// pattern of the snapshot algorithms, whose `collect` loop pins once and
+/// then reads every requested register. Throughput counts each store and
+/// each whole scan as one operation and divides by the slowest thread's wall
+/// clock (all threads start together on a barrier).
+fn e9_cell_point<C: ContentionCell>(
+    threads: usize,
+    m: usize,
+    r: usize,
+    ops: usize,
+    zipf_s: Option<f64>,
+) -> f64 {
+    use psnap_workloads::IndexDist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let bank: Vec<C> = (0..m).map(|i| C::make(i as u64)).collect();
+    let dist = match zipf_s {
+        Some(s) => IndexDist::zipf(m, s),
+        None => IndexDist::uniform(m),
+    };
+    let barrier = std::sync::Barrier::new(threads);
+    let mut longest_wall = std::time::Duration::ZERO;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let bank = &bank;
+            let dist = dist.clone();
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                // Pregenerate the whole op sequence: index sampling (ChaCha
+                // draws, distinct-set retries, per-scan Vec allocation) costs
+                // more than a cell op and would otherwise dominate — and
+                // equally dilute — both sides of the measurement.
+                let mut rng = StdRng::seed_from_u64(0xE9 ^ ((t as u64) << 17));
+                let store_targets: Vec<usize> = (0..ops.div_ceil(3))
+                    .map(|_| dist.sample(&mut rng))
+                    .collect();
+                let scan_sets: Vec<Vec<usize>> = (0..ops - store_targets.len())
+                    .map(|_| dist.sample_set(&mut rng, r))
+                    .collect();
+                let mut checksum = 0u64;
+                let (mut stores, mut scans) = (0usize, 0usize);
+                barrier.wait();
+                let t0 = std::time::Instant::now();
+                for k in 0..ops {
+                    if k % 3 == 0 {
+                        bank[store_targets[stores]].write_value((k as u64) << 8 | t as u64);
+                        stores += 1;
+                    } else {
+                        // One pin per scan for BOTH cells, deliberately: the
+                        // algorithms' collect loop pins unconditionally
+                        // around its reads, whatever cell implementation
+                        // backs the registers, so this is the caller pattern
+                        // either cell actually sees (for the RwLock cell the
+                        // pin is pure, equal-on-both-sides overhead).
+                        let _pin = psnap_shmem::epoch::pin();
+                        for &idx in &scan_sets[scans] {
+                            checksum = checksum.wrapping_add(bank[idx].read_value());
+                        }
+                        scans += 1;
+                    }
+                }
+                let wall = t0.elapsed();
+                // Keep the reads observable so the loop cannot be elided.
+                std::hint::black_box(checksum);
+                wall
+            }));
+        }
+        for h in handles {
+            longest_wall = longest_wall.max(h.join().expect("E9 worker panicked"));
+        }
+    });
+    if longest_wall.is_zero() {
+        0.0
+    } else {
+        (threads * ops) as f64 / longest_wall.as_secs_f64()
+    }
+}
+
+/// Runs the E9 measurement: update+scan throughput vs thread count, for the
+/// lock-free cell and the `RwLock` baseline, uniform and Zipf.
+///
+/// Each (threads, dist) point measures both cells five times, interleaved
+/// (rwlock, lockfree, rwlock, …), and reports the per-cell **median** — on a
+/// shared host a single repetition can absorb a scheduler hiccup, and
+/// interleaving keeps slow system phases from landing entirely on one cell.
+pub fn e9_cell_contention_data(effort: Effort) -> E9Data {
+    use psnap_shmem::{RwLockVersionedCell, VersionedCell};
+    let m = 256;
+    let r = 8;
+    // Cell ops are sub-µs; scale the per-thread batch up so each measurement
+    // window is long enough that scheduler bursts average out inside it
+    // instead of being sampled by it.
+    let ops = effort.ops * 50;
+    let median = |mut xs: [f64; 5]| {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[2]
+    };
+    let mut points = Vec::new();
+    for (dist, zipf_s) in [("uniform", None), ("zipf", Some(0.9f64))] {
+        for threads in [1usize, 2, 4, 8] {
+            let mut rw = [0.0f64; 5];
+            let mut lf = [0.0f64; 5];
+            for rep in 0..5 {
+                // Alternate which cell runs first so a systematic host phase
+                // (frequency ramp, page-cache state) cannot always land on
+                // the same side.
+                if rep % 2 == 0 {
+                    rw[rep] = e9_cell_point::<RwLockVersionedCell<u64>>(threads, m, r, ops, zipf_s);
+                    lf[rep] = e9_cell_point::<VersionedCell<u64>>(threads, m, r, ops, zipf_s);
+                } else {
+                    lf[rep] = e9_cell_point::<VersionedCell<u64>>(threads, m, r, ops, zipf_s);
+                    rw[rep] = e9_cell_point::<RwLockVersionedCell<u64>>(threads, m, r, ops, zipf_s);
+                }
+            }
+            let rwlock = median(rw);
+            let lockfree = median(lf);
+            points.push(E9Point {
+                threads,
+                dist,
+                rwlock_ops_per_sec: rwlock,
+                lockfree_ops_per_sec: lockfree,
+                speedup: if rwlock > 0.0 { lockfree / rwlock } else { 0.0 },
+            });
+        }
+    }
+    E9Data {
+        m,
+        r,
+        ops_per_thread: ops,
+        points,
+    }
+}
+
+/// E9 — lock-free cell vs `RwLock` baseline under contention.
+pub fn e9_cell_contention(effort: Effort) -> Table {
+    e9_cell_contention_table(&e9_cell_contention_data(effort))
+}
+
+/// Renders already-measured E9 data as a table (lets the harness emit the
+/// markdown table and `BENCH_E9.json` from one measurement run).
+pub fn e9_cell_contention_table(data: &E9Data) -> Table {
+    let rows = data
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                p.dist.to_string(),
+                format!("{:.0}", p.rwlock_ops_per_sec / 1000.0),
+                format!("{:.0}", p.lockfree_ops_per_sec / 1000.0),
+                format!("{:.2}x", p.speedup),
+            ]
+        })
+        .collect();
+    Table {
+        id: "E9".into(),
+        title: data.description(),
+        headers: vec![
+            "threads".into(),
+            "dist".into(),
+            "rwlock kops/s".into(),
+            "lock-free kops/s".into(),
+            "lock-free speedup".into(),
+        ],
+        rows,
+    }
+}
+
 /// Runs an experiment by id. Returns `None` for an unknown id.
 pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -832,12 +1110,13 @@ pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
         "E6" => Some(e6_portfolio(effort)),
         "E7" => Some(e7_throughput(effort)),
         "E8" => Some(e8_sharding(effort)),
+        "E9" => Some(e9_cell_contention(effort)),
         _ => None,
     }
 }
 
 /// All experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 8] = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"];
+pub const ALL_EXPERIMENTS: [&str; 9] = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"];
 
 #[cfg(test)]
 mod tests {
@@ -907,6 +1186,51 @@ mod tests {
         // Round-trips through the writer/parser.
         let text = json.to_string_pretty();
         assert_eq!(psnap_json::Json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn e9_smoke_and_json_shape() {
+        let data = e9_cell_contention_data(Effort { ops: 5 });
+        // 4 thread counts × 2 distributions.
+        assert_eq!(data.points.len(), 8);
+        assert!(data
+            .points
+            .iter()
+            .all(|p| p.rwlock_ops_per_sec > 0.0 && p.lockfree_ops_per_sec > 0.0));
+        let json = data.to_json();
+        assert_eq!(
+            json.get("experiment").and_then(psnap_json::Json::as_str),
+            Some("E9")
+        );
+        let points = json
+            .get("points")
+            .and_then(psnap_json::Json::as_array)
+            .unwrap();
+        assert_eq!(points.len(), 8);
+        // Round-trips through the writer/parser.
+        let text = json.to_string_pretty();
+        assert_eq!(psnap_json::Json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn e9_per_op_steps_are_identical_across_cells() {
+        use psnap_shmem::{RwLockVersionedCell, StepScope, VersionedCell};
+        // The acceptance criterion for the lock-free swing: the paper's cost
+        // metric must not move. One store + one load costs exactly one write
+        // step + one read step on both implementations.
+        let lockfree = VersionedCell::new(0u64);
+        let scope = StepScope::start();
+        lockfree.store(1);
+        let _ = lockfree.load();
+        let lf = scope.finish();
+        let baseline = RwLockVersionedCell::new(0u64);
+        let scope = StepScope::start();
+        baseline.store(1);
+        let _ = baseline.load();
+        let rw = scope.finish();
+        assert_eq!(lf, rw);
+        assert_eq!(lf.reads, 1);
+        assert_eq!(lf.writes, 1);
     }
 
     #[test]

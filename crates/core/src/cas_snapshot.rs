@@ -128,6 +128,8 @@ impl<T: Clone + Send + Sync + 'static, A: ActiveSet> CasPartialSnapshot<T, A> {
     fn announced_components(&self) -> Vec<usize> {
         let scanners = self.scanners.get_set();
         let mut set: BTreeSet<usize> = BTreeSet::new();
+        // One epoch pin for the whole announcement sweep (see `collect`).
+        let _pin = psnap_shmem::epoch::pin();
         for p in scanners {
             // The active set is private to this object, so every member is a
             // process id < n; guard anyway so a misuse cannot cause a panic
@@ -180,11 +182,14 @@ impl<T: Clone + Send + Sync + 'static, A: ActiveSet> PartialSnapshot<T>
         if components.is_empty() {
             return Vec::new();
         }
-        // S[id] ← {i1, …, ir}
+        // S[id] ← {i1, …, ir}. Shared via `store_arc`: the announcement
+        // register and this scan read the same allocation instead of cloning
+        // the component list on the hot path.
         let mut announced: Vec<usize> = components.to_vec();
         announced.sort_unstable();
         announced.dedup();
-        self.announcements[pid.index()].store(announced.clone());
+        let announced = Arc::new(announced);
+        self.announcements[pid.index()].store_arc(Arc::clone(&announced));
         // join
         let ticket = self.scanners.join(pid);
         // embedded-scan

@@ -38,6 +38,11 @@ pub(crate) fn collect<T: Send + Sync + 'static>(
     registers: &[VersionedCell<Entry<T>>],
     components: &[usize],
 ) -> Collect<T> {
+    // One epoch pin for the whole collect: the nested pin inside each `load`
+    // then degenerates to a depth bump, so an r-wide collect pays one slot
+    // publication instead of r. Step accounting is unchanged (still one
+    // `Read` per register).
+    let _pin = psnap_shmem::epoch::pin();
     components.iter().map(|&c| registers[c].load()).collect()
 }
 

@@ -154,11 +154,14 @@ impl<T: Clone + Send + Sync + 'static, A: ActiveSet> PartialSnapshot<T>
         if components.is_empty() {
             return Vec::new();
         }
-        // A[id] ← (i1, …, ir)
+        // A[id] ← (i1, …, ir). Shared via `store_arc`: the announcement
+        // register and this scan read the same allocation instead of cloning
+        // the component list on the hot path.
         let mut announced: Vec<usize> = components.to_vec();
         announced.sort_unstable();
         announced.dedup();
-        self.announcements[pid.index()].store(announced.clone());
+        let announced = Arc::new(announced);
+        self.announcements[pid.index()].store_arc(Arc::clone(&announced));
         // join; embedded-scan; leave
         let ticket = self.scanners.join(pid);
         let view = self.embedded_scan(&announced);

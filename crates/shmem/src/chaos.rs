@@ -25,6 +25,13 @@ pub struct ChaosConfig {
     pub max_sleep_us: u64,
     /// Maximum number of spin iterations for spin perturbations.
     pub max_spin: u32,
+    /// Probability (0.0 ..= 1.0) of parking the thread *inside a freshly
+    /// pinned epoch* (see [`crate::epoch::pin`]). A parked pin stalls epoch
+    /// advance for the whole process, forcing retired records to pile up —
+    /// the adversarial schedule the reclamation logic must survive.
+    pub pinned_park_probability: f64,
+    /// Maximum pinned-park duration in microseconds (0 disables parking).
+    pub max_pinned_park_us: u64,
 }
 
 impl Default for ChaosConfig {
@@ -34,6 +41,8 @@ impl Default for ChaosConfig {
             sleep_probability: 0.02,
             max_sleep_us: 50,
             max_spin: 64,
+            pinned_park_probability: 0.0,
+            max_pinned_park_us: 0,
         }
     }
 }
@@ -46,6 +55,7 @@ impl ChaosConfig {
             sleep_probability: 0.10,
             max_sleep_us: 200,
             max_spin: 256,
+            ..ChaosConfig::default()
         }
     }
 
@@ -56,6 +66,21 @@ impl ChaosConfig {
             sleep_probability: 0.0,
             max_sleep_us: 0,
             max_spin: 16,
+            ..ChaosConfig::default()
+        }
+    }
+
+    /// A configuration aimed at the epoch reclamation machinery: readers park
+    /// frequently *while pinned* (delaying epoch advance and ballooning the
+    /// garbage queues) on top of moderate step-boundary perturbation.
+    pub fn reclamation() -> Self {
+        ChaosConfig {
+            perturb_probability: 0.15,
+            sleep_probability: 0.05,
+            max_sleep_us: 100,
+            max_spin: 128,
+            pinned_park_probability: 0.25,
+            max_pinned_park_us: 200,
         }
     }
 }
@@ -67,6 +92,10 @@ struct ChaosState {
 
 thread_local! {
     static CHAOS: RefCell<Option<ChaosState>> = const { RefCell::new(None) };
+    /// Mirror of `CHAOS.is_some()` as a plain `Cell`, so the hot paths
+    /// (every base-object step, every epoch pin) pay one thread-local flag
+    /// read instead of a `RefCell` borrow when chaos is off.
+    static CHAOS_ON: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 /// Enables chaos on the calling thread with the given seed and configuration,
@@ -78,6 +107,7 @@ pub fn enable(seed: u64, config: ChaosConfig) -> ChaosGuard {
             rng: SmallRng::seed_from_u64(seed),
         });
     });
+    CHAOS_ON.with(|c| c.set(true));
     ChaosGuard { _private: () }
 }
 
@@ -95,6 +125,7 @@ pub struct ChaosGuard {
 impl Drop for ChaosGuard {
     fn drop(&mut self) {
         CHAOS.with(|c| *c.borrow_mut() = None);
+        CHAOS_ON.with(|c| c.set(false));
     }
 }
 
@@ -102,7 +133,10 @@ impl Drop for ChaosGuard {
 /// accounting layer after every base-object operation.
 #[inline]
 pub(crate) fn maybe_perturb() {
-    // Fast path: a single thread-local check when chaos is off.
+    // Fast path: a single thread-local flag when chaos is off.
+    if !CHAOS_ON.with(std::cell::Cell::get) {
+        return;
+    }
     CHAOS.with(|c| {
         let mut state = c.borrow_mut();
         let Some(state) = state.as_mut() else {
@@ -122,6 +156,30 @@ pub(crate) fn maybe_perturb() {
                 std::hint::spin_loop();
             }
         }
+    });
+}
+
+/// Possibly parks the calling thread while it holds a fresh epoch pin.
+/// Called by [`crate::epoch::pin`] right after the pin is established, so the
+/// park provably overlaps the pinned interval.
+#[inline]
+pub(crate) fn maybe_park_pinned() {
+    // Fast path: one thread-local flag — this runs inside every epoch pin.
+    if !CHAOS_ON.with(std::cell::Cell::get) {
+        return;
+    }
+    CHAOS.with(|c| {
+        let mut state = c.borrow_mut();
+        let Some(state) = state.as_mut() else {
+            return;
+        };
+        if state.config.max_pinned_park_us == 0
+            || !state.rng.gen_bool(state.config.pinned_park_probability)
+        {
+            return;
+        }
+        let us = state.rng.gen_range(1..=state.config.max_pinned_park_us);
+        std::thread::sleep(Duration::from_micros(us));
     });
 }
 
@@ -150,6 +208,19 @@ mod tests {
         for _ in 0..200 {
             record(OpKind::Cas);
         }
+    }
+
+    #[test]
+    fn reclamation_config_parks_inside_pins_without_hanging() {
+        let _g = enable(11, ChaosConfig::reclamation());
+        for _ in 0..200 {
+            // Each pin may park the thread inside the pinned epoch; the pin
+            // must still establish and release correctly.
+            let guard = crate::epoch::pin();
+            assert!(crate::epoch::is_pinned());
+            drop(guard);
+        }
+        assert!(!crate::epoch::is_pinned());
     }
 
     #[test]

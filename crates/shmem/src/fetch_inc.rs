@@ -5,6 +5,13 @@
 //! returns the *new* value; the object can also be read without modifying it.
 //! Indices handed out by the object in Figure 2 start at 1 (index 0 is "no
 //! slot"), which is why the increment-then-return-new convention is kept here.
+//!
+//! Audit note (lock-free sweep): this object has always been a bare
+//! [`AtomicU64`] — `fetch_increment` is one hardware `fetch_add` and `read`
+//! one acquire load. It never went through a lock or a `VersionedCell`, so
+//! both [`OpKind::FetchInc`] and the [`OpKind::Read`] it reports are
+//! genuinely single hardware operations, matching the cost model's
+//! assumption that a base-object step is one primitive.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -8,8 +8,9 @@
 //! object operations it performs.
 //!
 //! This crate provides exactly those base objects, built on hardware atomics
-//! and `crossbeam-epoch` so that the implemented algorithms remain lock-free at
-//! the machine level, together with:
+//! and a small vendored epoch-reclamation module ([`epoch`]) so that the
+//! implemented algorithms remain lock-free at the machine level while the
+//! workspace stays hermetic (no external crates), together with:
 //!
 //! * per-thread **step accounting** ([`steps`]) so that measured costs are the
 //!   paper's costs (base-object operations), not an artifact of wall-clock
@@ -36,19 +37,41 @@
 //! number), which plays the role of the paper's `(id, counter)` pair: two reads
 //! returning the same stamp guarantee the register did not change in between,
 //! eliminating the ABA problem exactly as in the paper.
+//!
+//! # Every base object is a single hardware operation
+//!
+//! All four [`OpKind`]s map to one machine-level atomic on their object's
+//! word — no locks, no syscalls, no helper loops:
+//!
+//! | base object step | hardware operation |
+//! |---|---|
+//! | `VersionedCell::load` | acquire pointer load |
+//! | `VersionedCell::store` | atomic pointer `swap` |
+//! | `VersionedCell::compare_and_swap` | pointer `compare_exchange` |
+//! | `FetchIncrement::fetch_increment` | `fetch_add` on an `AtomicU64` |
+//! | `WordRegister::read` / `write` | load / store on an `AtomicU64` |
+//!
+//! Retired `VersionedCell` records are reclaimed by the [`epoch`] module;
+//! reads never write shared memory, so a `load` is wait-free in the strongest
+//! sense. The lock-guarded cell that predates this design is kept as
+//! [`RwLockVersionedCell`] purely as the baseline for the E9 contention
+//! experiment.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod chaos;
+pub mod epoch;
 pub mod fetch_inc;
 pub mod process;
+pub mod rwlock_cell;
 pub mod seg_array;
 pub mod steps;
 pub mod versioned;
 
 pub use fetch_inc::FetchIncrement;
 pub use process::ProcessId;
+pub use rwlock_cell::RwLockVersionedCell;
 pub use seg_array::{SegmentedArray, WordRegister};
 pub use steps::{OpKind, StepReport, StepScope};
 pub use versioned::{Versioned, VersionedCell};

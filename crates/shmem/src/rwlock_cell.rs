@@ -1,0 +1,135 @@
+//! The lock-guarded `VersionedCell` implementation that PR 1 shipped,
+//! retained verbatim as the **E9 contention baseline**.
+//!
+//! [`RwLockVersionedCell`] has exactly the interface and semantics of
+//! [`VersionedCell`](crate::VersionedCell) — same stamps, same step
+//! accounting, same `Versioned` handles — but guards the handle swing with a
+//! `std::sync::RwLock` instead of swinging an atomic pointer. At the level of
+//! the paper's model the two are indistinguishable (each operation is one
+//! linearizable base-object step either way); at the hardware level the lock
+//! serializes all writers and puts a contended lock word (and, under
+//! contention, a futex syscall) on every read. Experiment E9 measures exactly
+//! that difference. **Algorithm code must use
+//! [`VersionedCell`](crate::VersionedCell)**; this type exists only so the
+//! benchmark can keep comparing against the lock-based design it replaced.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::steps::{self, OpKind};
+use crate::versioned::Versioned;
+
+/// The PR-1 lock-guarded register / compare&swap object (E9 baseline only).
+pub struct RwLockVersionedCell<T> {
+    inner: RwLock<Versioned<T>>,
+    next_stamp: AtomicU64,
+}
+
+impl<T: Send + Sync + 'static> RwLockVersionedCell<T> {
+    /// Creates a cell holding `initial` (stamp 0).
+    pub fn new(initial: T) -> Self {
+        Self::from_arc(Arc::new(initial))
+    }
+
+    /// Creates a cell holding an already-shared record.
+    pub fn from_arc(initial: Arc<T>) -> Self {
+        RwLockVersionedCell {
+            inner: RwLock::new(Versioned::from_parts(0, initial)),
+            next_stamp: AtomicU64::new(1),
+        }
+    }
+
+    fn fresh_stamp(&self) -> u64 {
+        self.next_stamp.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn read_guard(&self) -> RwLockReadGuard<'_, Versioned<T>> {
+        // A panicking writer cannot leave a torn record (the critical section
+        // only swaps whole `Versioned`s), so poisoning is ignored.
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_guard(&self) -> RwLockWriteGuard<'_, Versioned<T>> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Atomically reads the current record.
+    pub fn load(&self) -> Versioned<T> {
+        steps::record(OpKind::Read);
+        self.read_guard().clone()
+    }
+
+    /// Atomically replaces the current record with `value`.
+    pub fn store(&self, value: T) {
+        self.store_arc(Arc::new(value));
+    }
+
+    /// Atomically replaces the current record with an already-shared record.
+    pub fn store_arc(&self, value: Arc<T>) {
+        steps::record(OpKind::Write);
+        let mut guard = self.write_guard();
+        *guard = Versioned::from_parts(self.fresh_stamp(), value);
+    }
+
+    /// Atomically installs `new` if and only if the cell still holds the exact
+    /// record previously observed as `expected`.
+    pub fn compare_and_swap(
+        &self,
+        expected: &Versioned<T>,
+        new: T,
+    ) -> Result<Versioned<T>, Versioned<T>> {
+        self.compare_and_swap_arc(expected, Arc::new(new))
+    }
+
+    /// Like [`compare_and_swap`](Self::compare_and_swap) but takes an
+    /// already-shared record.
+    pub fn compare_and_swap_arc(
+        &self,
+        expected: &Versioned<T>,
+        new: Arc<T>,
+    ) -> Result<Versioned<T>, Versioned<T>> {
+        steps::record(OpKind::Cas);
+        let mut guard = self.write_guard();
+        if guard.stamp() != expected.stamp() {
+            return Err(guard.clone());
+        }
+        *guard = Versioned::from_parts(self.fresh_stamp(), new);
+        Ok(guard.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_cell_semantics() {
+        let cell = RwLockVersionedCell::new(1u32);
+        let v1 = cell.load();
+        let v2 = cell.load();
+        assert!(v1.same_version(&v2));
+        cell.store(2);
+        let v3 = cell.load();
+        assert!(!v1.same_version(&v3));
+        assert_eq!(*v3.value(), 2);
+        // CAS from a stale version fails and reports the winner; retrying
+        // with the reported version succeeds.
+        let err = cell.compare_and_swap(&v1, 9).unwrap_err();
+        assert_eq!(*err.value(), 2);
+        let installed = cell.compare_and_swap(&err, 9).expect("cas from current");
+        assert_eq!(*installed.value(), 9);
+    }
+
+    #[test]
+    fn baseline_counts_steps_identically() {
+        let cell = RwLockVersionedCell::new(0u8);
+        let scope = crate::steps::StepScope::start();
+        let v = cell.load();
+        cell.store(1);
+        let _ = cell.compare_and_swap(&v, 2);
+        let report = scope.finish();
+        assert_eq!(report.reads, 1);
+        assert_eq!(report.writes, 1);
+        assert_eq!(report.cas, 1);
+    }
+}

@@ -1,33 +1,46 @@
-//! `VersionedCell`: an atomic register over large immutable records that also
-//! supports compare&swap.
+//! `VersionedCell`: a lock-free atomic register over large immutable records
+//! that also supports compare&swap.
 //!
 //! The paper's algorithms store records of the form `(value, view, counter,
 //! id)` in a single register or compare&swap object. Such records are far too
 //! large for a hardware word, so — exactly as the paper suggests — the cell
-//! stores a handle to an immutable heap record and swings that handle
-//! atomically. Records are `Arc`s, so readers obtain an owned handle and
-//! results remain valid arbitrarily long after the register is overwritten.
+//! stores a pointer to an immutable heap record and swings that pointer
+//! atomically:
 //!
-//! The handle swing is guarded by a `std::sync::RwLock` whose critical
-//! sections are a handful of instructions (clone an `Arc` / swap a field).
-//! This workspace builds hermetically, so the epoch-based reclamation a
-//! lock-free pointer swing would need is not available; at the level of the
-//! paper's model this makes no difference — a `VersionedCell` operation is a
-//! single linearizable base-object step either way, and the step accounting
-//! (the paper's cost metric) is unchanged. `RwLock` keeps concurrent readers
-//! fully parallel, which is what the scan-heavy algorithms need.
+//! * [`load`](VersionedCell::load) is **one acquire load of the pointer**
+//!   (wait-free; the cell word itself is never written by a read);
+//! * [`store`](VersionedCell::store) is one atomic `swap` of the pointer;
+//! * [`compare_and_swap`](VersionedCell::compare_and_swap) is one hardware
+//!   `compare_exchange` on the pointer.
+//!
+//! Each operation is a single linearizable base-object step, so the step
+//! accounting (the paper's cost metric) is identical to the earlier
+//! `RwLock`-guarded implementation — but no operation ever blocks, spins on a
+//! lock word, or makes a syscall, which is what lets throughput keep scaling
+//! with threads (experiment E9; [`RwLockVersionedCell`](crate::rwlock_cell)
+//! is that earlier implementation, retained as the E9 baseline).
+//!
+//! Records unlinked by `store`/`compare_and_swap` are reclaimed through the
+//! vendored epoch scheme of [`crate::epoch`]: every operation runs under an
+//! epoch pin, and an unlinked record is only freed once no pinned thread can
+//! still dereference it. Values themselves are `Arc`s inside the record, so a
+//! [`Versioned`] handle returned by `load` remains valid arbitrarily long
+//! after the register is overwritten — and after the record that carried it
+//! has been reclaimed.
 //!
 //! Every installed record carries a *stamp* that is unique within the cell.
 //! Two loads returning equal stamps therefore guarantee that the register held
 //! that exact record for the whole interval between the loads (the property
 //! the paper obtains by tagging writes with `(id, counter)`), and
 //! [`VersionedCell::compare_and_swap`] succeeds exactly when the register
-//! still holds the record the caller previously loaded — there is no ABA
-//! window.
+//! still holds the record the caller previously loaded. There is no ABA
+//! window at either level: stamps are never reused, and the epoch pin keeps a
+//! compared pointer from being freed and reallocated mid-operation.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
 
+use crate::epoch;
 use crate::steps::{self, OpKind};
 
 /// A value read from a [`VersionedCell`], together with the version stamp it
@@ -53,6 +66,12 @@ impl<T> Clone for Versioned<T> {
 }
 
 impl<T> Versioned<T> {
+    /// Assembles a version handle. Used by this crate's register
+    /// implementations ([`VersionedCell`], the `RwLock` baseline).
+    pub(crate) fn from_parts(stamp: u64, value: Arc<T>) -> Self {
+        Versioned { stamp, value }
+    }
+
     /// The record that was stored in the cell.
     #[inline]
     pub fn value(&self) -> &T {
@@ -65,8 +84,13 @@ impl<T> Versioned<T> {
         Arc::clone(&self.value)
     }
 
-    /// The version stamp: unique per cell, strictly increasing across
-    /// successful installs.
+    /// The version stamp: unique per cell and never reused, so equal stamps
+    /// mean the identical install. Stamps increase in allocation order, which
+    /// matches install order for non-overlapping operations (and along any
+    /// chain of successful compare&swaps); two *concurrent* stores may commit
+    /// in the opposite order of their stamps — concurrent writes to a
+    /// register have no inherent order, and nothing in the paper's algorithms
+    /// compares stamps for magnitude.
     #[inline]
     pub fn stamp(&self) -> u64 {
         self.stamp
@@ -87,7 +111,15 @@ impl<T> std::ops::Deref for Versioned<T> {
     }
 }
 
-/// An atomic register / compare&swap object over immutable records of type `T`.
+/// The immutable heap record a cell points at. The stamp is embedded in the
+/// record, so a single pointer load observes `(stamp, value)` atomically.
+struct Record<T> {
+    stamp: u64,
+    value: Arc<T>,
+}
+
+/// A lock-free atomic register / compare&swap object over immutable records
+/// of type `T`.
 ///
 /// * [`load`](VersionedCell::load) is the paper's `read` (one step, kind
 ///   [`OpKind::Read`]).
@@ -98,11 +130,18 @@ impl<T> std::ops::Deref for Versioned<T> {
 ///   identified by the version previously returned from `load`.
 ///
 /// All three operations are linearizable; each is one base-object step of the
-/// cost model.
+/// cost model, and each is a single hardware operation on the cell's pointer
+/// word (`load` / `swap` / `compare_exchange`).
 pub struct VersionedCell<T> {
-    inner: RwLock<Versioned<T>>,
+    ptr: AtomicPtr<Record<T>>,
     next_stamp: AtomicU64,
 }
+
+// Safety: the cell hands out `Arc<T>` clones across threads (needs
+// `T: Send + Sync`) and defers record drops to arbitrary threads (needs
+// `T: Send`). The pointer itself is only mutated atomically.
+unsafe impl<T: Send + Sync> Send for VersionedCell<T> {}
+unsafe impl<T: Send + Sync> Sync for VersionedCell<T> {}
 
 impl<T: Send + Sync + 'static> VersionedCell<T> {
     /// Creates a cell holding `initial` (stamp 0).
@@ -113,10 +152,10 @@ impl<T: Send + Sync + 'static> VersionedCell<T> {
     /// Creates a cell holding an already-shared record.
     pub fn from_arc(initial: Arc<T>) -> Self {
         VersionedCell {
-            inner: RwLock::new(Versioned {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(Record {
                 stamp: 0,
                 value: initial,
-            }),
+            }))),
             next_stamp: AtomicU64::new(1),
         }
     }
@@ -126,20 +165,25 @@ impl<T: Send + Sync + 'static> VersionedCell<T> {
         self.next_stamp.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn read_guard(&self) -> RwLockReadGuard<'_, Versioned<T>> {
-        // A panicking writer cannot leave a torn record (the critical section
-        // only swaps whole `Versioned`s), so poisoning is ignored.
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
-    }
-
-    fn write_guard(&self) -> RwLockWriteGuard<'_, Versioned<T>> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    /// Reads the current record **without** recording a base-object step.
+    ///
+    /// Diagnostic reads (the `Debug` impl, test assertions, monitoring) must
+    /// not perturb the paper's step accounting: debug-printing a cell in the
+    /// middle of a measured operation would otherwise inject a spurious
+    /// [`OpKind::Read`]. This is not part of the paper's object interface —
+    /// algorithm code uses [`load`](Self::load).
+    pub fn peek(&self) -> Versioned<T> {
+        let guard = epoch::pin();
+        let rec = unsafe { &*self.ptr.load(Ordering::Acquire) };
+        let v = Versioned::from_parts(rec.stamp, Arc::clone(&rec.value));
+        drop(guard);
+        v
     }
 
     /// Atomically reads the current record.
     pub fn load(&self) -> Versioned<T> {
         steps::record(OpKind::Read);
-        self.read_guard().clone()
+        self.peek()
     }
 
     /// Atomically replaces the current record with `value`.
@@ -150,11 +194,17 @@ impl<T: Send + Sync + 'static> VersionedCell<T> {
     /// Atomically replaces the current record with an already-shared record.
     pub fn store_arc(&self, value: Arc<T>) {
         steps::record(OpKind::Write);
-        let mut guard = self.write_guard();
-        *guard = Versioned {
+        let fresh = Box::into_raw(Box::new(Record {
             stamp: self.fresh_stamp(),
             value,
-        };
+        }));
+        let old = self.ptr.swap(fresh, Ordering::AcqRel);
+        // No epoch pin: a pure write never dereferences the displaced
+        // record, and `retire` only needs the unlink (the swap above) to
+        // have happened first.
+        // Safety: `old` was just unlinked by the swap and is never retired
+        // twice (each install retires exactly the record it displaced).
+        unsafe { epoch::retire(old) };
     }
 
     /// Atomically installs `new` if and only if the cell still holds the exact
@@ -179,21 +229,59 @@ impl<T: Send + Sync + 'static> VersionedCell<T> {
         new: Arc<T>,
     ) -> Result<Versioned<T>, Versioned<T>> {
         steps::record(OpKind::Cas);
-        let mut guard = self.write_guard();
-        if guard.stamp != expected.stamp {
-            return Err(guard.clone());
+        let guard = epoch::pin();
+        let current = self.ptr.load(Ordering::Acquire);
+        // Safety: protected by the pin — `current` cannot be freed (or freed
+        // and reallocated, which is what rules out pointer ABA below) while
+        // this thread is pinned.
+        let current_rec = unsafe { &*current };
+        if current_rec.stamp != expected.stamp {
+            return Err(Versioned::from_parts(
+                current_rec.stamp,
+                Arc::clone(&current_rec.value),
+            ));
         }
-        *guard = Versioned {
-            stamp: self.fresh_stamp(),
-            value: new,
-        };
-        Ok(guard.clone())
+        let stamp = self.fresh_stamp();
+        let installed = Versioned::from_parts(stamp, Arc::clone(&new));
+        let fresh = Box::into_raw(Box::new(Record { stamp, value: new }));
+        match self
+            .ptr
+            .compare_exchange(current, fresh, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(old) => {
+                // Safety: `old` (== `current`) was just unlinked by this CAS.
+                unsafe { guard.defer_drop(old) };
+                Ok(installed)
+            }
+            Err(winner) => {
+                // Our record was never published: free it directly.
+                // Safety: `fresh` was allocated above and never shared.
+                drop(unsafe { Box::from_raw(fresh) });
+                // Safety: `winner` is protected by the pin, as above.
+                let winner_rec = unsafe { &*winner };
+                Err(Versioned::from_parts(
+                    winner_rec.stamp,
+                    Arc::clone(&winner_rec.value),
+                ))
+            }
+        }
+    }
+}
+
+impl<T> Drop for VersionedCell<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no concurrent operation can hold the current
+        // record, and all displaced records went through `defer_drop`.
+        let current = *self.ptr.get_mut();
+        drop(unsafe { Box::from_raw(current) });
     }
 }
 
 impl<T: Send + Sync + 'static + std::fmt::Debug> std::fmt::Debug for VersionedCell<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let v = self.load();
+        // `peek`, not `load`: formatting a cell must not count as a
+        // base-object step of the algorithm being measured.
+        let v = self.peek();
         f.debug_struct("VersionedCell")
             .field("stamp", &v.stamp())
             .field("value", v.value())
@@ -272,6 +360,22 @@ mod tests {
     }
 
     #[test]
+    fn values_survive_overwrite_past_reclamation() {
+        // Like `values_survive_overwrite`, but with enough overwrites that
+        // the records the handles came from are retired *and collected*: the
+        // `Arc` inside the handle, not the record's lifetime, keeps the value
+        // alive.
+        let cell = VersionedCell::new(vec![1u64, 2, 3]);
+        let early = cell.load();
+        for i in 0..5_000u64 {
+            cell.store(vec![i]);
+        }
+        crate::epoch::flush();
+        assert_eq!(early.value(), &vec![1, 2, 3]);
+        assert_eq!(*cell.load().value(), vec![4_999]);
+    }
+
+    #[test]
     fn steps_are_counted() {
         let cell = VersionedCell::new(0u8);
         let scope = crate::steps::StepScope::start();
@@ -284,6 +388,25 @@ mod tests {
         assert_eq!(report.reads, 2);
         assert_eq!(report.writes, 1);
         assert_eq!(report.cas, 2);
+    }
+
+    #[test]
+    fn peek_and_debug_do_not_count_steps() {
+        let cell = VersionedCell::new(7u32);
+        let scope = crate::steps::StepScope::start();
+        let peeked = cell.peek();
+        let text = format!("{cell:?}");
+        let report = scope.finish();
+        assert_eq!(*peeked.value(), 7);
+        assert!(text.contains("VersionedCell"));
+        assert!(text.contains('7'));
+        assert_eq!(
+            report.total(),
+            0,
+            "diagnostic reads must not perturb step accounting"
+        );
+        // A peeked version is a real version: it can seed a successful CAS.
+        cell.compare_and_swap(&peeked, 8).expect("peek is current");
     }
 
     #[test]
