@@ -1,0 +1,82 @@
+//! E10 companion (wall-clock): one `update_many` batch vs the same writes as
+//! a loop of single updates, across batch sizes, with and without announced
+//! scanners.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psnap_bench::ImplKind;
+use psnap_core::ProcessId;
+
+const M: usize = 256;
+
+fn bench_batch_sizes(c: &mut Criterion, group_name: &str, scanners: usize) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for kind in [ImplKind::Cas, ImplKind::SHARDED_CAS_4] {
+        let snapshot = kind.build(M, 1 + scanners.max(1), 0);
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..scanners)
+            .map(|s| {
+                let snapshot = Arc::clone(&snapshot);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let comps: Vec<usize> = (s * 8..s * 8 + 8).collect();
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = snapshot.scan(ProcessId(1 + s), &comps);
+                    }
+                })
+            })
+            .collect();
+        for batch in [2usize, 4, 8, 16] {
+            // Stride the batch across the object so sharded placements are
+            // exercised cross-shard.
+            let comps: Vec<usize> = (0..batch).map(|i| (i * M / batch) % M).collect();
+            let mut v = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-batched", kind.label()), batch),
+                &batch,
+                |b, _| {
+                    b.iter(|| {
+                        v += 1;
+                        let writes: Vec<(usize, u64)> = comps.iter().map(|&c| (c, v)).collect();
+                        snapshot.update_many(ProcessId(0), &writes);
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-looped", kind.label()), batch),
+                &batch,
+                |b, _| {
+                    b.iter(|| {
+                        v += 1;
+                        for &c in &comps {
+                            snapshot.update(ProcessId(0), c, v);
+                        }
+                    })
+                },
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+    group.finish();
+}
+
+fn quiescent(c: &mut Criterion) {
+    bench_batch_sizes(c, "batched_updates_quiescent", 0);
+}
+
+fn with_scanners(c: &mut Criterion) {
+    bench_batch_sizes(c, "batched_updates_with_scanners", 2);
+}
+
+criterion_group!(benches, quiescent, with_scanners);
+criterion_main!(benches);

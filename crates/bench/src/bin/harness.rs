@@ -1,4 +1,4 @@
-//! The experiment harness: regenerates the E1–E9 tables of EXPERIMENTS.md.
+//! The experiment harness: regenerates the E1–E10 tables of EXPERIMENTS.md.
 //!
 //! Usage:
 //!
@@ -10,11 +10,13 @@
 //! testing the harness itself); without it, the full effort used for
 //! EXPERIMENTS.md is applied. `--json` additionally writes machine-readable
 //! results for the experiments that define a JSON schema (E8 →
-//! `BENCH_E8.json`, E9 → `BENCH_E9.json`), so the performance trajectory of
-//! the sharded store and of the lock-free cell can be tracked across commits.
+//! `BENCH_E8.json`, E9 → `BENCH_E9.json`, E10 → `BENCH_E10.json`), so the
+//! performance trajectory of the sharded store, the lock-free cell and the
+//! batched-update path can be tracked across commits.
 
 use psnap_bench::{
-    e8_sharding_data, e9_cell_contention_data, run_experiment, Effort, ALL_EXPERIMENTS,
+    e10_batched_updates_data, e8_sharding_data, e9_cell_contention_data, run_experiment, Effort,
+    ALL_EXPERIMENTS,
 };
 
 fn main() {
@@ -33,7 +35,7 @@ fn main() {
         _ => true,
     });
     if args.is_empty() {
-        eprintln!("usage: harness [--quick] [--json] <E1..E9 | all> [more ids...]");
+        eprintln!("usage: harness [--quick] [--json] <E1..E10 | all> [more ids...]");
         std::process::exit(2);
     }
     let ids: Vec<String> = if args.iter().any(|a| a.eq_ignore_ascii_case("all")) {
@@ -59,6 +61,14 @@ fn main() {
                     "BENCH_E9.json",
                     data.to_json(),
                     psnap_bench::experiments::e9_cell_contention_table(&data),
+                ))
+            }
+            "E10" if json => {
+                let data = e10_batched_updates_data(effort);
+                Some((
+                    "BENCH_E10.json",
+                    data.to_json(),
+                    psnap_bench::experiments::e10_batched_updates_table(&data),
                 ))
             }
             _ => None,

@@ -1,4 +1,4 @@
-//! The E1–E9 experiments of EXPERIMENTS.md.
+//! The E1–E10 experiments of EXPERIMENTS.md.
 //!
 //! Each function returns a [`Table`] that the harness binary prints as
 //! GitHub-flavoured markdown. The experiments measure the paper's cost metric
@@ -171,6 +171,7 @@ pub fn e3_update_cost(effort: Effort) -> Table {
                 scanners,
                 ops_per_updater: effort.ops,
                 ops_per_scanner: effort.ops,
+                update_batch: 1,
                 update_range: None,
                 zipf_s: None,
                 seed: 0xE3,
@@ -309,6 +310,7 @@ pub fn e5_register_snapshot(effort: Effort) -> Table {
             scanners: 2,
             ops_per_updater: effort.ops,
             ops_per_scanner: effort.ops,
+            update_batch: 1,
             update_range: Some(8),
             zipf_s: None,
             seed: 0xE5,
@@ -1099,6 +1101,271 @@ pub fn e9_cell_contention_table(data: &E9Data) -> Table {
     }
 }
 
+/// One measured row of experiment E10: batched vs looped single updates for
+/// one (implementation, distribution, batch size) point.
+#[derive(Clone, Debug)]
+pub struct E10Point {
+    /// Implementation label (`ImplKind::label`).
+    pub impl_label: &'static str,
+    /// `"uniform"` or `"zipf"`.
+    pub dist: &'static str,
+    /// Components written per batch.
+    pub batch: usize,
+    /// Mean base-object steps per *component written* when the batch is
+    /// applied with one `update_many` call.
+    pub batched_steps_per_component: f64,
+    /// Mean base-object steps per component written when the same component
+    /// sets are applied as loops of single `update` calls.
+    pub looped_steps_per_component: f64,
+    /// Component writes per second via `update_many` (wall clock).
+    pub batched_comps_per_sec: f64,
+    /// Component writes per second via looped single updates (wall clock).
+    pub looped_comps_per_sec: f64,
+    /// `looped_steps_per_component / batched_steps_per_component` — the
+    /// paper's cost-model speedup of batching.
+    pub step_speedup: f64,
+    /// `batched_comps_per_sec / looped_comps_per_sec` (wall clock, secondary
+    /// evidence on shared hosts).
+    pub throughput_speedup: f64,
+}
+
+/// The raw data behind experiment E10 (also serialized to `BENCH_E10.json`).
+#[derive(Clone, Debug)]
+pub struct E10Data {
+    /// Number of components of each measured object.
+    pub m: usize,
+    /// Batches measured per point.
+    pub ops: usize,
+    /// Continuously scanning background processes per point.
+    pub scanners: usize,
+    /// One entry per (implementation × distribution × batch size).
+    pub points: Vec<E10Point>,
+}
+
+impl E10Data {
+    /// The experiment description used by the table and the JSON document.
+    pub fn description(&self) -> String {
+        format!(
+            "atomic batched updates (update_many) vs looped single updates: base-object \
+             steps and wall-clock throughput per component written, vs batch size, with \
+             {} scanners continuously announcing (m = {}, uniform and Zipf(0.9) component \
+             selection). Batching pays the getSet + helping-scan cost once per batch \
+             instead of once per component, so steps per component fall as the batch \
+             grows; the sharded object additionally amortizes its latch check and \
+             per-shard epoch bumps over each shard's sub-batch.",
+            self.scanners, self.m
+        )
+    }
+
+    /// Serializes the data for `BENCH_E10.json`.
+    pub fn to_json(&self) -> psnap_json::Json {
+        use psnap_json::Json;
+        Json::obj([
+            ("experiment", Json::Str("E10".into())),
+            ("description", Json::Str(self.description())),
+            ("m", Json::Num(self.m as f64)),
+            ("ops", Json::Num(self.ops as f64)),
+            ("scanners", Json::Num(self.scanners as f64)),
+            (
+                "points",
+                Json::arr(self.points.iter().map(|p| {
+                    Json::obj([
+                        ("impl", Json::Str(p.impl_label.into())),
+                        ("dist", Json::Str(p.dist.into())),
+                        ("batch", Json::Num(p.batch as f64)),
+                        (
+                            "batched_steps_per_component",
+                            Json::Num(p.batched_steps_per_component),
+                        ),
+                        (
+                            "looped_steps_per_component",
+                            Json::Num(p.looped_steps_per_component),
+                        ),
+                        ("batched_comps_per_sec", Json::Num(p.batched_comps_per_sec)),
+                        ("looped_comps_per_sec", Json::Num(p.looped_comps_per_sec)),
+                        ("step_speedup", Json::Num(p.step_speedup)),
+                        ("throughput_speedup", Json::Num(p.throughput_speedup)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+/// One E10 measurement: the same pregenerated component sets are applied once
+/// as `update_many` batches and once as loops of single updates, while
+/// `scanners` background processes scan continuously (announcements stay
+/// live, so the helping cost both paths amortize differently is real).
+/// Returns `(batched steps/component, looped steps/component, batched
+/// components/sec, looped components/sec)`.
+fn e10_point(
+    kind: ImplKind,
+    m: usize,
+    batch: usize,
+    ops: usize,
+    scanners: usize,
+    zipf_s: Option<f64>,
+) -> (f64, f64, f64, f64) {
+    use psnap_workloads::IndexDist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let snapshot = kind.build(m, 1 + scanners, 0);
+    let dist = match zipf_s {
+        Some(s) => IndexDist::zipf(m, s),
+        None => IndexDist::uniform(m),
+    };
+    let mut rng = StdRng::seed_from_u64(0xE10 ^ (batch as u64) << 8);
+    let sets: Vec<Vec<usize>> = (0..ops).map(|_| dist.sample_set(&mut rng, batch)).collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for s in 0..scanners {
+            let snapshot = Arc::clone(&snapshot);
+            let dist = dist.clone();
+            let stop = Arc::clone(&stop);
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xE10AB ^ ((s as u64) << 13));
+                while !stop.load(Ordering::Relaxed) {
+                    let comps = dist.sample_set(&mut rng, 8);
+                    let _ = snapshot.scan(ProcessId(1 + s), &comps);
+                }
+            }));
+        }
+        // Alternate looped and batched application of the same sets so both
+        // paths face the same background scanner phases.
+        let mut batched_steps = 0u64;
+        let mut looped_steps = 0u64;
+        let mut batched_wall = std::time::Duration::ZERO;
+        let mut looped_wall = std::time::Duration::ZERO;
+        let mut value = 1u64;
+        for set in &sets {
+            let writes: Vec<(usize, u64)> = set.iter().map(|&c| (c, value)).collect();
+            value += 1;
+            let scope_steps = StepScope::start();
+            let t0 = std::time::Instant::now();
+            for &(c, v) in &writes {
+                snapshot.update(ProcessId(0), c, v);
+            }
+            looped_wall += t0.elapsed();
+            looped_steps += scope_steps.finish().total();
+
+            let writes: Vec<(usize, u64)> = set.iter().map(|&c| (c, value)).collect();
+            value += 1;
+            let scope_steps = StepScope::start();
+            let t0 = std::time::Instant::now();
+            snapshot.update_many(ProcessId(0), &writes);
+            batched_wall += t0.elapsed();
+            batched_steps += scope_steps.finish().total();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().expect("E10 scanner panicked");
+        }
+        let components = (ops * batch) as f64;
+        (
+            batched_steps as f64 / components,
+            looped_steps as f64 / components,
+            if batched_wall.is_zero() {
+                0.0
+            } else {
+                components / batched_wall.as_secs_f64()
+            },
+            if looped_wall.is_zero() {
+                0.0
+            } else {
+                components / looped_wall.as_secs_f64()
+            },
+        )
+    })
+}
+
+/// Runs the E10 measurement: batched vs looped updates across batch sizes,
+/// for the Figure 3 object and the 4-way sharded composition, uniform and
+/// Zipf.
+pub fn e10_batched_updates_data(effort: Effort) -> E10Data {
+    let m = 256;
+    let scanners = 2;
+    let ops = effort.ops;
+    let mut points = Vec::new();
+    for kind in [ImplKind::Cas, ImplKind::SHARDED_CAS_4] {
+        for (dist, zipf_s) in [("uniform", None), ("zipf", Some(0.9f64))] {
+            for batch in [2usize, 4, 8, 16] {
+                let (batched_steps, looped_steps, batched_tput, looped_tput) =
+                    e10_point(kind, m, batch, ops, scanners, zipf_s);
+                points.push(E10Point {
+                    impl_label: kind.label(),
+                    dist,
+                    batch,
+                    batched_steps_per_component: batched_steps,
+                    looped_steps_per_component: looped_steps,
+                    batched_comps_per_sec: batched_tput,
+                    looped_comps_per_sec: looped_tput,
+                    step_speedup: if batched_steps > 0.0 {
+                        looped_steps / batched_steps
+                    } else {
+                        0.0
+                    },
+                    throughput_speedup: if looped_tput > 0.0 {
+                        batched_tput / looped_tput
+                    } else {
+                        0.0
+                    },
+                });
+            }
+        }
+    }
+    E10Data {
+        m,
+        ops,
+        scanners,
+        points,
+    }
+}
+
+/// E10 — atomic batched updates vs looped single updates.
+pub fn e10_batched_updates(effort: Effort) -> Table {
+    e10_batched_updates_table(&e10_batched_updates_data(effort))
+}
+
+/// Renders already-measured E10 data as a table (lets the harness emit the
+/// markdown table and `BENCH_E10.json` from one measurement run).
+pub fn e10_batched_updates_table(data: &E10Data) -> Table {
+    let rows = data
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.impl_label.to_string(),
+                p.dist.to_string(),
+                p.batch.to_string(),
+                format!("{:.1}", p.batched_steps_per_component),
+                format!("{:.1}", p.looped_steps_per_component),
+                format!("{:.2}x", p.step_speedup),
+                format!("{:.0}", p.batched_comps_per_sec / 1000.0),
+                format!("{:.0}", p.looped_comps_per_sec / 1000.0),
+                format!("{:.2}x", p.throughput_speedup),
+            ]
+        })
+        .collect();
+    Table {
+        id: "E10".into(),
+        title: data.description(),
+        headers: vec![
+            "impl".into(),
+            "dist".into(),
+            "batch".into(),
+            "batched steps/comp".into(),
+            "looped steps/comp".into(),
+            "step speedup".into(),
+            "batched kcomps/s".into(),
+            "looped kcomps/s".into(),
+            "throughput speedup".into(),
+        ],
+        rows,
+    }
+}
+
 /// Runs an experiment by id. Returns `None` for an unknown id.
 pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -1111,12 +1378,14 @@ pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
         "E7" => Some(e7_throughput(effort)),
         "E8" => Some(e8_sharding(effort)),
         "E9" => Some(e9_cell_contention(effort)),
+        "E10" => Some(e10_batched_updates(effort)),
         _ => None,
     }
 }
 
 /// All experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 9] = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"];
+pub const ALL_EXPERIMENTS: [&str; 10] =
+    ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"];
 
 #[cfg(test)]
 mod tests {
@@ -1231,6 +1500,39 @@ mod tests {
         assert_eq!(lf, rw);
         assert_eq!(lf.reads, 1);
         assert_eq!(lf.writes, 1);
+    }
+
+    #[test]
+    fn e10_smoke_json_shape_and_batching_wins_on_steps() {
+        let data = e10_batched_updates_data(Effort { ops: 12 });
+        // 2 implementations × 2 distributions × 4 batch sizes.
+        assert_eq!(data.points.len(), 16);
+        assert!(data
+            .points
+            .iter()
+            .all(|p| p.batched_steps_per_component > 0.0 && p.looped_steps_per_component > 0.0));
+        // The acceptance bar of the batching tentpole: at batch size >= 4, at
+        // least one implementation does strictly less base-object work per
+        // component batched than looped.
+        assert!(
+            data.points
+                .iter()
+                .any(|p| p.batch >= 4 && p.step_speedup > 1.0),
+            "batching never beat looping: {:?}",
+            data.points
+        );
+        let json = data.to_json();
+        assert_eq!(
+            json.get("experiment").and_then(psnap_json::Json::as_str),
+            Some("E10")
+        );
+        let points = json
+            .get("points")
+            .and_then(psnap_json::Json::as_array)
+            .unwrap();
+        assert_eq!(points.len(), 16);
+        let text = json.to_string_pretty();
+        assert_eq!(psnap_json::Json::parse(&text).unwrap(), json);
     }
 
     #[test]

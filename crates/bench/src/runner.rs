@@ -29,6 +29,10 @@ pub struct PointConfig {
     pub ops_per_updater: usize,
     /// Scans performed by each scanner.
     pub ops_per_scanner: usize,
+    /// Components written atomically per updater operation: `1` issues plain
+    /// `update` calls, `k > 1` issues `update_many` batches of `k` distinct
+    /// components (the E10 axis; steps and latency are recorded per batch).
+    pub update_batch: usize,
     /// If set, updaters only write components `0..k` (used to force update
     /// pressure onto the scanned components for worst-case experiments).
     pub update_range: Option<usize>,
@@ -49,6 +53,7 @@ impl PointConfig {
             scanners,
             ops_per_updater: ops,
             ops_per_scanner: ops,
+            update_batch: 1,
             update_range: None,
             zipf_s: None,
             seed: 0x5eed,
@@ -58,6 +63,14 @@ impl PointConfig {
     /// The same configuration with Zipf-distributed component selection.
     pub fn with_zipf(mut self, s: f64) -> Self {
         self.zipf_s = Some(s);
+        self
+    }
+
+    /// The same configuration with every updater op an atomic `update_many`
+    /// of `batch` distinct components.
+    pub fn with_update_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "a batch writes at least one component");
+        self.update_batch = batch;
         self
     }
 }
@@ -121,13 +134,26 @@ pub fn run_point(snapshot: &Arc<dyn PartialSnapshot<u64>>, cfg: &PointConfig) ->
             let mut latency = Vec::with_capacity(cfg.ops_per_updater);
             barrier.wait();
             for k in 0..cfg.ops_per_updater {
-                let component = dist.sample(&mut rng);
                 let value = (k as u64 + 1) * 1000 + u as u64;
-                let scope = StepScope::start();
-                let t0 = Instant::now();
-                snapshot.update(ProcessId(u), component, value);
-                latency.push(t0.elapsed().as_nanos() as f64);
-                steps.push(scope.finish().total());
+                if cfg.update_batch > 1 {
+                    let writes: Vec<(usize, u64)> = dist
+                        .sample_set(&mut rng, cfg.update_batch)
+                        .into_iter()
+                        .map(|c| (c, value))
+                        .collect();
+                    let scope = StepScope::start();
+                    let t0 = Instant::now();
+                    snapshot.update_many(ProcessId(u), &writes);
+                    latency.push(t0.elapsed().as_nanos() as f64);
+                    steps.push(scope.finish().total());
+                } else {
+                    let component = dist.sample(&mut rng);
+                    let scope = StepScope::start();
+                    let t0 = Instant::now();
+                    snapshot.update(ProcessId(u), component, value);
+                    latency.push(t0.elapsed().as_nanos() as f64);
+                    steps.push(scope.finish().total());
+                }
             }
             OpSamples {
                 steps,

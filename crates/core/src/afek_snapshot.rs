@@ -16,9 +16,10 @@ use std::sync::Arc;
 
 use psnap_shmem::{ProcessId, VersionedCell};
 
+use crate::batch::{dedupe_last_write_wins, BatchGate};
 use crate::collect::{collect, same_collect, view_of_collect, PerWriterTracker};
 use crate::entry::Entry;
-use crate::traits::{validate_args, PartialSnapshot};
+use crate::traits::{validate_args, validate_batch_args, PartialSnapshot};
 use crate::view::View;
 
 /// The classical full-snapshot object; partial scans are projections of full
@@ -27,6 +28,8 @@ pub struct AfekFullSnapshot<T> {
     registers: Vec<VersionedCell<Entry<T>>>,
     counters: Vec<AtomicU64>,
     all_components: Vec<usize>,
+    /// Guards multi-component batches (see [`crate::batch`]).
+    batches: BatchGate,
     n: usize,
 }
 
@@ -42,6 +45,7 @@ impl<T: Clone + Send + Sync + 'static> AfekFullSnapshot<T> {
                 .collect(),
             counters: (0..max_processes).map(|_| AtomicU64::new(0)).collect(),
             all_components: (0..m).collect(),
+            batches: BatchGate::new(),
             n: max_processes,
         }
     }
@@ -88,13 +92,38 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for AfekFullSnapshot<T
         self.counters[pid.index()].store(seq + 1, Ordering::Relaxed);
     }
 
+    fn update_many(&self, pid: ProcessId, writes: &[(usize, T)]) {
+        validate_batch_args(self.registers.len(), self.n, pid, writes);
+        let batch = dedupe_last_write_wins(writes);
+        match batch.len() {
+            0 => return,
+            1 => return self.update(pid, batch[0].0, batch[0].1.clone()),
+            _ => {}
+        }
+        // One embedded full scan for the whole batch.
+        let view = self.full_scan();
+        let seq = self.counters[pid.index()].load(Ordering::Relaxed);
+        let phase = self.batches.begin();
+        for (k, (component, value)) in batch.iter().enumerate() {
+            self.registers[*component].store(Entry::written(
+                Arc::new((*value).clone()),
+                view.clone(),
+                seq + k as u64,
+                pid,
+            ));
+        }
+        self.counters[pid.index()].store(seq + batch.len() as u64, Ordering::Relaxed);
+        drop(phase);
+    }
+
     fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T> {
         validate_args(self.registers.len(), self.n, pid, components);
         if components.is_empty() {
             return Vec::new();
         }
-        // Full scan, then project: the cost is Θ(m) regardless of r.
-        let view = self.full_scan();
+        // Full scan (batch-validated, see `crate::batch`), then project: the
+        // cost is Θ(m) regardless of r.
+        let view = self.batches.validated(|| self.full_scan());
         view.project(components)
             .expect("a full scan covers every component")
     }

@@ -19,9 +19,10 @@ use std::sync::Arc;
 
 use psnap_shmem::{ProcessId, VersionedCell};
 
+use crate::batch::{dedupe_last_write_wins, BatchGate};
 use crate::collect::{collect, same_collect};
 use crate::entry::Entry;
-use crate::traits::{validate_args, PartialSnapshot};
+use crate::traits::{validate_args, validate_batch_args, PartialSnapshot};
 use crate::view::View;
 
 /// Error returned by [`DoubleCollectSnapshot::try_scan`] when the attempt
@@ -48,6 +49,8 @@ impl std::error::Error for ScanStarved {}
 pub struct DoubleCollectSnapshot<T> {
     registers: Vec<VersionedCell<Entry<T>>>,
     counters: Vec<AtomicU64>,
+    /// Guards multi-component batches (see [`crate::batch`]).
+    batches: BatchGate,
     n: usize,
 }
 
@@ -62,6 +65,7 @@ impl<T: Clone + Send + Sync + 'static> DoubleCollectSnapshot<T> {
                 .map(|_| VersionedCell::new(Entry::initial(initial.clone())))
                 .collect(),
             counters: (0..max_processes).map(|_| AtomicU64::new(0)).collect(),
+            batches: BatchGate::new(),
             n: max_processes,
         }
     }
@@ -83,12 +87,21 @@ impl<T: Clone + Send + Sync + 'static> DoubleCollectSnapshot<T> {
         let mut announced: Vec<usize> = components.to_vec();
         announced.sort_unstable();
         announced.dedup();
+        // A clean double collect also has to sit inside a batch-free window
+        // (see `crate::batch`): both collects of a pair could otherwise land
+        // between two writes of one `update_many` and return a torn batch.
+        let mut gate_before_prev = self.batches.observe();
         let mut previous = collect(&self.registers, &announced);
         let mut performed = 1usize;
         while performed < max_collects {
+            let gate_mid = self.batches.observe();
             let current = collect(&self.registers, &announced);
             performed += 1;
-            if same_collect(&previous, &current) {
+            let gate_after = self.batches.observe();
+            if gate_before_prev.is_some()
+                && gate_before_prev == gate_after
+                && same_collect(&previous, &current)
+            {
                 let view = View::from_pairs(
                     announced
                         .iter()
@@ -101,6 +114,7 @@ impl<T: Clone + Send + Sync + 'static> DoubleCollectSnapshot<T> {
                     .expect("double collect covers all requested components"));
             }
             previous = current;
+            gate_before_prev = gate_mid;
         }
         Err(ScanStarved {
             collects_performed: performed,
@@ -123,6 +137,29 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for DoubleCollectSnaps
         // No helping: the entry carries an empty view.
         self.registers[component].store(Entry::written(Arc::new(value), View::empty(), seq, pid));
         self.counters[pid.index()].store(seq + 1, Ordering::Relaxed);
+    }
+
+    fn update_many(&self, pid: ProcessId, writes: &[(usize, T)]) {
+        validate_batch_args(self.registers.len(), self.n, pid, writes);
+        let batch = dedupe_last_write_wins(writes);
+        match batch.len() {
+            0 => return,
+            1 => return self.update(pid, batch[0].0, batch[0].1.clone()),
+            _ => {}
+        }
+        let seq = self.counters[pid.index()].load(Ordering::Relaxed);
+        let phase = self.batches.begin();
+        for (k, (component, value)) in batch.iter().enumerate() {
+            // No helping, like `update`: the entry carries an empty view.
+            self.registers[*component].store(Entry::written(
+                Arc::new((*value).clone()),
+                View::empty(),
+                seq + k as u64,
+                pid,
+            ));
+        }
+        self.counters[pid.index()].store(seq + batch.len() as u64, Ordering::Relaxed);
+        drop(phase);
     }
 
     fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T> {

@@ -46,6 +46,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod afek_snapshot;
+mod batch;
 pub mod cas_snapshot;
 mod collect;
 pub mod double_collect;

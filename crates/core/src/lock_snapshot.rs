@@ -9,7 +9,7 @@ use std::sync::RwLock;
 
 use psnap_shmem::ProcessId;
 
-use crate::traits::{validate_args, PartialSnapshot};
+use crate::traits::{validate_args, validate_batch_args, PartialSnapshot};
 
 /// Reader-writer-lock based snapshot: trivially consistent, but blocking.
 pub struct LockSnapshot<T> {
@@ -49,6 +49,17 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for LockSnapshot<T> {
         let mut guard = self.state.write().unwrap_or_else(|e| e.into_inner());
         validate_args(guard.len(), self.n, pid, &[component]);
         guard[component] = value;
+    }
+
+    fn update_many(&self, pid: ProcessId, writes: &[(usize, T)]) {
+        // One write-lock scope for the whole batch: scans hold the read lock,
+        // so the batch is atomic by mutual exclusion. Applying in order makes
+        // duplicates last-write-wins for free.
+        let mut guard = self.state.write().unwrap_or_else(|e| e.into_inner());
+        validate_batch_args(guard.len(), self.n, pid, writes);
+        for (component, value) in writes {
+            guard[*component] = value.clone();
+        }
     }
 
     fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T> {

@@ -33,9 +33,10 @@ use std::sync::Arc;
 use psnap_activeset::{ActiveSet, CollectActiveSet};
 use psnap_shmem::{ProcessId, VersionedCell};
 
+use crate::batch::{dedupe_last_write_wins, BatchGate};
 use crate::collect::{collect, same_collect, view_of_collect, PerWriterTracker};
 use crate::entry::Entry;
-use crate::traits::{validate_args, PartialSnapshot};
+use crate::traits::{validate_args, validate_batch_args, PartialSnapshot};
 use crate::view::View;
 
 /// The Figure 1 partial snapshot object (registers only).
@@ -48,6 +49,8 @@ pub struct RegisterPartialSnapshot<T, A: ActiveSet = CollectActiveSet> {
     scanners: A,
     /// Per-process update counters (each slot written only by its owner).
     counters: Vec<AtomicU64>,
+    /// Guards multi-component batches (see [`crate::batch`]).
+    batches: BatchGate,
     n: usize,
 }
 
@@ -78,6 +81,7 @@ impl<T: Clone + Send + Sync + 'static, A: ActiveSet> RegisterPartialSnapshot<T, 
                 .collect(),
             scanners: active_set,
             counters: (0..max_processes).map(|_| AtomicU64::new(0)).collect(),
+            batches: BatchGate::new(),
             n: max_processes,
         }
     }
@@ -149,6 +153,32 @@ impl<T: Clone + Send + Sync + 'static, A: ActiveSet> PartialSnapshot<T>
         self.counters[pid.index()].store(seq + 1, Ordering::Relaxed);
     }
 
+    fn update_many(&self, pid: ProcessId, writes: &[(usize, T)]) {
+        validate_batch_args(self.registers.len(), self.n, pid, writes);
+        let batch = dedupe_last_write_wins(writes);
+        match batch.len() {
+            0 => return,
+            1 => return self.update(pid, batch[0].0, batch[0].1.clone()),
+            _ => {}
+        }
+        // One getSet and one embedded helping scan for the whole batch — the
+        // amortization that makes batching cheaper than a loop of updates.
+        let announced = self.announced_components();
+        let view = self.embedded_scan(&announced);
+        let seq = self.counters[pid.index()].load(Ordering::Relaxed);
+        let phase = self.batches.begin();
+        for (k, (component, value)) in batch.iter().enumerate() {
+            self.registers[*component].store(Entry::written(
+                Arc::new((*value).clone()),
+                view.clone(),
+                seq + k as u64,
+                pid,
+            ));
+        }
+        self.counters[pid.index()].store(seq + batch.len() as u64, Ordering::Relaxed);
+        drop(phase);
+    }
+
     fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T> {
         validate_args(self.registers.len(), self.n, pid, components);
         if components.is_empty() {
@@ -162,9 +192,9 @@ impl<T: Clone + Send + Sync + 'static, A: ActiveSet> PartialSnapshot<T>
         announced.dedup();
         let announced = Arc::new(announced);
         self.announcements[pid.index()].store_arc(Arc::clone(&announced));
-        // join; embedded-scan; leave
+        // join; embedded-scan (batch-validated, see `crate::batch`); leave
         let ticket = self.scanners.join(pid);
-        let view = self.embedded_scan(&announced);
+        let view = self.batches.validated(|| self.embedded_scan(&announced));
         self.scanners.leave(pid, ticket);
         view.project(components).expect(
             "embedded scan must cover every announced component \

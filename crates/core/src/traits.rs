@@ -24,6 +24,30 @@ pub trait PartialSnapshot<T: Clone + Send + Sync + 'static>: Send + Sync {
     /// Atomically writes `value` into `component` on behalf of process `pid`.
     fn update(&self, pid: ProcessId, component: usize, value: T);
 
+    /// Atomically writes every `(component, value)` pair of `writes` on
+    /// behalf of process `pid`.
+    ///
+    /// # Atomicity contract
+    ///
+    /// The whole batch takes effect at a **single linearization point**: a
+    /// concurrent scan observes either every write of the batch or none of
+    /// them, never a strict subset. Duplicate components within one batch
+    /// resolve **last-write-wins** (the batch behaves as if only the final
+    /// occurrence of each component were present). An empty batch is a no-op
+    /// (the process id is still validated) and a one-element batch is
+    /// equivalent to [`update`](PartialSnapshot::update).
+    ///
+    /// # Progress
+    ///
+    /// Batched updates are serialized against each other per object, and
+    /// they make concurrent scans blocking: a scan waits out any batch write
+    /// phase in flight (so a batcher suspended mid-batch stalls scans until
+    /// it resumes), and a relentless batch stream can invalidate scan
+    /// windows unboundedly — the same trade the sharded store makes for
+    /// cross-shard scans. [`is_wait_free`](PartialSnapshot::is_wait_free)
+    /// continues to describe the paper's single-update/scan interface.
+    fn update_many(&self, pid: ProcessId, writes: &[(usize, T)]);
+
     /// Atomically reads the listed components on behalf of process `pid`.
     ///
     /// The `components` slice may list indices in any order; duplicates are
@@ -58,6 +82,9 @@ impl<T: Clone + Send + Sync + 'static, S: PartialSnapshot<T> + ?Sized> PartialSn
     fn update(&self, pid: ProcessId, component: usize, value: T) {
         (**self).update(pid, component, value)
     }
+    fn update_many(&self, pid: ProcessId, writes: &[(usize, T)]) {
+        (**self).update_many(pid, writes)
+    }
     fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T> {
         (**self).scan(pid, components)
     }
@@ -69,6 +96,21 @@ impl<T: Clone + Send + Sync + 'static, S: PartialSnapshot<T> + ?Sized> PartialSn
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+}
+
+/// Validates the arguments of a batched update; shared by all
+/// implementations.
+pub(crate) fn validate_batch_args<T>(m: usize, n: usize, pid: ProcessId, writes: &[(usize, T)]) {
+    assert!(
+        pid.index() < n,
+        "process id {pid} out of range: object configured for {n} processes"
+    );
+    for (c, _) in writes {
+        assert!(
+            *c < m,
+            "component {c} out of range: object has {m} components"
+        );
     }
 }
 

@@ -45,6 +45,13 @@ pub enum Operation {
         /// Value written.
         value: u64,
     },
+    /// `update_many(writes)`: every pair takes effect at one linearization
+    /// point; duplicate components resolve last-write-wins (the pairs are
+    /// applied in order).
+    BatchUpdate {
+        /// `(component, value)` pairs, in batch order.
+        writes: Vec<(usize, u64)>,
+    },
     /// `scan(components)`.
     Scan {
         /// Component indices requested, in request order.
@@ -137,11 +144,16 @@ impl History {
             .count()
     }
 
-    /// Number of update operations.
+    /// Number of update operations (single and batched).
     pub fn update_count(&self) -> usize {
         self.ops
             .iter()
-            .filter(|o| matches!(o.op, Operation::Update { .. }))
+            .filter(|o| {
+                matches!(
+                    o.op,
+                    Operation::Update { .. } | Operation::BatchUpdate { .. }
+                )
+            })
             .count()
     }
 
@@ -158,6 +170,11 @@ impl History {
                 (Operation::Update { component, .. }, OpResult::Ack) => {
                     if *component >= self.components {
                         return Err(format!("op {i}: component {component} out of range"));
+                    }
+                }
+                (Operation::BatchUpdate { writes }, OpResult::Ack) => {
+                    if let Some((c, _)) = writes.iter().find(|(c, _)| *c >= self.components) {
+                        return Err(format!("op {i}: component {c} out of range"));
                     }
                 }
                 (Operation::Scan { components }, OpResult::Values(values)) => {

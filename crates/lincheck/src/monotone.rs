@@ -113,23 +113,46 @@ struct UpdateIndex {
 fn index_updates(history: &History) -> Result<UpdateIndex, Violation> {
     let mut writer_of: HashMap<usize, psnap_shmem::ProcessId> = HashMap::new();
     let mut by_component: HashMap<usize, Vec<(u64, u64, u64)>> = HashMap::new();
+    // A batched update contributes one write per distinct component, each
+    // carrying the batch's interval — for the per-component checks a batch is
+    // indistinguishable from its writes all happening at the batch's single
+    // linearization point.
+    let mut record_write = |component: usize,
+                            value: u64,
+                            pid: psnap_shmem::ProcessId,
+                            invoked: u64,
+                            returned: u64|
+     -> Result<(), Violation> {
+        if let Some(existing) = writer_of.insert(component, pid) {
+            if existing != pid {
+                return Err(Violation::DisciplineViolated {
+                    reason: format!("component {component} written by both {existing} and {pid}"),
+                });
+            }
+        }
+        by_component
+            .entry(component)
+            .or_default()
+            .push((value, invoked, returned));
+        Ok(())
+    };
     for op in &history.ops {
-        if let Operation::Update { component, value } = &op.op {
-            if let Some(existing) = writer_of.insert(*component, op.pid) {
-                if existing != op.pid {
-                    return Err(Violation::DisciplineViolated {
-                        reason: format!(
-                            "component {component} written by both {existing} and {}",
-                            op.pid
-                        ),
-                    });
+        match &op.op {
+            Operation::Update { component, value } => {
+                record_write(*component, *value, op.pid, op.invoked_at, op.returned_at)?;
+            }
+            Operation::BatchUpdate { writes } => {
+                // Resolve in-batch duplicates last-write-wins before indexing,
+                // matching the batch's sequential semantics.
+                let mut latest: HashMap<usize, u64> = HashMap::new();
+                for (component, value) in writes {
+                    latest.insert(*component, *value);
+                }
+                for (component, value) in latest {
+                    record_write(component, value, op.pid, op.invoked_at, op.returned_at)?;
                 }
             }
-            by_component.entry(*component).or_default().push((
-                *value,
-                op.invoked_at,
-                op.returned_at,
-            ));
+            Operation::Scan { .. } => {}
         }
     }
     for (component, writes) in by_component.iter_mut() {
@@ -475,6 +498,71 @@ mod tests {
     #[test]
     fn rejects_update_writing_the_initial_value() {
         let h = history(1, vec![update(0, 0, 0, 1, 2)]);
+        assert!(matches!(
+            check_monotone_history(&h),
+            Err(Violation::DisciplineViolated { .. })
+        ));
+    }
+
+    fn batch(pid: usize, writes: &[(usize, u64)], inv: u64, ret: u64) -> OpRecord {
+        OpRecord {
+            pid: ProcessId(pid),
+            op: Operation::BatchUpdate {
+                writes: writes.to_vec(),
+            },
+            result: OpResult::Ack,
+            invoked_at: inv,
+            returned_at: ret,
+        }
+    }
+
+    #[test]
+    fn batch_writes_are_indexed_like_updates() {
+        // A stale read of a batch-written component is detected exactly as if
+        // the batch's writes were single updates at one instant.
+        let h = history(
+            2,
+            vec![
+                batch(0, &[(0, 1), (1, 2)], 1, 2),
+                scan(1, &[0, 1], &[1, 2], 3, 4),
+                scan(2, &[0], &[0], 5, 6),
+            ],
+        );
+        assert!(matches!(
+            check_monotone_history(&h),
+            Err(Violation::StaleRead {
+                value: 0,
+                newer_value: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn batch_duplicates_resolve_last_write_wins_before_indexing() {
+        // The batch writes component 0 twice; only the final value 3 counts,
+        // so a scan returning 3 is clean and the intermediate 1 is phantom.
+        let clean = history(
+            1,
+            vec![batch(0, &[(0, 1), (0, 3)], 1, 2), scan(1, &[0], &[3], 3, 4)],
+        );
+        assert_eq!(check_monotone_history(&clean), Ok(()));
+        let phantom = history(
+            1,
+            vec![batch(0, &[(0, 1), (0, 3)], 1, 2), scan(1, &[0], &[1], 3, 4)],
+        );
+        assert!(matches!(
+            check_monotone_history(&phantom),
+            Err(Violation::PhantomValue { value: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn batch_ownership_conflicts_violate_the_discipline() {
+        let h = history(
+            2,
+            vec![batch(0, &[(0, 1), (1, 1)], 1, 2), update(1, 1, 2, 3, 4)],
+        );
         assert!(matches!(
             check_monotone_history(&h),
             Err(Violation::DisciplineViolated { .. })

@@ -40,6 +40,14 @@ impl SnapshotSpec {
                 state[*component] = *value;
                 OpResult::Ack
             }
+            Operation::BatchUpdate { writes } => {
+                // All writes take effect at once; in-order application makes
+                // duplicates last-write-wins.
+                for (component, value) in writes {
+                    state[*component] = *value;
+                }
+                OpResult::Ack
+            }
             Operation::Scan { components } => {
                 OpResult::Values(components.iter().map(|&c| state[c]).collect())
             }
@@ -52,6 +60,7 @@ impl SnapshotSpec {
     pub fn is_legal(&self, state: &[u64], op: &Operation, expected: &OpResult) -> bool {
         match (op, expected) {
             (Operation::Update { .. }, OpResult::Ack) => true,
+            (Operation::BatchUpdate { .. }, OpResult::Ack) => true,
             (Operation::Scan { components }, OpResult::Values(values)) => {
                 components.len() == values.len()
                     && components

@@ -110,9 +110,16 @@ impl Searcher<'_> {
             if !self.spec.is_legal(&state, &op.op, &op.result) {
                 continue;
             }
+            // Advance the state through the candidate operation. Scans leave
+            // the state untouched and skip `apply` entirely — inside this
+            // exponential search, recomputing a scan's (already-validated)
+            // result vector per candidate would be pure allocation churn.
             let mut next_state = state.clone();
-            if let Operation::Update { component, value } = &op.op {
-                next_state[*component] = *value;
+            match &op.op {
+                Operation::Scan { .. } => {}
+                mutating => {
+                    let _ = self.spec.apply(&mut next_state, mutating);
+                }
             }
             self.witness.push(i);
             if self.search(remaining & !bit, next_state) {
@@ -327,6 +334,61 @@ mod tests {
             ],
         );
         assert_eq!(check_history(&bad), LinResult::NotLinearizable);
+    }
+
+    fn batch(pid: usize, writes: &[(usize, u64)], inv: u64, ret: u64) -> OpRecord {
+        OpRecord {
+            pid: ProcessId(pid),
+            op: Operation::BatchUpdate {
+                writes: writes.to_vec(),
+            },
+            result: OpResult::Ack,
+            invoked_at: inv,
+            returned_at: ret,
+        }
+    }
+
+    #[test]
+    fn batch_update_is_atomic_for_scans() {
+        // A completed batch followed by a scan: the scan must see the whole
+        // batch (with the duplicate resolved last-write-wins)...
+        let whole = history(
+            3,
+            vec![
+                batch(0, &[(0, 1), (2, 9), (0, 2)], 1, 2),
+                scan(1, &[0, 1, 2], &[2, 0, 9], 3, 4),
+            ],
+        );
+        assert!(check_history(&whole).is_linearizable());
+        // ...and a scan that observes only half of it is torn.
+        let torn = history(
+            3,
+            vec![
+                batch(0, &[(0, 2), (2, 9)], 1, 2),
+                scan(1, &[0, 2], &[2, 0], 3, 4),
+            ],
+        );
+        assert_eq!(check_history(&torn), LinResult::NotLinearizable);
+    }
+
+    #[test]
+    fn concurrent_batch_is_all_or_nothing() {
+        // A scan overlapping the batch may see none of it or all of it, but
+        // never a strict subset.
+        for (seen, ok) in [([0u64, 0u64], true), ([5, 7], true), ([5, 0], false)] {
+            let h = history(
+                2,
+                vec![
+                    batch(0, &[(0, 5), (1, 7)], 1, 10),
+                    scan(1, &[0, 1], &seen, 2, 9),
+                ],
+            );
+            assert_eq!(
+                check_history(&h).is_linearizable(),
+                ok,
+                "scan seeing {seen:?} judged incorrectly"
+            );
+        }
     }
 
     #[test]

@@ -133,6 +133,13 @@ impl ShardRouter {
     /// requested position, where its value will sit in the sub-scan results,
     /// so [`ScanPlan::assemble`] can rebuild the answer in request order with
     /// duplicates answered per occurrence.
+    ///
+    /// Duplicate components are **deduplicated at planning time**: each
+    /// `(shard, slot)` pair appears at most once in the sub-scan argument of
+    /// its shard (the `slot_pos` memo below), so a scan like `[15, 0, 15]`
+    /// issues slot 15's read to the inner shard once and `assemble` fans the
+    /// single value back out to every requesting position. Inner shards never
+    /// pay for a duplicate twice.
     pub fn plan(&self, components: &[usize]) -> ScanPlan {
         let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
         let mut group_of_shard: BTreeMap<usize, usize> = BTreeMap::new();
@@ -252,6 +259,45 @@ mod tests {
         assert_eq!(plan.groups[1], (0, vec![1, 0]));
         let assembled = plan.assemble(&[vec![60], vec![10, 0]]);
         assert_eq!(assembled, vec![60, 10, 60, 0, 10]);
+    }
+
+    #[test]
+    fn plan_never_forwards_a_duplicate_slot_to_an_inner_scan() {
+        // Inner-scan argument sets must be duplicate-free while the assembled
+        // output preserves the request's order and duplication.
+        for partition in [Partition::Contiguous, Partition::Hashed] {
+            let router = ShardRouter::new(16, 4, partition);
+            let request = [15usize, 0, 15, 3, 0, 15, 9, 9];
+            let plan = router.plan(&request);
+            for (shard, slots) in &plan.groups {
+                let mut deduped = slots.clone();
+                deduped.sort_unstable();
+                deduped.dedup();
+                assert_eq!(
+                    deduped.len(),
+                    slots.len(),
+                    "{partition:?}: shard {shard} asked to scan a slot twice: {slots:?}"
+                );
+            }
+            // Total forwarded work is the number of *distinct* components.
+            let forwarded: usize = plan.groups.iter().map(|(_, s)| s.len()).sum();
+            assert_eq!(forwarded, 4, "{partition:?}");
+            // Fan-out restores order and duplication: give slot of component c
+            // the value 100 + c and check the assembled answer positionally.
+            let results: Vec<Vec<u64>> = plan
+                .groups
+                .iter()
+                .map(|(shard, slots)| {
+                    slots
+                        .iter()
+                        .map(|&slot| 100 + router.component_of(*shard, slot) as u64)
+                        .collect()
+                })
+                .collect();
+            let assembled = plan.assemble(&results);
+            let expected: Vec<u64> = request.iter().map(|&c| 100 + c as u64).collect();
+            assert_eq!(assembled, expected, "{partition:?}");
+        }
     }
 
     #[test]

@@ -72,6 +72,36 @@ where
     }
 }
 
+/// The shared stress-fuzzing loop: runs one scenario per seed against a
+/// fresh object and monotone-checks every history.
+fn fuzz_monotone<S, F, G>(factory: F, make_scenario: G, seeds: std::ops::Range<u64>) -> FuzzOutcome
+where
+    S: PartialSnapshot<u64> + ?Sized + 'static,
+    F: Fn(&Scenario) -> Arc<S>,
+    G: Fn(u64) -> Scenario,
+{
+    let mut schedules = 0usize;
+    let mut operations = 0usize;
+    for seed in seeds {
+        let scenario = make_scenario(seed);
+        let snapshot = factory(&scenario);
+        let history = run_scenario(&snapshot, &scenario);
+        operations += history.len();
+        schedules += 1;
+        if let Err(violation) = check_monotone_history(&history) {
+            return FuzzOutcome::MonotoneViolation {
+                seed,
+                violation,
+                history,
+            };
+        }
+    }
+    FuzzOutcome::AllPassed {
+        schedules,
+        operations,
+    }
+}
+
 /// Runs `seeds` large stress schedules against fresh objects produced by
 /// `factory` and applies the scalable monotone checks to every history.
 #[allow(clippy::too_many_arguments)]
@@ -89,34 +119,58 @@ where
     S: PartialSnapshot<u64> + ?Sized + 'static,
     F: Fn(&Scenario) -> Arc<S>,
 {
-    let mut schedules = 0usize;
-    let mut operations = 0usize;
-    for seed in seeds {
-        let scenario = Scenario::stress(
-            components,
-            updaters,
-            scanners,
-            ops_per_updater,
-            ops_per_scanner,
-            r,
-            seed,
-        );
-        let snapshot = factory(&scenario);
-        let history = run_scenario(&snapshot, &scenario);
-        operations += history.len();
-        schedules += 1;
-        if let Err(violation) = check_monotone_history(&history) {
-            return FuzzOutcome::MonotoneViolation {
+    fuzz_monotone(
+        factory,
+        |seed| {
+            Scenario::stress(
+                components,
+                updaters,
+                scanners,
+                ops_per_updater,
+                ops_per_scanner,
+                r,
                 seed,
-                violation,
-                history,
-            };
-        }
-    }
-    FuzzOutcome::AllPassed {
-        schedules,
-        operations,
-    }
+            )
+        },
+        seeds,
+    )
+}
+
+/// Like [`fuzz_stress_schedules`] but with batched updaters: each updater op
+/// is an atomic `update_many` of `batch` components (see
+/// [`Scenario::stress_batched`]).
+#[allow(clippy::too_many_arguments)]
+pub fn fuzz_batched_stress_schedules<S, F>(
+    factory: F,
+    components: usize,
+    updaters: usize,
+    scanners: usize,
+    ops_per_updater: usize,
+    ops_per_scanner: usize,
+    r: usize,
+    batch: usize,
+    seeds: std::ops::Range<u64>,
+) -> FuzzOutcome
+where
+    S: PartialSnapshot<u64> + ?Sized + 'static,
+    F: Fn(&Scenario) -> Arc<S>,
+{
+    fuzz_monotone(
+        factory,
+        |seed| {
+            Scenario::stress_batched(
+                components,
+                updaters,
+                scanners,
+                ops_per_updater,
+                ops_per_scanner,
+                r,
+                batch,
+                seed,
+            )
+        },
+        seeds,
+    )
 }
 
 #[cfg(test)]

@@ -16,6 +16,8 @@ pub mod chaos_runner;
 pub mod runner;
 pub mod scenario;
 
-pub use chaos_runner::{fuzz_small_schedules, fuzz_stress_schedules, FuzzOutcome};
+pub use chaos_runner::{
+    fuzz_batched_stress_schedules, fuzz_small_schedules, fuzz_stress_schedules, FuzzOutcome,
+};
 pub use runner::run_scenario;
 pub use scenario::{Role, Scenario, ScenarioChaos};

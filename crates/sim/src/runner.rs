@@ -87,6 +87,32 @@ fn run_role<S: PartialSnapshot<u64> + ?Sized>(
                 });
             }
         }
+        Role::BatchUpdater {
+            components,
+            ops,
+            batch,
+        } => {
+            let width = (*batch).clamp(1, components.len());
+            for k in 0..*ops {
+                // Rotate a window of `width` owned components; all writes of
+                // round k carry the round's value, which is strictly
+                // increasing per component under single ownership.
+                let value = (k as u64 + 1) * processes as u64 + pid as u64 + 1;
+                let writes: Vec<(usize, u64)> = (0..width)
+                    .map(|i| (components[(k * width + i) % components.len()], value))
+                    .collect();
+                let invoked_at = clock.now();
+                snapshot.update_many(ProcessId(pid), &writes);
+                let returned_at = clock.now();
+                log.push(OpRecord {
+                    pid: ProcessId(pid),
+                    op: Operation::BatchUpdate { writes },
+                    result: OpResult::Ack,
+                    invoked_at,
+                    returned_at,
+                });
+            }
+        }
         Role::Scanner { scans } => {
             for components in scans {
                 let invoked_at = clock.now();
@@ -138,6 +164,23 @@ mod tests {
                 "seed {seed} produced a non-linearizable history"
             );
         }
+    }
+
+    #[test]
+    fn batched_roles_record_batch_operations() {
+        use psnap_lincheck::Operation;
+        let scenario = Scenario::stress_batched(8, 2, 1, 30, 10, 3, 2, 3);
+        let snapshot = Arc::new(CasPartialSnapshot::new(8, scenario.processes(), 0u64));
+        let history = run_scenario(&snapshot, &scenario);
+        assert_eq!(history.len(), scenario.total_ops());
+        let batches = history
+            .ops
+            .iter()
+            .filter(|o| matches!(o.op, Operation::BatchUpdate { .. }))
+            .count();
+        assert_eq!(batches, 60, "every updater op must be a batch");
+        history.validate_well_formed().unwrap();
+        assert_eq!(check_monotone_history(&history), Ok(()));
     }
 
     #[test]

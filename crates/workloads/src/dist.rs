@@ -63,9 +63,24 @@ impl IndexDist {
             IndexDist::Zipf { cumulative, .. } => {
                 let total = *cumulative.last().expect("m > 0");
                 let x = rng.gen_range(0.0..total);
-                cumulative
-                    .partition_point(|&c| c <= x)
-                    .min(cumulative.len() - 1)
+                // Inverse CDF: rank k owns the interval
+                // [cumulative[k-1], cumulative[k]], so the right lookup is
+                // the first rank whose cumulative weight reaches x
+                // (`c < x`, i.e. skip every strictly smaller prefix). The
+                // previous `c <= x` comparison pushed a boundary-landing x
+                // into the *next* rank — and, because float rounding lets
+                // `start + unit * total` round up to exactly `total` even for
+                // a half-open range, an x of `total` walked off the end of
+                // the table and was silently clamped onto the rarest rank.
+                // With `c < x` every representable x (0.0 through total
+                // inclusive) maps to a valid rank: the last cumulative entry
+                // equals `total`, so the partition point is at most m - 1.
+                let index = cumulative.partition_point(|&c| c < x);
+                debug_assert!(
+                    index < cumulative.len(),
+                    "Zipf inverse-CDF landed out of range: x = {x}, total = {total}"
+                );
+                index
             }
         }
     }
@@ -152,6 +167,59 @@ mod tests {
             sorted.dedup();
             assert_eq!(set, sorted, "must be sorted and distinct");
             assert!(set.iter().all(|&c| c < 32));
+        }
+    }
+
+    #[test]
+    fn zipf_frequency_follows_rank_order_at_s_one() {
+        // Classic Zipf (s = 1): empirical frequencies must decrease with
+        // rank, and the head frequencies must track the 1/(k+1) law within a
+        // loose statistical tolerance.
+        let m = 16;
+        let dist = IndexDist::zipf(m, 1.0);
+        let mut rng = StdRng::seed_from_u64(0x21BF);
+        let draws = 200_000usize;
+        let mut counts = vec![0usize; m];
+        for _ in 0..draws {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        // Strict rank ordering over the head, monotone non-increasing within
+        // noise over the tail (adjacent tail ranks differ by little mass, so
+        // compare with a 20% slack).
+        for k in 0..m - 1 {
+            assert!(
+                counts[k] as f64 >= counts[k + 1] as f64 * 0.8,
+                "rank {k} ({}) fell below rank {} ({})",
+                counts[k],
+                k + 1,
+                counts[k + 1]
+            );
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[3] && counts[3] > counts[7]);
+        // Expected share of rank k is (1/(k+1)) / H_m.
+        let h_m: f64 = (1..=m).map(|k| 1.0 / k as f64).sum();
+        for k in [0usize, 1, 3] {
+            let expected = draws as f64 / ((k + 1) as f64 * h_m);
+            let got = counts[k] as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.1,
+                "rank {k}: got {got}, expected ≈ {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_boundary_draws_stay_in_range() {
+        // Degenerate one- and two-rank distributions exercise the inverse-CDF
+        // boundaries (x can land exactly on a cumulative entry, including the
+        // total itself after float rounding); every draw must stay in range
+        // without clamping.
+        for m in [1usize, 2] {
+            let dist = IndexDist::zipf(m, 1.0);
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..10_000 {
+                assert!(dist.sample(&mut rng) < m);
+            }
         }
     }
 

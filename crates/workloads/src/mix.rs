@@ -9,13 +9,30 @@ pub struct Mix {
     pub updaters: usize,
     /// Number of processes performing partial scans.
     pub scanners: usize,
+    /// Components written atomically per update operation: `1` means single
+    /// `update` calls, `k > 1` means each updater op is an `update_many` of
+    /// `k` components (the E10 axis).
+    pub update_batch: usize,
 }
 
 impl Mix {
-    /// A mix with `updaters` updaters and `scanners` scanners.
+    /// A mix with `updaters` updaters and `scanners` scanners, issuing single
+    /// updates (`update_batch = 1`).
     pub fn new(updaters: usize, scanners: usize) -> Self {
         assert!(updaters + scanners > 0, "a mix needs at least one process");
-        Mix { updaters, scanners }
+        Mix {
+            updaters,
+            scanners,
+            update_batch: 1,
+        }
+    }
+
+    /// The same mix with each updater op writing `batch` components
+    /// atomically via `update_many`.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "a batch writes at least one component");
+        self.update_batch = batch;
+        self
     }
 
     /// Total number of processes.
@@ -23,9 +40,17 @@ impl Mix {
         self.updaters + self.scanners
     }
 
-    /// A descriptive label used in experiment tables, e.g. `"4u/2s"`.
+    /// A descriptive label used in experiment tables, e.g. `"4u/2s"`
+    /// (`"4u/2s b8"` when updates are batched 8 wide).
     pub fn label(&self) -> String {
-        format!("{}u/{}s", self.updaters, self.scanners)
+        if self.update_batch > 1 {
+            format!(
+                "{}u/{}s b{}",
+                self.updaters, self.scanners, self.update_batch
+            )
+        } else {
+            format!("{}u/{}s", self.updaters, self.scanners)
+        }
     }
 
     /// Serializes the mix as a JSON object.
@@ -33,14 +58,20 @@ impl Mix {
         Json::obj([
             ("updaters", Json::Num(self.updaters as f64)),
             ("scanners", Json::Num(self.scanners as f64)),
+            ("update_batch", Json::Num(self.update_batch as f64)),
         ])
     }
 
-    /// Deserializes a mix from the [`Mix::to_json`] format.
+    /// Deserializes a mix from the [`Mix::to_json`] format. A missing
+    /// `update_batch` field reads as 1, so pre-batching documents parse.
     pub fn from_json(json: &Json) -> Option<Mix> {
         Some(Mix {
             updaters: json.get("updaters")?.as_usize()?,
             scanners: json.get("scanners")?.as_usize()?,
+            update_batch: match json.get("update_batch") {
+                Some(b) => b.as_usize()?,
+                None => 1,
+            },
         })
     }
 
@@ -85,9 +116,25 @@ mod tests {
 
     #[test]
     fn mix_serializes_roundtrip() {
-        let m = Mix::new(3, 5);
-        let text = m.to_json().to_string_compact();
-        let back = Mix::from_json(&Json::parse(&text).unwrap()).unwrap();
-        assert_eq!(m, back);
+        for m in [Mix::new(3, 5), Mix::new(2, 2).with_batch(8)] {
+            let text = m.to_json().to_string_compact();
+            let back = Mix::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn batch_knob_is_labelled_and_parses_legacy_documents() {
+        let m = Mix::new(4, 2).with_batch(8);
+        assert_eq!(m.label(), "4u/2s b8");
+        assert_eq!(Mix::new(4, 2).label(), "4u/2s");
+        let legacy = Json::parse(r#"{"updaters":1,"scanners":1}"#).unwrap();
+        assert_eq!(Mix::from_json(&legacy).unwrap().update_batch, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn zero_batch_is_rejected() {
+        let _ = Mix::new(1, 1).with_batch(0);
     }
 }

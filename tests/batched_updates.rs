@@ -1,0 +1,311 @@
+//! Atomicity of `update_many` under adversarial schedules.
+//!
+//! The batched-update contract is all-or-nothing: a concurrent scan must
+//! never observe a strict subset of a batch. These tests attack the contract
+//! from three sides: exhaustive WGL checking of small cross-shard batch
+//! schedules, a targeted seam test that parks an updater *mid-batch* (chaos
+//! sleeps fire after every base-object step, so the updater provably stalls
+//! between the per-component writes of one batch) while scans race, and
+//! sequential conformance of the duplicate-component last-write-wins rule
+//! across every registered implementation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use partial_snapshot::bench::ImplKind;
+use partial_snapshot::lincheck::check_history;
+use partial_snapshot::shard::{ShardConfig, ShardedSnapshot};
+use partial_snapshot::shmem::{chaos, ProcessId};
+use partial_snapshot::sim::{run_scenario, Role, Scenario, ScenarioChaos};
+use partial_snapshot::snapshot::{CasPartialSnapshot, PartialSnapshot};
+
+/// A small scenario whose only updater issues batches that deliberately span
+/// every shard of a `shards`-way contiguous partition, racing two scanners
+/// that read across shards. Checked exhaustively.
+fn cross_shard_batch_scenario(shards: usize, seed: u64) -> Scenario {
+    let components = shards * 2;
+    // The updater owns the even components — one per shard under the
+    // contiguous split of 2-component shards.
+    let owned: Vec<usize> = (0..components).step_by(2).collect();
+    let spanning: Vec<usize> = owned.clone();
+    Scenario {
+        components,
+        initial: 0,
+        roles: vec![
+            Role::BatchUpdater {
+                components: owned,
+                ops: 3,
+                batch: shards,
+            },
+            Role::Updater {
+                components: vec![1],
+                ops: 2,
+            },
+            Role::Scanner {
+                scans: vec![spanning.clone(), vec![0, 1], spanning],
+            },
+        ],
+        chaos: Some(ScenarioChaos {
+            seed,
+            config: chaos::ChaosConfig::aggressive(),
+        }),
+    }
+}
+
+/// Cross-shard batches racing optimistic scans are linearizable — checked
+/// exhaustively across shard counts, retry budgets (0 forces the coordinated
+/// path) and chaos seeds.
+#[test]
+fn cross_shard_batches_racing_scans_are_linearizable() {
+    for shards in [2usize, 3] {
+        for retries in [8usize, 0] {
+            for seed in 0..20u64 {
+                let scenario = cross_shard_batch_scenario(shards, seed);
+                scenario.validate().unwrap();
+                let snapshot = Arc::new(ShardedSnapshot::with_factory(
+                    scenario.components,
+                    scenario.processes(),
+                    0u64,
+                    ShardConfig::contiguous(shards).with_retries(retries),
+                    |_, m, n, init| CasPartialSnapshot::new(m, n, init),
+                ));
+                let history = run_scenario(&snapshot, &scenario);
+                assert!(
+                    check_history(&history).is_linearizable(),
+                    "shards={shards} retries={retries} seed={seed}: \
+                     cross-shard batch produced a non-linearizable history"
+                );
+            }
+        }
+    }
+}
+
+/// Every registered implementation passes the exhaustive check on small
+/// schedules that mix batched and single updaters (the generator emits
+/// `BatchUpdater` roles for a third of the updaters).
+#[test]
+fn every_impl_kind_linearizes_batched_small_schedules() {
+    for kind in ImplKind::ALL {
+        let seeds = if kind.build(4, 2, 0).is_wait_free() {
+            0..10u64
+        } else {
+            0..5u64
+        };
+        for seed in seeds {
+            let scenario = Scenario::random_small(seed);
+            let snapshot = kind.build(scenario.components, scenario.processes(), 0);
+            let history = run_scenario(&snapshot, &scenario);
+            assert!(
+                check_history(&history).is_linearizable(),
+                "{}: seed {seed} non-linearizable",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// The targeted seam test: chaos parks the updater after every base-object
+/// step — including *between the two per-shard sub-batches* of a cross-shard
+/// `update_many` — so optimistic scans repeatedly catch the object mid-batch.
+/// The batch writes the same value to one component of each shard; a scan
+/// returning unequal values would be a torn batch.
+#[test]
+fn parked_mid_batch_updater_never_exposes_a_partial_batch() {
+    let snap = Arc::new(ShardedSnapshot::with_factory(
+        8,
+        3,
+        0u64,
+        // One optimistic retry, so both the retry path and the coordinated
+        // fallback run against the parked updater.
+        ShardConfig::contiguous(4).with_retries(1),
+        |_, m, n, init| CasPartialSnapshot::new(m, n, init),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let updater = {
+        let snap = Arc::clone(&snap);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // Park long and often at every step boundary: the window between
+            // the batch's shard-0 write and its shard-3 write stays open for
+            // hundreds of microseconds at a time.
+            let _chaos = chaos::enable(
+                0xBA7C4,
+                chaos::ChaosConfig {
+                    perturb_probability: 0.5,
+                    sleep_probability: 0.5,
+                    max_sleep_us: 300,
+                    max_spin: 64,
+                    ..chaos::ChaosConfig::default()
+                },
+            );
+            let mut v = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Components 0 and 6 live on shards 0 and 3.
+                snap.update_many(ProcessId(0), &[(0, v), (6, v)]);
+                v += 1;
+            }
+        })
+    };
+    let scanners: Vec<_> = (1..3usize)
+        .map(|pid| {
+            let snap = Arc::clone(&snap);
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..1500 {
+                    let got = snap.scan(ProcessId(pid), &[0, 6]);
+                    assert_eq!(got[0], got[1], "scan observed a partial batch: {got:?}");
+                    assert!(got[0] >= last, "batch values went backwards");
+                    last = got[0];
+                }
+            })
+        })
+        .collect();
+    for s in scanners {
+        s.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    updater.join().unwrap();
+    let stats = snap.coordination_stats();
+    assert!(
+        stats.cross_shard_scans() >= 3000,
+        "every scan is cross-shard: {stats:?}"
+    );
+}
+
+/// The same seam attack against the unsharded collect-based objects: the
+/// chaos-parked updater stalls between the per-register writes of one batch,
+/// and the scans' batch-gate validation must hide the partial state.
+#[test]
+fn parked_mid_batch_updater_is_atomic_on_unsharded_objects() {
+    for kind in [ImplKind::Cas, ImplKind::Register, ImplKind::DoubleCollect] {
+        let snap = kind.build(8, 2, 0);
+        let stop = Arc::new(AtomicBool::new(false));
+        let updater = {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let _chaos = chaos::enable(
+                    0x5EAB ^ kind.label().len() as u64,
+                    chaos::ChaosConfig {
+                        perturb_probability: 0.4,
+                        sleep_probability: 0.4,
+                        max_sleep_us: 200,
+                        max_spin: 64,
+                        ..chaos::ChaosConfig::default()
+                    },
+                );
+                let mut v = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    snap.update_many(ProcessId(0), &[(0, v), (7, v)]);
+                    v += 1;
+                }
+            })
+        };
+        let mut last = 0u64;
+        for _ in 0..1000 {
+            let got = snap.scan(ProcessId(1), &[0, 7]);
+            assert_eq!(
+                got[0],
+                got[1],
+                "{}: scan observed a partial batch: {got:?}",
+                kind.label()
+            );
+            assert!(got[0] >= last);
+            last = got[0];
+        }
+        stop.store(true, Ordering::Relaxed);
+        updater.join().unwrap();
+    }
+}
+
+/// Regression: *single-shard* scans must also see cross-shard batches
+/// atomically. The locality fast path skips cross-shard epoch validation, so
+/// without the dedicated batch-window check a scan of shard 0 could observe
+/// a batch's shard-0 write while its shard-3 write is still pending — and a
+/// strictly later scan of shard 3 would then read pre-batch state, an order
+/// no linearization explains (scan A places the batch before itself, scan B
+/// after).
+#[test]
+fn single_shard_scans_observe_cross_shard_batches_atomically() {
+    let snap = Arc::new(ShardedSnapshot::with_factory(
+        8,
+        2,
+        0u64,
+        ShardConfig::contiguous(4),
+        |_, m, n, init| CasPartialSnapshot::new(m, n, init),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let updater = {
+        let snap = Arc::clone(&snap);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let _chaos = chaos::enable(0x51B5, chaos::ChaosConfig::aggressive());
+            let mut v = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Components 0 and 6 live on shards 0 and 3.
+                snap.update_many(ProcessId(0), &[(0, v), (6, v)]);
+                v += 1;
+            }
+        })
+    };
+    // Alternate one-component scans across the two shards: if a scan returns
+    // batch k's value, every strictly later scan (of either component) must
+    // return at least k — the batches it proves complete are complete for
+    // both components.
+    let mut last = 0u64;
+    for i in 0..4000 {
+        let component = if i % 2 == 0 { 0 } else { 6 };
+        let got = snap.scan(ProcessId(1), &[component])[0];
+        assert!(
+            got >= last,
+            "single-shard scan of component {component} saw batch {got} after a \
+             previous scan proved batch {last} complete — torn cross-shard batch"
+        );
+        last = got;
+    }
+    stop.store(true, Ordering::Relaxed);
+    updater.join().unwrap();
+}
+
+/// Sequential conformance of the duplicate rule: for every implementation a
+/// batch with repeated components behaves exactly like its last-write-wins
+/// reduction, empty batches are no-ops, and a one-element batch equals a
+/// single update.
+#[test]
+fn duplicate_components_resolve_last_write_wins_everywhere() {
+    for kind in ImplKind::ALL {
+        let snap = kind.build(8, 2, 0);
+        snap.update_many(ProcessId(0), &[(2, 5), (4, 1), (2, 9), (4, 2), (2, 7)]);
+        assert_eq!(
+            snap.scan(ProcessId(1), &[2, 4]),
+            vec![7, 2],
+            "{}",
+            kind.label()
+        );
+        snap.update_many(ProcessId(0), &[]);
+        snap.update_many(ProcessId(0), &[(5, 55)]);
+        assert_eq!(
+            snap.scan(ProcessId(1), &[2, 4, 5]),
+            vec![7, 2, 55],
+            "{}",
+            kind.label()
+        );
+    }
+}
+
+/// Out-of-range batch components and process ids are rejected up front, with
+/// no partial application.
+#[test]
+fn batch_argument_validation_matches_update() {
+    let snap = ImplKind::Cas.build(4, 2, 0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        snap.update_many(ProcessId(0), &[(1, 10), (4, 40)]);
+    }));
+    assert!(result.is_err(), "component 4 must be rejected");
+    // Validation happens before any write: component 1 is untouched.
+    assert_eq!(snap.scan(ProcessId(1), &[1]), vec![0]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        snap.update_many(ProcessId(2), &[(1, 10)]);
+    }));
+    assert!(result.is_err(), "process id 2 must be rejected");
+}

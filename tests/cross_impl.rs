@@ -41,16 +41,25 @@ fn all_impls() -> Vec<Arc<dyn PartialSnapshot<u64>>> {
     impls
 }
 
-/// Generates a deterministic sequential mixed workload.
+/// Generates a deterministic sequential mixed workload of single updates,
+/// batched updates (with deliberate duplicate components, exercising the
+/// last-write-wins contract) and scans.
 fn random_ops(seed: u64, len: usize) -> Vec<Operation> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..len)
         .map(|i| {
-            if rng.gen_bool(0.5) {
+            let kind = rng.gen_range(0..10u32);
+            if kind < 4 {
                 Operation::Update {
                     component: rng.gen_range(0..M),
                     value: (i as u64 + 1) * 7,
                 }
+            } else if kind < 7 {
+                let width = rng.gen_range(2..=5usize);
+                let writes: Vec<(usize, u64)> = (0..width)
+                    .map(|j| (rng.gen_range(0..M), (i as u64 + 1) * 7 + j as u64))
+                    .collect();
+                Operation::BatchUpdate { writes }
             } else {
                 let r = rng.gen_range(1..=M);
                 let mut comps: Vec<usize> = (0..M).collect();
@@ -75,6 +84,10 @@ fn every_implementation_matches_the_sequential_spec() {
                 match op {
                     Operation::Update { component, value } => {
                         snapshot.update(ProcessId(0), *component, *value);
+                        assert_eq!(expected, OpResult::Ack);
+                    }
+                    Operation::BatchUpdate { writes } => {
+                        snapshot.update_many(ProcessId(0), writes);
                         assert_eq!(expected, OpResult::Ack);
                     }
                     Operation::Scan { components } => {
@@ -104,6 +117,7 @@ fn all_implementations_agree_with_each_other() {
                 Operation::Update { component, value } => {
                     snapshot.update(ProcessId(0), *component, *value)
                 }
+                Operation::BatchUpdate { writes } => snapshot.update_many(ProcessId(0), writes),
                 Operation::Scan { components } => {
                     scans.push(snapshot.scan(ProcessId(1), components))
                 }

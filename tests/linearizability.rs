@@ -8,7 +8,10 @@ use std::sync::Arc;
 use partial_snapshot::bench::ImplKind;
 use partial_snapshot::lincheck::{check_history, check_monotone_history};
 use partial_snapshot::shard::{ShardConfig, ShardedSnapshot};
-use partial_snapshot::sim::{fuzz_small_schedules, fuzz_stress_schedules, run_scenario, Scenario};
+use partial_snapshot::sim::{
+    fuzz_batched_stress_schedules, fuzz_small_schedules, fuzz_stress_schedules, run_scenario,
+    Scenario,
+};
 use partial_snapshot::snapshot::{
     AfekFullSnapshot, CasPartialSnapshot, DoubleCollectSnapshot, LockSnapshot, PartialSnapshot,
     RegisterPartialSnapshot,
@@ -174,6 +177,64 @@ fn cas_snapshot_stress_schedules_pass_monotone_checks() {
         0..3,
     );
     assert!(outcome.passed(), "{outcome:?}");
+}
+
+/// Batched-updater stress: every updater op is an atomic `update_many`, and
+/// the scalable monotone checks must hold for the paper's two algorithms and
+/// the sharded composition (whose batches span shards under the contiguous
+/// 4-way split).
+#[test]
+fn batched_stress_schedules_pass_monotone_checks() {
+    let cas = fuzz_batched_stress_schedules(
+        |s: &Scenario| Arc::new(CasPartialSnapshot::new(s.components, s.processes(), 0u64)),
+        32,
+        3,
+        3,
+        300,
+        200,
+        6,
+        4,
+        0..2,
+    );
+    assert!(cas.passed(), "cas: {cas:?}");
+    let register = fuzz_batched_stress_schedules(
+        |s: &Scenario| {
+            Arc::new(RegisterPartialSnapshot::new(
+                s.components,
+                s.processes(),
+                0u64,
+            ))
+        },
+        32,
+        3,
+        3,
+        300,
+        200,
+        6,
+        4,
+        0..2,
+    );
+    assert!(register.passed(), "register: {register:?}");
+    let sharded = fuzz_batched_stress_schedules(
+        |s: &Scenario| {
+            Arc::new(ShardedSnapshot::with_factory(
+                s.components,
+                s.processes(),
+                0u64,
+                ShardConfig::contiguous(4),
+                |_, m, n, init| CasPartialSnapshot::new(m, n, init),
+            ))
+        },
+        32,
+        3,
+        3,
+        300,
+        200,
+        6,
+        4,
+        0..2,
+    );
+    assert!(sharded.passed(), "sharded: {sharded:?}");
 }
 
 #[test]

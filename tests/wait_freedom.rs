@@ -241,13 +241,15 @@ fn sharded_step_bounds_hold_where_they_are_deterministic() {
         );
     }
 
-    // (b) Single-shard scan: inner scan only — no epoch reads at all.
+    // (b) Single-shard scan: the inner scan plus four batch-window
+    // validation reads (update epochs are never read — plain update churn
+    // cannot make a single-shard scan retry).
     let local: Vec<usize> = (0..4).collect(); // all on shard 0
     let scope = StepScope::start();
     let _ = snapshot.scan(ProcessId(7), &local);
     let steps = scope.finish().total();
     assert!(
-        steps <= 4 + 2 * 4 + 4,
+        steps <= 4 + 2 * 4 + 4 + 4,
         "single-shard scan of 4 components took {steps} steps"
     );
 
@@ -317,9 +319,61 @@ fn sharded_scans_terminate_under_adversarial_updates() {
         u.join().unwrap();
     }
     let stats = snapshot.coordination_stats();
+    assert!(stats.cross_shard_scans() > 0, "{stats:?}");
+    assert_eq!(
+        stats.cross_shard_scans(),
+        2000,
+        "the three scan counters partition the scans"
+    );
+}
+
+/// Batched updates and the scan validation they impose: scans racing a live
+/// stream of `update_many` batches keep terminating with consistent answers,
+/// and once the stream ends a scan's step count returns to the single-update
+/// budget plus the four gate-validation reads (the gate adds a constant, not
+/// a new asymptotic term). Wait-freedom proper is a property of the
+/// single-update interface — batches buy atomicity by blocking scans for the
+/// duration of each write phase, the same trade the sharded store's
+/// coordinated path makes.
+#[test]
+fn scans_terminate_and_stay_bounded_around_batched_updates() {
+    let m = 16usize;
+    let r = 4usize;
+    let snapshot = Arc::new(CasPartialSnapshot::new(m, 4, 0u64));
+    let stop = Arc::new(AtomicBool::new(false));
+    let batcher = {
+        let snapshot = Arc::clone(&snapshot);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let _chaos = chaos::enable(3, chaos::ChaosConfig::light());
+            let mut v = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                let writes: Vec<(usize, u64)> = (0..4).map(|i| (i * 4, v)).collect();
+                snapshot.update_many(ProcessId(0), &writes);
+                v += 1;
+            }
+        })
+    };
+    let comps: Vec<usize> = (0..r).map(|i| i * 4).collect();
+    for _ in 0..2000 {
+        let values = snapshot.scan(ProcessId(1), &comps);
+        assert_eq!(values.len(), r);
+        // The batch writes one value everywhere: equality is the atomicity
+        // invariant.
+        assert!(
+            values.windows(2).all(|w| w[0] == w[1]),
+            "torn batch observed: {values:?}"
+        );
+    }
+    stop.store(true, Ordering::Relaxed);
+    batcher.join().unwrap();
+    // Quiescent again: the scan budget is the classic cost plus 4 gate reads.
+    let scope = StepScope::start();
+    let _ = snapshot.scan(ProcessId(1), &comps);
+    let steps = scope.finish().total();
     assert!(
-        stats.clean_scans + stats.optimistic_retries + stats.coordinated_scans > 0,
-        "{stats:?}"
+        steps <= (4 + 2 * r as u64 + 4) + 4,
+        "post-batch quiescent scan took {steps} steps"
     );
 }
 
