@@ -1,0 +1,98 @@
+//! E11 companion (wall-clock, criterion): the service frontend's round-trip
+//! costs — one submit, one Fresh scan — and a contended multi-client scan
+//! batch with coalescing on vs off.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psnap_bench::ImplKind;
+use psnap_serve::{Coalescing, Executor, Freshness, ServiceConfig, SnapshotService};
+
+fn round_trips(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_round_trip");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let executor = Executor::new(2);
+    let service = SnapshotService::start(
+        ImplKind::Cas.build(256, 2, 0),
+        ServiceConfig::default(),
+        &executor,
+    );
+    let client = service.client();
+    let mut value = 0u64;
+    group.bench_function("submit_wait", |b| {
+        b.iter(|| {
+            value += 1;
+            client.submit(17, value).unwrap().wait()
+        })
+    });
+    group.bench_function("scan_fresh_r8", |b| {
+        b.iter(|| {
+            client
+                .scan(vec![0, 17, 40, 99, 120, 200, 230, 255], Freshness::Fresh)
+                .unwrap()
+                .wait()
+        })
+    });
+    group.finish();
+    service.shutdown();
+}
+
+/// One batch of `clients × ops` scans driven from client threads; returns
+/// only when every ticket resolved.
+fn scan_batch(
+    service: &SnapshotService<u64, std::sync::Arc<dyn psnap_core::PartialSnapshot<u64>>>,
+    clients: usize,
+    ops: usize,
+) {
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let client = service.client();
+            scope.spawn(move || {
+                for k in 0..ops {
+                    let base = (c * 31 + k * 7) % 248;
+                    let components: Vec<usize> = (base..base + 8).collect();
+                    let values = client
+                        .scan_blocking(&components, Freshness::Fresh)
+                        .expect("service closed");
+                    assert_eq!(values.len(), 8);
+                }
+            });
+        }
+    });
+}
+
+fn contended_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_contended_scans");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let clients = 8usize;
+    let ops = 50usize;
+    group.throughput(Throughput::Elements((clients * ops) as u64));
+    for (label, coalescing) in [
+        ("coalesced", Coalescing::Window(Duration::ZERO)),
+        ("uncoalesced", Coalescing::Disabled),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, clients), &clients, |b, &clients| {
+            let executor = Executor::new(2);
+            let service = SnapshotService::start(
+                ImplKind::Cas.build(256, 2, 0),
+                ServiceConfig {
+                    coalescing,
+                    ..ServiceConfig::default()
+                },
+                &executor,
+            );
+            b.iter(|| scan_batch(&service, clients, ops));
+            service.shutdown();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, round_trips, contended_scans);
+criterion_main!(benches);

@@ -10,14 +10,27 @@
 //! testing the harness itself); without it, the full effort used for
 //! EXPERIMENTS.md is applied. `--json` additionally writes machine-readable
 //! results for the experiments that define a JSON schema (E8 →
-//! `BENCH_E8.json`, E9 → `BENCH_E9.json`, E10 → `BENCH_E10.json`), so the
-//! performance trajectory of the sharded store, the lock-free cell and the
-//! batched-update path can be tracked across commits.
+//! `BENCH_E8.json`, E9 → `BENCH_E9.json`, E10 → `BENCH_E10.json`, E11 →
+//! `BENCH_E11.json`), so the performance trajectory of the sharded store,
+//! the lock-free cell, the batched-update path and the service frontend can
+//! be tracked across commits. JSON files are written atomically (temp file
+//! in the same directory, then rename), so an interrupted run can never
+//! leave a truncated `BENCH_*.json` behind.
 
 use psnap_bench::{
-    e10_batched_updates_data, e8_sharding_data, e9_cell_contention_data, run_experiment, Effort,
-    ALL_EXPERIMENTS,
+    e10_batched_updates_data, e11_service_data, e8_sharding_data, e9_cell_contention_data,
+    run_experiment, Effort, ALL_EXPERIMENTS,
 };
+
+/// Writes `contents` to `path` atomically: the bytes land in a temporary
+/// sibling file first and only a successful rename publishes them, so a
+/// crash mid-write leaves either the old file or the new one, never a
+/// truncated hybrid.
+fn write_atomically(path: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,7 +48,7 @@ fn main() {
         _ => true,
     });
     if args.is_empty() {
-        eprintln!("usage: harness [--quick] [--json] <E1..E10 | all> [more ids...]");
+        eprintln!("usage: harness [--quick] [--json] <E1..E11 | all> [more ids...]");
         std::process::exit(2);
     }
     let ids: Vec<String> = if args.iter().any(|a| a.eq_ignore_ascii_case("all")) {
@@ -71,12 +84,20 @@ fn main() {
                     psnap_bench::experiments::e10_batched_updates_table(&data),
                 ))
             }
+            "E11" if json => {
+                let data = e11_service_data(effort);
+                Some((
+                    "BENCH_E11.json",
+                    data.to_json(),
+                    psnap_bench::experiments::e11_service_table(&data),
+                ))
+            }
             _ => None,
         };
         if let Some((path, doc, table)) = measured_with_json {
             // The file is written before the table prints so an early-closed
             // stdout (e.g. `| head`) cannot lose the machine-readable results.
-            std::fs::write(path, doc.to_string_pretty())
+            write_atomically(path, &doc.to_string_pretty())
                 .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
             eprintln!("wrote {path}");
             println!("{}", table.to_markdown());

@@ -1107,6 +1107,8 @@ pub fn e9_cell_contention_table(data: &E9Data) -> Table {
 pub struct E10Point {
     /// Implementation label (`ImplKind::label`).
     pub impl_label: &'static str,
+    /// Shard count of the measured object (1 = the unsharded `Cas` object).
+    pub shards: usize,
     /// `"uniform"` or `"zipf"`.
     pub dist: &'static str,
     /// Components written per batch.
@@ -1147,12 +1149,15 @@ impl E10Data {
     pub fn description(&self) -> String {
         format!(
             "atomic batched updates (update_many) vs looped single updates: base-object \
-             steps and wall-clock throughput per component written, vs batch size, with \
-             {} scanners continuously announcing (m = {}, uniform and Zipf(0.9) component \
-             selection). Batching pays the getSet + helping-scan cost once per batch \
-             instead of once per component, so steps per component fall as the batch \
-             grows; the sharded object additionally amortizes its latch check and \
-             per-shard epoch bumps over each shard's sub-batch.",
+             steps and wall-clock throughput per component written, swept **jointly** \
+             over shard count (1 = unsharded Cas, then 2/4/8 contiguous shards) × batch \
+             size, with {} scanners continuously announcing (m = {}, uniform and \
+             Zipf(0.9) component selection). Batching pays the getSet + helping-scan \
+             cost once per batch instead of once per component, so steps per component \
+             fall as the batch grows; sharding additionally splits each batch into \
+             per-shard sub-batches, amortizing the latch check and epoch bumps — the \
+             grid shows where the two effects compose and where a batch spread over \
+             many shards stops amortizing.",
             self.scanners, self.m
         )
     }
@@ -1171,6 +1176,7 @@ impl E10Data {
                 Json::arr(self.points.iter().map(|p| {
                     Json::obj([
                         ("impl", Json::Str(p.impl_label.into())),
+                        ("shards", Json::Num(p.shards as f64)),
                         ("dist", Json::Str(p.dist.into())),
                         ("batch", Json::Num(p.batch as f64)),
                         (
@@ -1288,13 +1294,21 @@ pub fn e10_batched_updates_data(effort: Effort) -> E10Data {
     let scanners = 2;
     let ops = effort.ops;
     let mut points = Vec::new();
-    for kind in [ImplKind::Cas, ImplKind::SHARDED_CAS_4] {
+    // The ROADMAP follow-on: sweep shard count × batch size *jointly* rather
+    // than fixing the shard count at 4.
+    for shards in [1usize, 2, 4, 8] {
+        let kind = if shards == 1 {
+            ImplKind::Cas
+        } else {
+            ImplKind::sharded_cas(shards, psnap_shard::Partition::Contiguous)
+        };
         for (dist, zipf_s) in [("uniform", None), ("zipf", Some(0.9f64))] {
             for batch in [2usize, 4, 8, 16] {
                 let (batched_steps, looped_steps, batched_tput, looped_tput) =
                     e10_point(kind, m, batch, ops, scanners, zipf_s);
                 points.push(E10Point {
                     impl_label: kind.label(),
+                    shards,
                     dist,
                     batch,
                     batched_steps_per_component: batched_steps,
@@ -1337,6 +1351,7 @@ pub fn e10_batched_updates_table(data: &E10Data) -> Table {
         .map(|p| {
             vec![
                 p.impl_label.to_string(),
+                p.shards.to_string(),
                 p.dist.to_string(),
                 p.batch.to_string(),
                 format!("{:.1}", p.batched_steps_per_component),
@@ -1353,6 +1368,7 @@ pub fn e10_batched_updates_table(data: &E10Data) -> Table {
         title: data.description(),
         headers: vec![
             "impl".into(),
+            "shards".into(),
             "dist".into(),
             "batch".into(),
             "batched steps/comp".into(),
@@ -1361,6 +1377,407 @@ pub fn e10_batched_updates_table(data: &E10Data) -> Table {
             "batched kcomps/s".into(),
             "looped kcomps/s".into(),
             "throughput speedup".into(),
+        ],
+        rows,
+    }
+}
+
+/// One measured row of experiment E11: the service frontend at one
+/// (backend, distribution, client count, coalescing mode) point.
+#[derive(Clone, Debug)]
+pub struct E11Point {
+    /// Backing implementation label.
+    pub backend: &'static str,
+    /// `"uniform"` or `"zipf"`.
+    pub dist: &'static str,
+    /// Number of client threads driving the service.
+    pub clients: usize,
+    /// `"none"` (per-request backing scans), `"drain"` (merge whatever is
+    /// pending), or `"window"` (accumulate for a fixed window first).
+    pub mode: &'static str,
+    /// Accumulation window in microseconds (0 for `none`/`drain`).
+    pub window_us: f64,
+    /// Aggregate client operations per second (submits + scans, wall clock
+    /// of the slowest client).
+    pub ops_per_sec: f64,
+    /// Client-observed scan latency, 50th percentile (nanoseconds).
+    pub scan_p50_ns: f64,
+    /// Client-observed scan latency, 99th percentile (nanoseconds).
+    pub scan_p99_ns: f64,
+    /// Client-observed submit latency, 50th percentile (nanoseconds).
+    pub submit_p50_ns: f64,
+    /// Client-observed submit latency, 99th percentile (nanoseconds).
+    pub submit_p99_ns: f64,
+    /// Scan requests served via the backing path.
+    pub client_scans: f64,
+    /// Backing scans the service actually issued.
+    pub backing_scans: f64,
+    /// `client_scans / backing_scans` — scans answered per backing scan.
+    pub coalesce_ratio: f64,
+    /// Busy rejections absorbed by client retry loops (backpressure events).
+    pub busy_rejections: f64,
+    /// This point's `ops_per_sec` divided by the matching `none` point's —
+    /// what coalescing buys end to end (1.0 for the `none` rows).
+    pub throughput_vs_uncoalesced: f64,
+}
+
+/// The raw data behind experiment E11 (also serialized to `BENCH_E11.json`).
+#[derive(Clone, Debug)]
+pub struct E11Data {
+    /// Components of the backing object.
+    pub m: usize,
+    /// Components per client scan.
+    pub r: usize,
+    /// Operations per client at each point.
+    pub ops_per_client: usize,
+    /// One entry per (backend × distribution × clients × mode).
+    pub points: Vec<E11Point>,
+}
+
+impl E11Data {
+    /// The experiment description used by the table and the JSON document.
+    pub fn description(&self) -> String {
+        format!(
+            "psnap-serve service frontend: aggregate client throughput and p50/p99 \
+             latency vs client count and scan-coalescing mode (m = {}, r = {}, every \
+             8th client op an ingested update, the rest Fresh partial scans drawn \
+             from a Zipf-popular pool of 12 query shapes — the serving-tier pattern \
+             coalescing exists for: concurrent requests repeat and overlap; two \
+             direct background updaters hammer the object throughout, so scans race \
+             a write stream; uniform and Zipf(0.9) component placement of the query \
+             shapes; Cas and 4-way-sharded backends). The `none` baseline answers \
+             every scan request with its own backing scan; `drain` merges whatever \
+             is pending via ShardRouter::plan_union into one deduplicated backing \
+             scan; `window` first accumulates 200µs. The coalescing ratio is client \
+             scans per backing scan (> 1 = merging), and throughput_vs_uncoalesced \
+             compares each mode against `none` at the same point — under churn the \
+             backing scan (helping, cross-shard validation retries) is the expensive \
+             resource, and overlapping requests keep the union narrow, so paying the \
+             scan once per union instead of once per request lifts throughput as \
+             clients grow.",
+            self.m, self.r
+        )
+    }
+
+    /// Serializes the data for `BENCH_E11.json`.
+    pub fn to_json(&self) -> psnap_json::Json {
+        use psnap_json::Json;
+        Json::obj([
+            ("experiment", Json::Str("E11".into())),
+            ("description", Json::Str(self.description())),
+            ("m", Json::Num(self.m as f64)),
+            ("r", Json::Num(self.r as f64)),
+            ("ops_per_client", Json::Num(self.ops_per_client as f64)),
+            (
+                "points",
+                Json::arr(self.points.iter().map(|p| {
+                    Json::obj([
+                        ("backend", Json::Str(p.backend.into())),
+                        ("dist", Json::Str(p.dist.into())),
+                        ("clients", Json::Num(p.clients as f64)),
+                        ("mode", Json::Str(p.mode.into())),
+                        ("window_us", Json::Num(p.window_us)),
+                        ("ops_per_sec", Json::Num(p.ops_per_sec)),
+                        ("scan_p50_ns", Json::Num(p.scan_p50_ns)),
+                        ("scan_p99_ns", Json::Num(p.scan_p99_ns)),
+                        ("submit_p50_ns", Json::Num(p.submit_p50_ns)),
+                        ("submit_p99_ns", Json::Num(p.submit_p99_ns)),
+                        ("client_scans", Json::Num(p.client_scans)),
+                        ("backing_scans", Json::Num(p.backing_scans)),
+                        ("coalesce_ratio", Json::Num(p.coalesce_ratio)),
+                        ("busy_rejections", Json::Num(p.busy_rejections)),
+                        (
+                            "throughput_vs_uncoalesced",
+                            Json::Num(p.throughput_vs_uncoalesced),
+                        ),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+struct E11Measured {
+    ops_per_sec: f64,
+    scan_latency: Summary,
+    submit_latency: Summary,
+    client_scans: f64,
+    backing_scans: f64,
+    busy_rejections: f64,
+}
+
+/// One E11 point: `clients` threads drive a [`psnap_serve::SnapshotService`]
+/// over a freshly built backing object, every 8th op an update submission,
+/// the rest Fresh `r`-wide scans, all awaited; Busy rejections are retried
+/// (and counted) after a yield, so backpressure shows up as latency rather
+/// than loss.
+///
+/// Two **direct background updaters** hammer the backing object for the
+/// whole window (process ids past the service's own). This is what a serving
+/// tier actually faces — scans race a write stream — and it is what makes
+/// the backing scan the expensive resource the coalescer amortizes: under
+/// churn a Figure-3 scan pays for helping and re-reads, and a cross-shard
+/// scan pays validation retries, once per *backing* scan rather than once
+/// per client request.
+fn e11_point(
+    kind: ImplKind,
+    m: usize,
+    r: usize,
+    clients: usize,
+    ops: usize,
+    zipf_s: Option<f64>,
+    coalescing: psnap_serve::Coalescing,
+) -> E11Measured {
+    use psnap_serve::{Executor, Freshness, ServiceConfig, SnapshotService, SubmitError};
+    use psnap_workloads::IndexDist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let bg_updaters = 2usize;
+    let snapshot = kind.build(m, 2 + bg_updaters, 0);
+    let stop_bg = Arc::new(AtomicBool::new(false));
+    let bg_handles: Vec<_> = (0..bg_updaters)
+        .map(|u| {
+            let snapshot = Arc::clone(&snapshot);
+            let stop = Arc::clone(&stop_bg);
+            let dist = match zipf_s {
+                Some(s) => IndexDist::zipf(m, s),
+                None => IndexDist::uniform(m),
+            };
+            std::thread::spawn(move || {
+                use rand::SeedableRng as _;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0xB6 ^ ((u as u64) << 5));
+                let mut v = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    snapshot.update(ProcessId(2 + u), dist.sample(&mut rng), v);
+                    v += 1;
+                }
+            })
+        })
+        .collect();
+    let executor = Executor::new(2);
+    let service = SnapshotService::start(
+        Arc::clone(&snapshot),
+        ServiceConfig {
+            coalescing,
+            ingest_capacity: 64,
+            scan_capacity: 1024,
+            ..ServiceConfig::default()
+        },
+        &executor,
+    );
+    let dist = match zipf_s {
+        Some(s) => IndexDist::zipf(m, s),
+        None => IndexDist::uniform(m),
+    };
+    // Clients issue scans from a shared pool of popular query shapes
+    // (component sets), Zipf-popular — the serving-tier pattern scan
+    // coalescing exists for (many users watching overlapping hot data, the
+    // cooperative-scan scenario): concurrent requests frequently repeat or
+    // overlap, so the union stays narrow while the per-scan fixed costs
+    // (announcement, helping, cross-shard validation) are paid once.
+    let queries: Vec<Vec<usize>> = {
+        let mut rng = StdRng::seed_from_u64(0xE110);
+        (0..12).map(|_| dist.sample_set(&mut rng, r)).collect()
+    };
+    let query_popularity = IndexDist::zipf(queries.len(), 1.0);
+    let barrier = std::sync::Barrier::new(clients);
+    let mut scan_latency = Vec::new();
+    let mut submit_latency = Vec::new();
+    let mut busy = 0u64;
+    let mut longest_wall = std::time::Duration::ZERO;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let client = service.client();
+            let dist = dist.clone();
+            let queries = &queries;
+            let query_popularity = query_popularity.clone();
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xE11 ^ ((c as u64) << 11));
+                let mut scans = Vec::with_capacity(ops);
+                let mut submits = Vec::with_capacity(ops / 8 + 1);
+                let mut busy = 0u64;
+                barrier.wait();
+                let t_start = std::time::Instant::now();
+                for k in 0..ops {
+                    if k % 8 == 0 {
+                        let component = dist.sample(&mut rng);
+                        let t0 = std::time::Instant::now();
+                        loop {
+                            match client.submit(component, (k as u64) << 8 | c as u64) {
+                                Ok(ticket) => {
+                                    ticket.wait();
+                                    break;
+                                }
+                                Err(SubmitError::Busy) => {
+                                    busy += 1;
+                                    std::thread::yield_now();
+                                }
+                                Err(SubmitError::Closed) => panic!("service closed mid-run"),
+                            }
+                        }
+                        submits.push(t0.elapsed().as_nanos() as f64);
+                    } else {
+                        let components = queries[query_popularity.sample(&mut rng)].clone();
+                        let t0 = std::time::Instant::now();
+                        loop {
+                            match client.scan(components.clone(), Freshness::Fresh) {
+                                Ok(ticket) => {
+                                    let values = ticket.wait();
+                                    debug_assert_eq!(values.len(), components.len());
+                                    break;
+                                }
+                                Err(SubmitError::Busy) => {
+                                    busy += 1;
+                                    std::thread::yield_now();
+                                }
+                                Err(SubmitError::Closed) => panic!("service closed mid-run"),
+                            }
+                        }
+                        scans.push(t0.elapsed().as_nanos() as f64);
+                    }
+                }
+                (scans, submits, busy, t_start.elapsed())
+            }));
+        }
+        for h in handles {
+            let (scans, submits, b, wall) = h.join().expect("E11 client panicked");
+            scan_latency.extend(scans);
+            submit_latency.extend(submits);
+            busy += b;
+            longest_wall = longest_wall.max(wall);
+        }
+    });
+    stop_bg.store(true, Ordering::Relaxed);
+    for h in bg_handles {
+        h.join().expect("E11 background updater panicked");
+    }
+    let stats = service.stats();
+    service.shutdown();
+    E11Measured {
+        ops_per_sec: if longest_wall.is_zero() {
+            0.0
+        } else {
+            (clients * ops) as f64 / longest_wall.as_secs_f64()
+        },
+        scan_latency: Summary::of(&scan_latency),
+        submit_latency: Summary::of(&submit_latency),
+        client_scans: stats.scans_served_backing as f64,
+        backing_scans: stats.backing_scans as f64,
+        busy_rejections: busy as f64,
+    }
+}
+
+/// Runs the E11 measurement: the service frontend across backends,
+/// distributions, client counts and coalescing modes.
+pub fn e11_service_data(effort: Effort) -> E11Data {
+    use psnap_serve::Coalescing;
+    let m = 256;
+    let r = 16;
+    let ops = effort.ops * 2;
+    let modes: [(&'static str, Coalescing); 3] = [
+        ("none", Coalescing::Disabled),
+        ("drain", Coalescing::Window(std::time::Duration::ZERO)),
+        (
+            "window",
+            Coalescing::Window(std::time::Duration::from_micros(200)),
+        ),
+    ];
+    let mut points = Vec::new();
+    for (backend, kind) in [
+        ("fig3-cas", ImplKind::Cas),
+        ("sharded-cas-k4", ImplKind::SHARDED_CAS_4),
+    ] {
+        for (dist, zipf_s) in [("uniform", None), ("zipf", Some(0.9f64))] {
+            for clients in [2usize, 8] {
+                let mut baseline: Option<f64> = None;
+                for (mode, coalescing) in modes {
+                    let measured = e11_point(kind, m, r, clients, ops, zipf_s, coalescing);
+                    let base = *baseline.get_or_insert(measured.ops_per_sec);
+                    points.push(E11Point {
+                        backend,
+                        dist,
+                        clients,
+                        mode,
+                        window_us: match coalescing {
+                            Coalescing::Window(w) => w.as_secs_f64() * 1e6,
+                            Coalescing::Disabled => 0.0,
+                        },
+                        ops_per_sec: measured.ops_per_sec,
+                        scan_p50_ns: measured.scan_latency.p50,
+                        scan_p99_ns: measured.scan_latency.p99,
+                        submit_p50_ns: measured.submit_latency.p50,
+                        submit_p99_ns: measured.submit_latency.p99,
+                        client_scans: measured.client_scans,
+                        backing_scans: measured.backing_scans,
+                        coalesce_ratio: if measured.backing_scans > 0.0 {
+                            measured.client_scans / measured.backing_scans
+                        } else {
+                            0.0
+                        },
+                        busy_rejections: measured.busy_rejections,
+                        throughput_vs_uncoalesced: if base > 0.0 {
+                            measured.ops_per_sec / base
+                        } else {
+                            0.0
+                        },
+                    });
+                }
+            }
+        }
+    }
+    E11Data {
+        m,
+        r,
+        ops_per_client: ops,
+        points,
+    }
+}
+
+/// E11 — the async service frontend: throughput, latency, coalescing.
+pub fn e11_service(effort: Effort) -> Table {
+    e11_service_table(&e11_service_data(effort))
+}
+
+/// Renders already-measured E11 data as a table (lets the harness emit the
+/// markdown table and `BENCH_E11.json` from one measurement run).
+pub fn e11_service_table(data: &E11Data) -> Table {
+    let rows = data
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.backend.to_string(),
+                p.dist.to_string(),
+                p.clients.to_string(),
+                p.mode.to_string(),
+                format!("{:.0}", p.ops_per_sec / 1000.0),
+                format!("{:.1}", p.scan_p50_ns / 1000.0),
+                format!("{:.1}", p.scan_p99_ns / 1000.0),
+                format!("{:.1}", p.submit_p50_ns / 1000.0),
+                format!("{:.2}", p.coalesce_ratio),
+                format!("{:.0}", p.busy_rejections),
+                format!("{:.2}x", p.throughput_vs_uncoalesced),
+            ]
+        })
+        .collect();
+    Table {
+        id: "E11".into(),
+        title: data.description(),
+        headers: vec![
+            "backend".into(),
+            "dist".into(),
+            "clients".into(),
+            "mode".into(),
+            "client kops/s".into(),
+            "scan p50 µs".into(),
+            "scan p99 µs".into(),
+            "submit p50 µs".into(),
+            "scans per backing scan".into(),
+            "busy rejections".into(),
+            "throughput vs none".into(),
         ],
         rows,
     }
@@ -1379,13 +1796,15 @@ pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
         "E8" => Some(e8_sharding(effort)),
         "E9" => Some(e9_cell_contention(effort)),
         "E10" => Some(e10_batched_updates(effort)),
+        "E11" => Some(e11_service(effort)),
         _ => None,
     }
 }
 
 /// All experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 10] =
-    ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"];
+pub const ALL_EXPERIMENTS: [&str; 11] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
+];
 
 #[cfg(test)]
 mod tests {
@@ -1505,8 +1924,15 @@ mod tests {
     #[test]
     fn e10_smoke_json_shape_and_batching_wins_on_steps() {
         let data = e10_batched_updates_data(Effort { ops: 12 });
-        // 2 implementations × 2 distributions × 4 batch sizes.
-        assert_eq!(data.points.len(), 16);
+        // 4 shard counts × 2 distributions × 4 batch sizes — the joint grid.
+        assert_eq!(data.points.len(), 32);
+        for shards in [1usize, 2, 4, 8] {
+            assert_eq!(
+                data.points.iter().filter(|p| p.shards == shards).count(),
+                8,
+                "shard count {shards} missing from the grid"
+            );
+        }
         assert!(data
             .points
             .iter()
@@ -1530,7 +1956,59 @@ mod tests {
             .get("points")
             .and_then(psnap_json::Json::as_array)
             .unwrap();
-        assert_eq!(points.len(), 16);
+        assert_eq!(points.len(), 32);
+        assert!(points.iter().all(|p| p.get("shards").is_some()));
+        let text = json.to_string_pretty();
+        assert_eq!(psnap_json::Json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn e11_smoke_json_shape_and_coalescing_wins() {
+        let data = e11_service_data(Effort { ops: 40 });
+        // 2 backends × 2 distributions × 2 client counts × 3 modes.
+        assert_eq!(data.points.len(), 24);
+        assert!(data.points.iter().all(|p| p.ops_per_sec > 0.0));
+        // Baselines never coalesce; their ratio is exactly 1 scan per
+        // backing scan and their relative throughput is 1 by construction.
+        for p in data.points.iter().filter(|p| p.mode == "none") {
+            assert!((p.coalesce_ratio - 1.0).abs() < 1e-9, "{p:?}");
+            assert!((p.throughput_vs_uncoalesced - 1.0).abs() < 1e-9);
+        }
+        // The acceptance bar of the service tentpole, asserted loosely here
+        // because this is a tiny smoke run on an arbitrary CI host and both
+        // quantities are wall-clock-dependent (the strict version is what
+        // the full-effort BENCH_E11.json records): with >= 8 clients,
+        // coalescing must merge requests somewhere (ratio > 1) and beat the
+        // no-coalescing baseline somewhere.
+        let at_8: Vec<_> = data
+            .points
+            .iter()
+            .filter(|p| p.clients >= 8 && p.mode != "none")
+            .collect();
+        assert!(!at_8.is_empty());
+        assert!(
+            at_8.iter().any(|p| p.coalesce_ratio > 1.0),
+            "coalescing never merged at 8 clients: {at_8:?}"
+        );
+        assert!(
+            at_8.iter().any(|p| p.throughput_vs_uncoalesced > 1.0),
+            "coalescing never beat the baseline at 8 clients: {at_8:?}"
+        );
+        // Latency percentiles are populated and ordered.
+        assert!(data
+            .points
+            .iter()
+            .all(|p| p.scan_p99_ns >= p.scan_p50_ns && p.scan_p50_ns > 0.0));
+        let json = data.to_json();
+        assert_eq!(
+            json.get("experiment").and_then(psnap_json::Json::as_str),
+            Some("E11")
+        );
+        let points = json
+            .get("points")
+            .and_then(psnap_json::Json::as_array)
+            .unwrap();
+        assert_eq!(points.len(), 24);
         let text = json.to_string_pretty();
         assert_eq!(psnap_json::Json::parse(&text).unwrap(), json);
     }

@@ -11,6 +11,8 @@ pub struct Summary {
     pub p50: f64,
     /// 95th percentile.
     pub p95: f64,
+    /// 99th percentile (the service-latency tail metric of E11).
+    pub p99: f64,
     /// Maximum.
     pub max: f64,
 }
@@ -31,6 +33,7 @@ impl Summary {
             mean,
             p50: pct(0.50),
             p95: pct(0.95),
+            p99: pct(0.99),
             max: sorted[count - 1],
         }
     }
@@ -68,6 +71,7 @@ mod tests {
         assert!((s.mean - 50.5).abs() < 1e-9);
         assert!((s.p50 - 50.0).abs() <= 1.0);
         assert!((s.p95 - 95.0).abs() <= 1.0);
+        assert!((s.p99 - 99.0).abs() <= 1.0);
         assert_eq!(s.max, 100.0);
     }
 

@@ -1,0 +1,727 @@
+//! A small, dependency-free async runtime.
+//!
+//! The no-new-deps constraint rules out tokio, so the service layer runs on
+//! this hand-rolled executor: a fixed pool of worker threads polling tasks
+//! from **sharded run queues** (one queue per worker, with work stealing, so
+//! unrelated tasks do not contend on one global lock), wakers built on
+//! [`std::task::Wake`], and a **timer wheel** driven by a dedicated tick
+//! thread for `sleep`-style futures (the scan coalescing window). A
+//! [`block_on`] bridge lets synchronous client threads await service tickets.
+//!
+//! The design favours auditability over raw scheduler throughput: every
+//! scheduling transition is a small state machine on one atomic
+//! (`IDLE → QUEUED → RUNNING → {IDLE, QUEUED}` with a `NOTIFIED` flag for
+//! wake-during-poll), the classic lost-wakeup race is closed by re-checking
+//! the queues under the sleep lock before parking, and dropped executors
+//! simply stop polling — pipeline owners are expected to shut their tasks
+//! down first (see `SnapshotService::shutdown`).
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+use psnap_shmem::chaos::{self, ChaosConfig};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// Configuration of an [`Executor`].
+#[derive(Clone, Debug)]
+pub struct ExecutorConfig {
+    /// Number of worker threads (and run-queue shards). Clamped to ≥ 1.
+    pub workers: usize,
+    /// Granularity of the timer wheel: deadlines are rounded up to the next
+    /// tick, so this bounds both the wheel's precision and the tick thread's
+    /// wake-up rate.
+    pub timer_granularity: Duration,
+    /// If set, every worker thread enables the chaos layer with
+    /// `(seed + worker index, config)` for its whole life, so service
+    /// pipeline tasks (the ingestion drainer, the scan server) are perturbed
+    /// at base-object boundaries exactly like scenario threads — this is how
+    /// the seam tests park the drainer mid-coalesce.
+    pub chaos: Option<(u64, ChaosConfig)>,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: 2,
+            timer_granularity: Duration::from_micros(100),
+            chaos: None,
+        }
+    }
+}
+
+/// Scheduling states of a task (one `AtomicU8` per task).
+const IDLE: u8 = 0; // not queued, not running; a wake must enqueue it
+const QUEUED: u8 = 1; // sitting in a run queue
+const RUNNING: u8 = 2; // being polled by a worker
+const NOTIFIED: u8 = 3; // woken while running; requeue after the poll
+const DONE: u8 = 4; // future completed; wakes are no-ops
+
+struct Task {
+    future: Mutex<Option<BoxFuture>>,
+    state: AtomicU8,
+    /// Home run-queue shard (round-robin at spawn time).
+    home: usize,
+    exec: Weak<Shared>,
+}
+
+impl Task {
+    /// Transitions the task towards QUEUED and enqueues it if this call won
+    /// the transition. Safe to call from any thread, any number of times.
+    fn schedule(self: Arc<Self>) {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        if let Some(exec) = self.exec.upgrade() {
+                            exec.push(self.home, self);
+                        }
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued, already notified, or finished: nothing to do.
+                _ => return,
+            }
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.schedule();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        Arc::clone(self).schedule();
+    }
+}
+
+/// One run-queue shard. Padded so two workers' queues never share a line.
+#[repr(align(64))]
+struct Shard {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+}
+
+struct Shared {
+    shards: Vec<Shard>,
+    /// Guards the sleep/wake protocol: workers re-check the queues while
+    /// holding this lock before parking, and producers notify while holding
+    /// it, so a push can never slip between a worker's last check and its
+    /// park (the classic lost-wakeup race).
+    sleep: Mutex<()>,
+    wakeup: Condvar,
+    /// Workers inside the sleep protocol (incremented under the sleep lock
+    /// before the final queue re-check). Producers consult it so the hot
+    /// path — every spawn and every waker fire while the workers are busy —
+    /// never touches the global sleep lock; it is taken only when someone
+    /// may actually be parked.
+    sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+    next_home: AtomicUsize,
+    timer: TimerWheel,
+    chaos: Option<(u64, ChaosConfig)>,
+}
+
+impl Shared {
+    fn push(&self, home: usize, task: Arc<Task>) {
+        self.shards[home % self.shards.len()]
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+        // If a worker might be parked (or about to park), synchronize with
+        // it through the sleep lock; a parking worker increments `sleepers`
+        // under that lock *before* its final has-work re-check, so either it
+        // sees this push in the re-check, or this load sees its increment
+        // and the locked notify below reaches its wait.
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.sleep.lock().unwrap_or_else(|e| e.into_inner());
+            self.wakeup.notify_one();
+        }
+    }
+
+    /// Pops a task, preferring the worker's own shard, then stealing.
+    fn pop(&self, own: usize) -> Option<Arc<Task>> {
+        let k = self.shards.len();
+        for i in 0..k {
+            let shard = &self.shards[(own + i) % k];
+            let mut q = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(task) = q.pop_front() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        self.shards
+            .iter()
+            .any(|s| !s.queue.lock().unwrap_or_else(|e| e.into_inner()).is_empty())
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    let _chaos_guard = shared
+        .chaos
+        .clone()
+        .map(|(seed, cfg)| chaos::enable(seed.wrapping_add(index as u64), cfg));
+    loop {
+        if let Some(task) = shared.pop(index) {
+            poll_task(task);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = shared.sleep.lock().unwrap_or_else(|e| e.into_inner());
+        // Announce intent to sleep *before* the final re-check: a producer
+        // that misses this increment (reads sleepers == 0, skips the locked
+        // notify) pushed before it, and SeqCst ordering then guarantees the
+        // re-check below sees that push; a producer that sees the increment
+        // takes the sleep lock, which we hold until `wait` releases it, so
+        // its notify cannot fire in the gap before we park.
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        if shared.has_work() || shared.shutdown.load(Ordering::Acquire) {
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        // The timeout is pure belt-and-braces; correctness rests on the
+        // re-check above.
+        let _ = shared.wakeup.wait_timeout(guard, Duration::from_millis(20));
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn poll_task(task: Arc<Task>) {
+    task.state.store(RUNNING, Ordering::Release);
+    let waker = Waker::from(Arc::clone(&task));
+    let mut cx = Context::from_waker(&waker);
+    let mut slot = task.future.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(future) = slot.as_mut() else {
+        task.state.store(DONE, Ordering::Release);
+        return;
+    };
+    match future.as_mut().poll(&mut cx) {
+        Poll::Ready(()) => {
+            *slot = None;
+            drop(slot);
+            task.state.store(DONE, Ordering::Release);
+        }
+        Poll::Pending => {
+            drop(slot);
+            // RUNNING → IDLE, unless a wake arrived mid-poll (NOTIFIED), in
+            // which case the task goes straight back to its queue.
+            if task
+                .state
+                .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                task.state.store(QUEUED, Ordering::Release);
+                if let Some(exec) = task.exec.upgrade() {
+                    exec.push(task.home, task);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------------
+
+const WHEEL_SLOTS: usize = 256;
+
+struct WheelEntry {
+    /// Absolute tick at which the entry fires.
+    deadline_tick: u64,
+    waker: Waker,
+}
+
+struct WheelState {
+    /// `slots[t % WHEEL_SLOTS]` holds every entry whose deadline tick is
+    /// congruent to `t`; entries of a later lap stay in the slot until their
+    /// tick actually arrives.
+    slots: Vec<Vec<WheelEntry>>,
+    current_tick: u64,
+}
+
+struct TimerWheel {
+    state: Mutex<WheelState>,
+    start: Instant,
+    granularity: Duration,
+    shutdown: AtomicBool,
+}
+
+impl TimerWheel {
+    fn new(granularity: Duration) -> TimerWheel {
+        TimerWheel {
+            state: Mutex::new(WheelState {
+                slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+                current_tick: 0,
+            }),
+            start: Instant::now(),
+            granularity: granularity.max(Duration::from_micros(10)),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn tick_of(&self, deadline: Instant) -> u64 {
+        let elapsed = deadline.saturating_duration_since(self.start);
+        // Round up: an entry must never fire before its deadline.
+        elapsed.as_nanos().div_ceil(self.granularity.as_nanos()) as u64
+    }
+
+    /// Registers `waker` to fire at `deadline`. Returns false if the deadline
+    /// already passed (the caller should complete immediately).
+    fn register(&self, deadline: Instant, waker: Waker) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let tick = self.tick_of(deadline).max(state.current_tick + 1);
+        if Instant::now() >= deadline {
+            return false;
+        }
+        state.slots[(tick as usize) % WHEEL_SLOTS].push(WheelEntry {
+            deadline_tick: tick,
+            waker,
+        });
+        true
+    }
+
+    /// Advances the wheel to the tick matching `now`, waking every entry
+    /// whose tick has been reached.
+    fn advance(&self, now: Instant) {
+        let target = self.tick_of(now);
+        let mut fired = Vec::new();
+        {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            // Walk at most one full lap: beyond that, every slot has been
+            // visited once and filtering by deadline covers the rest.
+            let first = state.current_tick + 1;
+            let last = target.min(state.current_tick + WHEEL_SLOTS as u64);
+            for tick in first..=last {
+                let slot = &mut state.slots[(tick as usize) % WHEEL_SLOTS];
+                let mut i = 0;
+                while i < slot.len() {
+                    if slot[i].deadline_tick <= target {
+                        fired.push(slot.swap_remove(i).waker);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            state.current_tick = target;
+        }
+        for waker in fired {
+            waker.wake();
+        }
+    }
+}
+
+fn timer_loop(shared: Arc<Shared>) {
+    while !shared.timer.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(shared.timer.granularity);
+        shared.timer.advance(Instant::now());
+    }
+    // Final sweep so no sleeper is stranded across shutdown.
+    shared
+        .timer
+        .advance(Instant::now() + Duration::from_secs(3600));
+}
+
+/// A timer future registered on the executor's wheel; resolves once the
+/// deadline has passed. Created by [`Handle::sleep`].
+pub struct Sleep {
+    shared: Weak<Shared>,
+    deadline: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        let Some(shared) = self.shared.upgrade() else {
+            // Executor gone: resolve rather than pend forever.
+            return Poll::Ready(());
+        };
+        if shared.timer.register(self.deadline, cx.waker().clone()) {
+            Poll::Pending
+        } else {
+            Poll::Ready(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// A cheap, cloneable handle for spawning tasks and creating timers on an
+/// [`Executor`]. Handles hold only a weak reference: once the executor is
+/// dropped, `spawn` becomes a no-op and `sleep` resolves immediately.
+#[derive(Clone)]
+pub struct Handle {
+    shared: Weak<Shared>,
+}
+
+impl Handle {
+    /// Spawns a future onto one of the executor's run-queue shards
+    /// (round-robin). The future runs to completion in the background.
+    pub fn spawn<F>(&self, future: F)
+    where
+        F: Future<Output = ()> + Send + 'static,
+    {
+        let Some(shared) = self.shared.upgrade() else {
+            return;
+        };
+        let home = shared.next_home.fetch_add(1, Ordering::Relaxed);
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(future))),
+            state: AtomicU8::new(QUEUED),
+            home,
+            exec: Arc::downgrade(&shared),
+        });
+        shared.push(home, task);
+    }
+
+    /// A future that resolves once `duration` has elapsed, with the
+    /// executor's timer-wheel granularity.
+    pub fn sleep(&self, duration: Duration) -> Sleep {
+        Sleep {
+            shared: self.shared.clone(),
+            deadline: Instant::now() + duration,
+        }
+    }
+}
+
+/// The hand-rolled executor: worker threads over sharded run queues plus a
+/// timer-wheel thread. Dropping it shuts the workers down; tasks that have
+/// not completed are dropped.
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    timer_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// An executor with `workers` worker threads and default timer
+    /// granularity.
+    pub fn new(workers: usize) -> Executor {
+        Executor::with_config(ExecutorConfig {
+            workers,
+            ..ExecutorConfig::default()
+        })
+    }
+
+    /// An executor with the given configuration.
+    pub fn with_config(config: ExecutorConfig) -> Executor {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            shards: (0..workers)
+                .map(|_| Shard {
+                    queue: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            sleep: Mutex::new(()),
+            wakeup: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            next_home: AtomicUsize::new(0),
+            timer: TimerWheel::new(config.timer_granularity),
+            chaos: config.chaos,
+        });
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("psnap-serve-worker-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("spawning executor worker")
+            })
+            .collect();
+        let timer_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("psnap-serve-timer".into())
+                .spawn(move || timer_loop(shared))
+                .expect("spawning timer thread")
+        };
+        Executor {
+            shared,
+            workers: worker_handles,
+            timer_thread: Some(timer_thread),
+        }
+    }
+
+    /// A cloneable spawning/timer handle.
+    pub fn handle(&self) -> Handle {
+        Handle {
+            shared: Arc::downgrade(&self.shared),
+        }
+    }
+
+    /// Spawns a future (see [`Handle::spawn`]).
+    pub fn spawn<F>(&self, future: F)
+    where
+        F: Future<Output = ()> + Send + 'static,
+    {
+        self.handle().spawn(future);
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.timer.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.sleep.lock().unwrap_or_else(|e| e.into_inner());
+            self.shared.wakeup.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(t) = self.timer_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// block_on
+// ---------------------------------------------------------------------------
+
+struct ThreadWaker {
+    thread: std::thread::Thread,
+    /// Set by `wake`, consumed by the parked thread: closes the race where an
+    /// unpark lands between the poll and the park.
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+/// Drives a future to completion on the calling thread, parking between
+/// polls. The synchronous bridge for client threads waiting on service
+/// tickets.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = Box::pin(future);
+    let thread_waker = Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&thread_waker));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        if let Poll::Ready(v) = future.as_mut().poll(&mut cx) {
+            return v;
+        }
+        // Park until woken; `notified` absorbs wakes that landed before the
+        // park (unpark tokens also accumulate, this is belt-and-braces for
+        // spurious unparks consumed elsewhere).
+        while !thread_waker.notified.swap(false, Ordering::AcqRel) {
+            std::thread::park();
+        }
+    }
+}
+
+/// Like [`block_on`], but gives up after `timeout`, returning `None` with
+/// the future dropped. Used for best-effort shutdown paths that must not
+/// hang if the executor driving the other side is already gone.
+pub fn block_on_timeout<F: Future>(future: F, timeout: Duration) -> Option<F::Output> {
+    let deadline = Instant::now() + timeout;
+    let mut future = Box::pin(future);
+    let thread_waker = Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&thread_waker));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        if let Poll::Ready(v) = future.as_mut().poll(&mut cx) {
+            return Some(v);
+        }
+        loop {
+            if thread_waker.notified.swap(false, Ordering::AcqRel) {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            std::thread::park_timeout(deadline - now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn spawned_tasks_run_to_completion() {
+        let exec = Executor::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            exec.spawn(async move {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while counter.load(Ordering::SeqCst) < 100 {
+            assert!(Instant::now() < deadline, "tasks did not complete");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn block_on_returns_future_output() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn wakers_resume_pending_tasks() {
+        // A future that pends once and is woken from another thread.
+        struct YieldOnce {
+            yielded: bool,
+        }
+        impl Future for YieldOnce {
+            type Output = ();
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.yielded {
+                    Poll::Ready(())
+                } else {
+                    self.yielded = true;
+                    cx.waker().wake_by_ref();
+                    Poll::Pending
+                }
+            }
+        }
+        let exec = Executor::new(1);
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        exec.spawn(async move {
+            YieldOnce { yielded: false }.await;
+            flag.store(true, Ordering::SeqCst);
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !done.load(Ordering::SeqCst) {
+            assert!(Instant::now() < deadline, "self-waking task starved");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn sleep_respects_its_deadline() {
+        let exec = Executor::new(1);
+        let handle = exec.handle();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let t0 = Instant::now();
+        exec.spawn(async move {
+            handle.sleep(Duration::from_millis(5)).await;
+            done_tx.send(t0.elapsed()).unwrap();
+        });
+        let elapsed = done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("sleep never fired");
+        assert!(
+            elapsed >= Duration::from_millis(5),
+            "sleep fired early: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn many_sleeps_across_wheel_laps_all_fire() {
+        let exec = Executor::with_config(ExecutorConfig {
+            workers: 2,
+            // Coarse enough that 300 ticks span > one 256-slot lap.
+            timer_granularity: Duration::from_micros(50),
+            ..ExecutorConfig::default()
+        });
+        let handle = exec.handle();
+        let fired = Arc::new(AtomicU64::new(0));
+        let n = 64u64;
+        for i in 0..n {
+            let handle = handle.clone();
+            let fired = Arc::clone(&fired);
+            exec.spawn(async move {
+                // Deadlines from 0..16ms: some land many laps out.
+                handle.sleep(Duration::from_micros(i * 250)).await;
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while fired.load(Ordering::SeqCst) < n {
+            assert!(Instant::now() < deadline, "a timer was lost");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn dropping_the_executor_stops_cleanly_with_pending_tasks() {
+        let exec = Executor::new(2);
+        let handle = exec.handle();
+        for _ in 0..8 {
+            let handle = handle.clone();
+            exec.spawn(async move {
+                handle.sleep(Duration::from_secs(60)).await;
+            });
+        }
+        // Give workers a moment to pick tasks up, then drop mid-sleep.
+        std::thread::sleep(Duration::from_millis(5));
+        drop(exec);
+    }
+
+    #[test]
+    fn chaos_enabled_workers_still_complete_tasks() {
+        let exec = Executor::with_config(ExecutorConfig {
+            workers: 2,
+            chaos: Some((0xC0FFEE, ChaosConfig::aggressive())),
+            ..ExecutorConfig::default()
+        });
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            exec.spawn(async move {
+                // Perform base-object steps so the chaos layer has boundaries
+                // to perturb at.
+                let cell = psnap_shmem::VersionedCell::new(0u64);
+                for i in 0..50 {
+                    cell.store(i);
+                    let _ = cell.load();
+                }
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while counter.load(Ordering::SeqCst) < 16 {
+            assert!(Instant::now() < deadline, "chaos worker starved");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}

@@ -1,0 +1,859 @@
+//! [`SnapshotService`]: an async frontend over any [`PartialSnapshot`].
+//!
+//! Callers stop owning threads that call the snapshot object in-process;
+//! instead they hold a [`ClientHandle`] and talk to three pipelines:
+//!
+//! 1. **Ingestion** — [`ClientHandle::submit`] / [`submit_batch`] push writes
+//!    into the client's own bounded MPSC queue and return an
+//!    [`UpdateTicket`]. A single drainer task collects every client queue,
+//!    concatenates the submissions in arrival order, coalesces duplicate
+//!    components **last-write-wins** (legal because the whole chunk is
+//!    applied by one `update_many`, i.e. at one linearization point, and a
+//!    superseded write linearizes immediately before its superseder), and
+//!    applies one [`PartialSnapshot::update_many`] per chunk. Client batch
+//!    boundaries are respected: a submission's writes are never split across
+//!    two `update_many` calls, so every client batch stays atomic.
+//! 2. **Scan coalescing** — [`ClientHandle::scan`] enqueues a scan request.
+//!    The scan server drains all pending requests (optionally waiting a
+//!    [`Coalescing::Window`] to accumulate more), merges their component
+//!    sets with [`ShardRouter::plan_union`] into one deduplicated union, runs
+//!    **one** backing scan, and fans each requester's subset back out. A
+//!    projection of one linearizable scan is itself a legal scan at the same
+//!    linearization point, which is what the lincheck conformance suite
+//!    verifies end to end.
+//! 3. **Backpressure** — both queue families are bounded; a full queue fails
+//!    the submit with [`SubmitError::Busy`] immediately and enqueues
+//!    nothing. Accepted work is never dropped: every ticket resolves, even
+//!    across [`SnapshotService::shutdown`].
+//!
+//! Per-request **freshness bounds**: a scan submitted with
+//! [`Freshness::Fresh`] is always answered by a backing scan that starts
+//! after the request arrived (strict linearizability). With
+//! [`Freshness::AtMostStale`], the service may answer from the most recent
+//! backing scan's cached union if it covers the request and is younger than
+//! the bound — still an atomic view of the object, just a slightly old one
+//! (the read-from-the-recent-past trade of multiversioned snapshots), in
+//! exchange for zero backing work.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use psnap_core::{PartialSnapshot, ProcessId};
+use psnap_shard::{Partition, ShardRouter};
+
+use crate::executor::{block_on_timeout, Executor, Handle};
+use crate::queue::{BoundedQueue, Notify, OpCell, SubmitError, Ticket};
+
+/// How the scan server merges concurrent scan requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Coalescing {
+    /// No merging: every request is answered by its own backing scan (the
+    /// E11 baseline).
+    Disabled,
+    /// Merge everything pending when the scan server wakes; with a non-zero
+    /// window, first sleep that long so more requests accumulate (larger
+    /// unions, higher latency floor).
+    Window(Duration),
+}
+
+/// Per-request freshness bound of a scan (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Freshness {
+    /// Linearizable: answered by a backing scan started after the request.
+    Fresh,
+    /// May be served from the last backing scan's cached union if that scan
+    /// is at most this old and covers the requested components.
+    AtMostStale(Duration),
+}
+
+/// Configuration of a [`SnapshotService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Capacity of each client's ingestion queue (submissions, not writes).
+    pub ingest_capacity: usize,
+    /// Capacity of the shared scan-request queue.
+    pub scan_capacity: usize,
+    /// Scan-merging policy.
+    pub coalescing: Coalescing,
+    /// Maximum writes per `update_many` call. Chunks always contain whole
+    /// submissions; a single submission larger than this still goes out as
+    /// one (atomic) call.
+    pub max_batch: usize,
+    /// Process id the ingestion drainer uses on the backing object.
+    pub drain_pid: ProcessId,
+    /// Process id the scan server uses on the backing object.
+    pub scan_pid: ProcessId,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            ingest_capacity: 64,
+            scan_capacity: 256,
+            coalescing: Coalescing::Window(Duration::ZERO),
+            max_batch: 256,
+            drain_pid: ProcessId(0),
+            scan_pid: ProcessId(1),
+        }
+    }
+}
+
+/// Ticket resolving once the submitted write(s) have been applied.
+pub type UpdateTicket = Ticket<()>;
+
+/// Ticket resolving with the scan's values (request order, one per
+/// requested component).
+pub type ScanTicket<T> = Ticket<Vec<T>>;
+
+struct Submission<T> {
+    writes: Vec<(usize, T)>,
+    cell: Arc<OpCell<()>>,
+    submitted: Instant,
+}
+
+struct ScanRequest<T> {
+    components: Vec<usize>,
+    freshness: Freshness,
+    cell: Arc<OpCell<Vec<T>>>,
+    submitted: Instant,
+}
+
+/// The last backing scan's union view, for freshness-bounded requests.
+struct ScanCache<T> {
+    values: BTreeMap<usize, T>,
+    taken_at: Instant,
+}
+
+#[derive(Default)]
+struct Counters {
+    submits_ok: AtomicU64,
+    submits_busy: AtomicU64,
+    submits_closed: AtomicU64,
+    writes_submitted: AtomicU64,
+    batches_applied: AtomicU64,
+    writes_applied: AtomicU64,
+    writes_coalesced_away: AtomicU64,
+    submit_latency_ns: AtomicU64,
+    submits_resolved: AtomicU64,
+    scans_ok: AtomicU64,
+    scans_busy: AtomicU64,
+    scans_closed: AtomicU64,
+    scans_served_backing: AtomicU64,
+    scans_served_cache: AtomicU64,
+    scans_served_empty: AtomicU64,
+    backing_scans: AtomicU64,
+    backing_components: AtomicU64,
+    requested_components: AtomicU64,
+    scan_latency_ns: AtomicU64,
+}
+
+/// A point-in-time snapshot of the service's counters.
+///
+/// The counters follow the sharded-store stats discipline — they
+/// **partition**: every accepted submission is eventually resolved
+/// (`submits_ok == submits_resolved` at quiescence), every submitted write is
+/// either applied or coalesced away (`writes_submitted == writes_applied +
+/// writes_coalesced_away`), and every accepted scan is served by exactly one
+/// of the backing, cache, or empty paths (`scans_ok == scans_served_backing
+/// + scans_served_cache + scans_served_empty`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Submissions accepted into an ingestion queue.
+    pub submits_ok: u64,
+    /// Submissions rejected with [`SubmitError::Busy`].
+    pub submits_busy: u64,
+    /// Submissions rejected with [`SubmitError::Closed`].
+    pub submits_closed: u64,
+    /// Component writes accepted (a batch of `k` counts `k`).
+    pub writes_submitted: u64,
+    /// `update_many` calls issued by the drainer.
+    pub batches_applied: u64,
+    /// Component writes actually passed to `update_many`.
+    pub writes_applied: u64,
+    /// Writes superseded by a later same-component write in the same chunk.
+    pub writes_coalesced_away: u64,
+    /// Total submit-to-applied latency (nanoseconds) over resolved
+    /// submissions.
+    pub submit_latency_ns: u64,
+    /// Submissions whose ticket has been completed.
+    pub submits_resolved: u64,
+    /// Scan requests accepted into the scan queue.
+    pub scans_ok: u64,
+    /// Scan requests rejected with [`SubmitError::Busy`].
+    pub scans_busy: u64,
+    /// Scan requests rejected with [`SubmitError::Closed`].
+    pub scans_closed: u64,
+    /// Scan requests answered by a backing scan.
+    pub scans_served_backing: u64,
+    /// Scan requests answered from the freshness cache.
+    pub scans_served_cache: u64,
+    /// Scan requests for zero components, answered inline without backing
+    /// work.
+    pub scans_served_empty: u64,
+    /// Backing scans issued against the snapshot object.
+    pub backing_scans: u64,
+    /// Deduplicated components read by backing scans.
+    pub backing_components: u64,
+    /// Components requested by scans served via the backing path.
+    pub requested_components: u64,
+    /// Total request-to-answer latency (nanoseconds) over served scans.
+    pub scan_latency_ns: u64,
+}
+
+impl ServiceStats {
+    /// Client scans answered per backing scan — the scan-coalescing win
+    /// (`> 1` means merging happened).
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.backing_scans == 0 {
+            0.0
+        } else {
+            self.scans_served_backing as f64 / self.backing_scans as f64
+        }
+    }
+
+    /// Components requested per component actually read by the backing
+    /// object (overlap between merged requests raises it above 1).
+    pub fn component_dedup_ratio(&self) -> f64 {
+        if self.backing_components == 0 {
+            0.0
+        } else {
+            self.requested_components as f64 / self.backing_components as f64
+        }
+    }
+
+    /// Mean submit-to-applied latency in nanoseconds.
+    pub fn mean_submit_latency_ns(&self) -> f64 {
+        if self.submits_resolved == 0 {
+            0.0
+        } else {
+            self.submit_latency_ns as f64 / self.submits_resolved as f64
+        }
+    }
+
+    /// Mean scan request-to-answer latency in nanoseconds.
+    pub fn mean_scan_latency_ns(&self) -> f64 {
+        let served = self.scans_served_backing + self.scans_served_cache + self.scans_served_empty;
+        if served == 0 {
+            0.0
+        } else {
+            self.scan_latency_ns as f64 / served as f64
+        }
+    }
+}
+
+struct ServiceCore<T, S> {
+    snapshot: S,
+    /// Trivial single-shard router over the component space: reused purely
+    /// for its union planning (dedup + per-request fan-out positions).
+    router: ShardRouter,
+    config: ServiceConfig,
+    clients: Mutex<Vec<Arc<BoundedQueue<Submission<T>>>>>,
+    ingest_notify: Arc<Notify>,
+    scan_notify: Arc<Notify>,
+    scan_queue: BoundedQueue<ScanRequest<T>>,
+    closed: AtomicBool,
+    cache: Mutex<Option<ScanCache<T>>>,
+    counters: Counters,
+    drain_done: Arc<OpCell<()>>,
+    scan_done: Arc<OpCell<()>>,
+}
+
+impl<T, S> ServiceCore<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: PartialSnapshot<T>,
+{
+    fn try_cache(&self, components: &[usize], bound: Duration) -> Option<Vec<T>> {
+        let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let cache = cache.as_ref()?;
+        if cache.taken_at.elapsed() > bound {
+            return None;
+        }
+        components
+            .iter()
+            .map(|c| cache.values.get(c).cloned())
+            .collect()
+    }
+
+    /// Answers a batch of scan requests: cache-eligible ones from the cache,
+    /// the rest via one union backing scan.
+    fn serve_scans(&self, requests: Vec<ScanRequest<T>>) {
+        let mut live = Vec::with_capacity(requests.len());
+        for request in requests {
+            // An empty request needs no backing work at all; answering it
+            // inline keeps it from issuing a zero-width "backing scan" that
+            // would skew the coalescing ratio and wipe the freshness cache
+            // with an empty union.
+            if request.components.is_empty() {
+                self.counters
+                    .scans_served_empty
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.scan_latency_ns.fetch_add(
+                    request.submitted.elapsed().as_nanos() as u64,
+                    Ordering::Relaxed,
+                );
+                request.cell.complete(Vec::new());
+                continue;
+            }
+            if let Freshness::AtMostStale(bound) = request.freshness {
+                if let Some(values) = self.try_cache(&request.components, bound) {
+                    self.counters
+                        .scans_served_cache
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.counters.scan_latency_ns.fetch_add(
+                        request.submitted.elapsed().as_nanos() as u64,
+                        Ordering::Relaxed,
+                    );
+                    request.cell.complete(values);
+                    continue;
+                }
+            }
+            live.push(request);
+        }
+        if live.is_empty() {
+            return;
+        }
+        let sets: Vec<&[usize]> = live.iter().map(|r| r.components.as_slice()).collect();
+        let plan = self.router.plan_union(&sets);
+        // One group per shard of the trivial router — i.e. exactly one
+        // backing scan of the deduplicated union. The cache timestamp is
+        // taken *before* the scan starts: the scan's linearization point is
+        // no earlier than this instant, so `AtMostStale(d)` measured against
+        // it never under-reports staleness, however long the scan itself
+        // takes under contention.
+        let taken_at = Instant::now();
+        let group_components = plan.group_components(&self.router);
+        let results: Vec<Vec<T>> = group_components
+            .iter()
+            .map(|components| self.snapshot.scan(self.config.scan_pid, components))
+            .collect();
+        self.counters.backing_scans.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .backing_components
+            .fetch_add(plan.forwarded_slots() as u64, Ordering::Relaxed);
+        self.counters
+            .requested_components
+            .fetch_add(sets.iter().map(|s| s.len() as u64).sum(), Ordering::Relaxed);
+        {
+            let mut values = BTreeMap::new();
+            for (components, result) in group_components.iter().zip(&results) {
+                for (c, v) in components.iter().zip(result) {
+                    values.insert(*c, v.clone());
+                }
+            }
+            *self.cache.lock().unwrap_or_else(|e| e.into_inner()) =
+                Some(ScanCache { values, taken_at });
+        }
+        for (k, request) in live.iter().enumerate() {
+            let values = plan.assemble(k, &results);
+            self.counters
+                .scans_served_backing
+                .fetch_add(1, Ordering::Relaxed);
+            self.counters.scan_latency_ns.fetch_add(
+                request.submitted.elapsed().as_nanos() as u64,
+                Ordering::Relaxed,
+            );
+            request.cell.complete(values);
+        }
+    }
+
+    /// Applies `pending` as `update_many` chunks that respect submission
+    /// boundaries, coalescing duplicate components last-write-wins within
+    /// each chunk, and resolves every ticket.
+    fn apply_pending(&self, pending: &mut Vec<Submission<T>>) {
+        let mut start = 0;
+        while start < pending.len() {
+            let mut end = start + 1;
+            let mut width = pending[start].writes.len();
+            while end < pending.len() && width + pending[end].writes.len() <= self.config.max_batch
+            {
+                width += pending[end].writes.len();
+                end += 1;
+            }
+            let chunk = &pending[start..end];
+            let writes = coalesce_last_write_wins(chunk);
+            self.snapshot.update_many(self.config.drain_pid, &writes);
+            self.counters
+                .batches_applied
+                .fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .writes_applied
+                .fetch_add(writes.len() as u64, Ordering::Relaxed);
+            self.counters
+                .writes_coalesced_away
+                .fetch_add((width - writes.len()) as u64, Ordering::Relaxed);
+            let now = Instant::now();
+            for submission in chunk {
+                self.counters.submit_latency_ns.fetch_add(
+                    now.saturating_duration_since(submission.submitted)
+                        .as_nanos() as u64,
+                    Ordering::Relaxed,
+                );
+                self.counters
+                    .submits_resolved
+                    .fetch_add(1, Ordering::Relaxed);
+                submission.cell.complete(());
+            }
+            start = end;
+        }
+        pending.clear();
+    }
+}
+
+/// Concatenates the chunk's writes in arrival order and keeps only the last
+/// write per component. All surviving components are distinct, so one
+/// `update_many` applies them atomically; the dropped writes are exactly
+/// those a sequential observer could never have distinguished (each
+/// linearizes immediately before the write that superseded it).
+fn coalesce_last_write_wins<T: Clone>(chunk: &[Submission<T>]) -> Vec<(usize, T)> {
+    let mut out: Vec<(usize, T)> = Vec::new();
+    let mut index_of: BTreeMap<usize, usize> = BTreeMap::new();
+    for submission in chunk {
+        for (component, value) in &submission.writes {
+            match index_of.get(component) {
+                Some(&i) => out[i].1 = value.clone(),
+                None => {
+                    index_of.insert(*component, out.len());
+                    out.push((*component, value.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+async fn drain_loop<T, S>(core: Arc<ServiceCore<T, S>>)
+where
+    T: Clone + Send + Sync + 'static,
+    S: PartialSnapshot<T>,
+{
+    let mut pending: Vec<Submission<T>> = Vec::new();
+    loop {
+        let queues: Vec<Arc<BoundedQueue<Submission<T>>>> = core
+            .clients
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        // Exit precondition, sampled *before* the drain below: shutdown has
+        // begun AND every registered queue is already closed. The global
+        // flag alone is not enough — between `closed.store` and the
+        // queue-close sweep a submit on a still-open queue can succeed, and
+        // exiting on the flag would strand its ticket. Once every queue is
+        // observed closed, any successful push happened before some close,
+        // i.e. before this observation, so the drain below sees it; queues
+        // registered later are born closed and can hold nothing.
+        let closing =
+            core.closed.load(Ordering::Acquire) && queues.iter().all(|queue| queue.is_closed());
+        for queue in &queues {
+            queue.drain_into(&mut pending);
+        }
+        // Prune queues of dropped clients: closed means no further push can
+        // succeed, and empty (checked after the drain above) means nothing
+        // accepted is left to resolve — so removal strands no ticket. This
+        // keeps a long-lived service with short-lived clients from scanning
+        // an ever-growing list of dead queues.
+        core.clients
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|queue| !(queue.is_closed() && queue.is_empty()));
+        if pending.is_empty() {
+            if closing {
+                break;
+            }
+            // Mid-sweep shutdown wakes us again: every queue close notifies.
+            core.ingest_notify.wait().await;
+            continue;
+        }
+        core.apply_pending(&mut pending);
+    }
+    core.drain_done.complete(());
+}
+
+async fn scan_loop<T, S>(core: Arc<ServiceCore<T, S>>, handle: Handle)
+where
+    T: Clone + Send + Sync + 'static,
+    S: PartialSnapshot<T>,
+{
+    let mut requests: Vec<ScanRequest<T>> = Vec::new();
+    loop {
+        // Same discipline as the drainer: the exit precondition (the scan
+        // queue itself is closed — shutdown's sweep, not just the global
+        // flag) is sampled *before* the drain, so any request accepted
+        // before the close is seen by this or an earlier drain and no
+        // ScanTicket is ever stranded.
+        let closing = core.scan_queue.is_closed();
+        core.scan_queue.drain_into(&mut requests);
+        if requests.is_empty() {
+            if closing {
+                break;
+            }
+            core.scan_notify.wait().await;
+            continue;
+        }
+        match core.config.coalescing {
+            Coalescing::Disabled => {
+                // Baseline: one backing scan per request, in arrival order.
+                for request in requests.drain(..) {
+                    core.serve_scans(vec![request]);
+                }
+            }
+            Coalescing::Window(window) => {
+                if !window.is_zero() {
+                    handle.sleep(window).await;
+                    core.scan_queue.drain_into(&mut requests);
+                }
+                core.serve_scans(std::mem::take(&mut requests));
+            }
+        }
+    }
+    core.scan_done.complete(());
+}
+
+/// The async service frontend. See the module docs for the architecture.
+///
+/// Dropping the service performs a best-effort bounded shutdown; call
+/// [`shutdown`](SnapshotService::shutdown) explicitly (before dropping the
+/// [`Executor`]) for the deterministic drain used by the tests.
+pub struct SnapshotService<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: PartialSnapshot<T>,
+{
+    core: Arc<ServiceCore<T, S>>,
+    shutdown_done: Mutex<bool>,
+}
+
+impl<T, S> SnapshotService<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: PartialSnapshot<T> + 'static,
+{
+    /// Starts the service over `snapshot`, spawning its pipeline tasks on
+    /// `executor`. The backing object must have been built for at least
+    /// `max(drain_pid, scan_pid) + 1` processes; wrap it in an [`Arc`] to
+    /// keep direct access on the side.
+    pub fn start(snapshot: S, config: ServiceConfig, executor: &Executor) -> Self {
+        assert!(
+            snapshot.max_processes() > config.drain_pid.index().max(config.scan_pid.index()),
+            "backing object has too few processes for the service pids"
+        );
+        assert_ne!(
+            config.drain_pid, config.scan_pid,
+            "drainer and scan server need distinct process ids"
+        );
+        let m = snapshot.components();
+        let scan_notify = Arc::new(Notify::new());
+        let core = Arc::new(ServiceCore {
+            snapshot,
+            router: ShardRouter::new(m, 1, Partition::Contiguous),
+            scan_queue: BoundedQueue::new(config.scan_capacity, Arc::clone(&scan_notify)),
+            config,
+            clients: Mutex::new(Vec::new()),
+            ingest_notify: Arc::new(Notify::new()),
+            scan_notify,
+            closed: AtomicBool::new(false),
+            cache: Mutex::new(None),
+            counters: Counters::default(),
+            drain_done: OpCell::new(),
+            scan_done: OpCell::new(),
+        });
+        executor.spawn(drain_loop(Arc::clone(&core)));
+        executor.spawn(scan_loop(Arc::clone(&core), executor.handle()));
+        SnapshotService {
+            core,
+            shutdown_done: Mutex::new(false),
+        }
+    }
+}
+
+impl<T, S> SnapshotService<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: PartialSnapshot<T>,
+{
+    /// Registers a new client and returns its submit/scan handle. Each
+    /// client gets its own bounded ingestion queue; dropping the handle
+    /// closes the queue and the drainer prunes it once drained.
+    pub fn client(&self) -> ClientHandle<T, S> {
+        let queue = Arc::new(BoundedQueue::new(
+            self.core.config.ingest_capacity,
+            Arc::clone(&self.core.ingest_notify),
+        ));
+        {
+            // Registration and the closed check happen under the same lock
+            // shutdown uses to close every registered queue, so a queue can
+            // never slip in open after the shutdown sweep (its submissions
+            // would have no drainer left to resolve them).
+            let mut clients = self.core.clients.lock().unwrap_or_else(|e| e.into_inner());
+            if self.core.closed.load(Ordering::Acquire) {
+                queue.close();
+            }
+            clients.push(Arc::clone(&queue));
+        }
+        ClientHandle {
+            core: Arc::clone(&self.core),
+            queue,
+        }
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.core.counters;
+        ServiceStats {
+            submits_ok: c.submits_ok.load(Ordering::Relaxed),
+            submits_busy: c.submits_busy.load(Ordering::Relaxed),
+            submits_closed: c.submits_closed.load(Ordering::Relaxed),
+            writes_submitted: c.writes_submitted.load(Ordering::Relaxed),
+            batches_applied: c.batches_applied.load(Ordering::Relaxed),
+            writes_applied: c.writes_applied.load(Ordering::Relaxed),
+            writes_coalesced_away: c.writes_coalesced_away.load(Ordering::Relaxed),
+            submit_latency_ns: c.submit_latency_ns.load(Ordering::Relaxed),
+            submits_resolved: c.submits_resolved.load(Ordering::Relaxed),
+            scans_ok: c.scans_ok.load(Ordering::Relaxed),
+            scans_busy: c.scans_busy.load(Ordering::Relaxed),
+            scans_closed: c.scans_closed.load(Ordering::Relaxed),
+            scans_served_backing: c.scans_served_backing.load(Ordering::Relaxed),
+            scans_served_cache: c.scans_served_cache.load(Ordering::Relaxed),
+            scans_served_empty: c.scans_served_empty.load(Ordering::Relaxed),
+            backing_scans: c.backing_scans.load(Ordering::Relaxed),
+            backing_components: c.backing_components.load(Ordering::Relaxed),
+            requested_components: c.requested_components.load(Ordering::Relaxed),
+            scan_latency_ns: c.scan_latency_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submissions currently queued across all clients (racy gauge).
+    pub fn ingest_depth(&self) -> usize {
+        self.core
+            .clients
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|q| q.len())
+            .sum()
+    }
+
+    /// Scan requests currently queued (racy gauge).
+    pub fn scan_depth(&self) -> usize {
+        self.core.scan_queue.len()
+    }
+
+    /// Client queues currently registered (racy gauge; dropped clients'
+    /// queues disappear once the drainer has drained and pruned them).
+    pub fn client_count(&self) -> usize {
+        self.core
+            .clients
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Stops accepting work, drains everything already accepted (resolving
+    /// every outstanding ticket), and waits for both pipeline tasks to
+    /// finish. Idempotent. Must be called while the executor is alive.
+    pub fn shutdown(&self) {
+        self.shutdown_inner(None);
+    }
+
+    fn shutdown_inner(&self, timeout: Option<Duration>) {
+        let mut done = self.shutdown_done.lock().unwrap_or_else(|e| e.into_inner());
+        if *done {
+            return;
+        }
+        self.core.closed.store(true, Ordering::Release);
+        for queue in self
+            .core
+            .clients
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            queue.close();
+        }
+        self.core.scan_queue.close();
+        self.core.ingest_notify.notify();
+        self.core.scan_notify.notify();
+        let drain = Ticket::new(Arc::clone(&self.core.drain_done));
+        let scan = Ticket::new(Arc::clone(&self.core.scan_done));
+        match timeout {
+            None => {
+                drain.wait();
+                scan.wait();
+                *done = true;
+            }
+            Some(t) => {
+                let finished =
+                    block_on_timeout(drain, t).is_some() && block_on_timeout(scan, t).is_some();
+                *done = finished;
+            }
+        }
+    }
+}
+
+impl<T, S> Drop for SnapshotService<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: PartialSnapshot<T>,
+{
+    fn drop(&mut self) {
+        // Best-effort: if the executor was dropped first the pipeline tasks
+        // will never acknowledge, so bound the wait instead of hanging.
+        self.shutdown_inner(Some(Duration::from_secs(5)));
+    }
+}
+
+/// A client's handle to the service: submits writes and scan requests.
+/// Cloning is deliberate-free — create one handle per logical client via
+/// [`SnapshotService::client`], since each handle owns a bounded queue.
+/// Dropping the handle closes that queue; whatever it already accepted is
+/// still drained (and its tickets resolved) before the drainer prunes it.
+pub struct ClientHandle<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: PartialSnapshot<T>,
+{
+    core: Arc<ServiceCore<T, S>>,
+    queue: Arc<BoundedQueue<Submission<T>>>,
+}
+
+impl<T, S> ClientHandle<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: PartialSnapshot<T>,
+{
+    fn validate_components<'a>(&self, components: impl Iterator<Item = &'a usize>) {
+        let m = self.core.snapshot.components();
+        for &c in components {
+            assert!(
+                c < m,
+                "component {c} out of range: object has {m} components"
+            );
+        }
+    }
+
+    fn push_submission(&self, writes: Vec<(usize, T)>) -> Result<UpdateTicket, SubmitError> {
+        let cell = OpCell::new();
+        let width = writes.len() as u64;
+        let result = self.queue.try_push(Submission {
+            writes,
+            cell: Arc::clone(&cell),
+            submitted: Instant::now(),
+        });
+        match result {
+            Ok(()) => {
+                self.core
+                    .counters
+                    .submits_ok
+                    .fetch_add(1, Ordering::Relaxed);
+                self.core
+                    .counters
+                    .writes_submitted
+                    .fetch_add(width, Ordering::Relaxed);
+                Ok(Ticket::new(cell))
+            }
+            Err(e) => {
+                let counter = match e {
+                    SubmitError::Busy => &self.core.counters.submits_busy,
+                    SubmitError::Closed => &self.core.counters.submits_closed,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Submits one component write. The ticket resolves once the write has
+    /// been applied to the backing object.
+    pub fn submit(&self, component: usize, value: T) -> Result<UpdateTicket, SubmitError> {
+        self.validate_components(std::iter::once(&component));
+        self.push_submission(vec![(component, value)])
+    }
+
+    /// Submits an atomic batch: all writes take effect at one linearization
+    /// point (the drainer never splits a submission across `update_many`
+    /// calls). An empty batch resolves immediately.
+    pub fn submit_batch(&self, writes: Vec<(usize, T)>) -> Result<UpdateTicket, SubmitError> {
+        self.validate_components(writes.iter().map(|(c, _)| c));
+        if writes.is_empty() {
+            let cell = OpCell::new();
+            cell.complete(());
+            return Ok(Ticket::new(cell));
+        }
+        self.push_submission(writes)
+    }
+
+    /// Requests a partial scan of `components` under the given freshness
+    /// bound. The ticket resolves with one value per requested component, in
+    /// request order.
+    pub fn scan(
+        &self,
+        components: Vec<usize>,
+        freshness: Freshness,
+    ) -> Result<ScanTicket<T>, SubmitError> {
+        self.validate_components(components.iter());
+        let cell = OpCell::new();
+        let result = self.core.scan_queue.try_push(ScanRequest {
+            components,
+            freshness,
+            cell: Arc::clone(&cell),
+            submitted: Instant::now(),
+        });
+        match result {
+            Ok(()) => {
+                self.core.counters.scans_ok.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket::new(cell))
+            }
+            Err(e) => {
+                let counter = match e {
+                    SubmitError::Busy => &self.core.counters.scans_busy,
+                    SubmitError::Closed => &self.core.counters.scans_closed,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Convenience: submit and block until applied, retrying on `Busy` with
+    /// a yield. Returns `false` if the service closed before acceptance.
+    pub fn submit_blocking(&self, component: usize, value: T) -> bool {
+        loop {
+            match self.submit(component, value.clone()) {
+                Ok(ticket) => {
+                    ticket.wait();
+                    return true;
+                }
+                Err(SubmitError::Busy) => std::thread::yield_now(),
+                Err(SubmitError::Closed) => return false,
+            }
+        }
+    }
+
+    /// Convenience: request a scan and block for the values, retrying on
+    /// `Busy`. Returns `None` if the service closed before acceptance.
+    pub fn scan_blocking(&self, components: &[usize], freshness: Freshness) -> Option<Vec<T>> {
+        loop {
+            match self.scan(components.to_vec(), freshness) {
+                Ok(ticket) => return Some(ticket.wait()),
+                Err(SubmitError::Busy) => std::thread::yield_now(),
+                Err(SubmitError::Closed) => return None,
+            }
+        }
+    }
+}
+
+impl<T, S> Drop for ClientHandle<T, S>
+where
+    T: Clone + Send + Sync + 'static,
+    S: PartialSnapshot<T>,
+{
+    fn drop(&mut self) {
+        // Close the queue (no further pushes can succeed) and wake the
+        // drainer: it drains whatever was accepted, then prunes the
+        // closed-and-empty queue from the client list.
+        self.queue.close();
+        self.core.ingest_notify.notify();
+    }
+}

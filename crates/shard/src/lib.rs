@@ -40,5 +40,5 @@
 pub mod partition;
 pub mod sharded;
 
-pub use partition::{Partition, ScanPlan, ShardRouter};
+pub use partition::{Partition, ScanPlan, ShardRouter, UnionPlan};
 pub use sharded::{CoordinationStats, ShardConfig, ShardedSnapshot};

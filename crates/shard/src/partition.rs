@@ -141,23 +141,47 @@ impl ShardRouter {
     /// single value back out to every requesting position. Inner shards never
     /// pay for a duplicate twice.
     pub fn plan(&self, components: &[usize]) -> ScanPlan {
+        let mut union = self.plan_union(&[components]);
+        ScanPlan {
+            groups: union.groups,
+            positions: union.positions.pop().expect("exactly one request planned"),
+        }
+    }
+
+    /// Merges several scan requests into one **deduplicated union plan**: the
+    /// slot sets forwarded to the inner shards cover the union of every
+    /// request's components, with each `(shard, slot)` pair appearing at most
+    /// once across the whole plan, and [`UnionPlan::assemble`] fans the
+    /// single set of sub-scan results back out to each request in its own
+    /// order (duplicates answered per occurrence).
+    ///
+    /// This is the planning half of scan coalescing: `K` concurrent partial
+    /// scans can be answered by *one* backing scan of the union, in the
+    /// spirit of Kallimanis & Kanellou's operation combining — the inner
+    /// shards never read a slot twice however many requests asked for it.
+    /// [`ShardRouter::plan`] is the single-request special case.
+    pub fn plan_union(&self, requests: &[&[usize]]) -> UnionPlan {
         let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
         let mut group_of_shard: BTreeMap<usize, usize> = BTreeMap::new();
         let mut slot_pos: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-        let mut positions = Vec::with_capacity(components.len());
-        for &c in components {
-            let (shard, slot) = self.route(c);
-            let g = *group_of_shard.entry(shard).or_insert_with(|| {
-                groups.push((shard, Vec::new()));
-                groups.len() - 1
-            });
-            let pos = *slot_pos.entry((shard, slot)).or_insert_with(|| {
-                groups[g].1.push(slot);
-                groups[g].1.len() - 1
-            });
-            positions.push((g, pos));
+        let mut positions = Vec::with_capacity(requests.len());
+        for &request in requests {
+            let mut request_positions = Vec::with_capacity(request.len());
+            for &c in request {
+                let (shard, slot) = self.route(c);
+                let g = *group_of_shard.entry(shard).or_insert_with(|| {
+                    groups.push((shard, Vec::new()));
+                    groups.len() - 1
+                });
+                let pos = *slot_pos.entry((shard, slot)).or_insert_with(|| {
+                    groups[g].1.push(slot);
+                    groups[g].1.len() - 1
+                });
+                request_positions.push((g, pos));
+            }
+            positions.push(request_positions);
         }
-        ScanPlan { groups, positions }
+        UnionPlan { groups, positions }
     }
 }
 
@@ -184,6 +208,61 @@ impl ScanPlan {
         self.positions
             .iter()
             .map(|&(g, pos)| results[g][pos].clone())
+            .collect()
+    }
+}
+
+/// Several scan requests merged into one deduplicated plan
+/// (see [`ShardRouter::plan_union`]).
+#[derive(Clone, Debug)]
+pub struct UnionPlan {
+    /// `(shard index, deduplicated slots to scan on that shard)`, in first-use
+    /// order across all requests. No `(shard, slot)` pair appears twice.
+    pub groups: Vec<(usize, Vec<usize>)>,
+    /// `positions[k][j]` locates request `k`'s `j`-th component in the
+    /// sub-scan results: which group, and which index inside that group's
+    /// result vector.
+    pub positions: Vec<Vec<(usize, usize)>>,
+}
+
+impl UnionPlan {
+    /// True if the union touched more than one shard.
+    pub fn is_cross_shard(&self) -> bool {
+        self.groups.len() > 1
+    }
+
+    /// Number of requests merged into the plan.
+    pub fn requests(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Total number of deduplicated slots forwarded to inner shards — the
+    /// work one backing scan of the union performs.
+    pub fn forwarded_slots(&self) -> usize {
+        self.groups.iter().map(|(_, slots)| slots.len()).sum()
+    }
+
+    /// Rebuilds request `request`'s answer, in its own order, from per-group
+    /// sub-scan results (`results[g]` must be the values for `groups[g].1`).
+    pub fn assemble<T: Clone>(&self, request: usize, results: &[Vec<T>]) -> Vec<T> {
+        self.positions[request]
+            .iter()
+            .map(|&(g, pos)| results[g][pos].clone())
+            .collect()
+    }
+
+    /// The component indices behind each group's slots, resolved through
+    /// `router` — what a caller scanning the union through the *outer*
+    /// object (rather than per shard) must request.
+    pub fn group_components(&self, router: &ShardRouter) -> Vec<Vec<usize>> {
+        self.groups
+            .iter()
+            .map(|(shard, slots)| {
+                slots
+                    .iter()
+                    .map(|&slot| router.component_of(*shard, slot))
+                    .collect()
+            })
             .collect()
     }
 }
@@ -297,6 +376,68 @@ mod tests {
             let assembled = plan.assemble(&results);
             let expected: Vec<u64> = request.iter().map(|&c| 100 + c as u64).collect();
             assert_eq!(assembled, expected, "{partition:?}");
+        }
+    }
+
+    #[test]
+    fn union_plan_never_duplicates_slots() {
+        // The satellite requirement: however many overlapping requests are
+        // merged, every (shard, slot) pair is forwarded at most once.
+        for partition in [Partition::Contiguous, Partition::Hashed] {
+            let router = ShardRouter::new(16, 4, partition);
+            let requests: Vec<Vec<usize>> = vec![
+                vec![0, 5, 10, 15],
+                vec![5, 5, 0],
+                vec![10, 11, 12, 0],
+                vec![15],
+            ];
+            let refs: Vec<&[usize]> = requests.iter().map(Vec::as_slice).collect();
+            let plan = router.plan_union(&refs);
+            let mut seen = std::collections::BTreeSet::new();
+            for (shard, slots) in &plan.groups {
+                for &slot in slots {
+                    assert!(
+                        seen.insert((*shard, slot)),
+                        "{partition:?}: slot ({shard}, {slot}) forwarded twice"
+                    );
+                }
+            }
+            // The union covers exactly the distinct requested components.
+            let distinct: std::collections::BTreeSet<usize> =
+                requests.iter().flatten().copied().collect();
+            assert_eq!(plan.forwarded_slots(), distinct.len(), "{partition:?}");
+            assert_eq!(plan.requests(), requests.len());
+        }
+    }
+
+    #[test]
+    fn union_plan_fans_results_back_per_request() {
+        let router = ShardRouter::new(16, 4, Partition::Contiguous);
+        let requests: Vec<Vec<usize>> = vec![vec![15, 0, 15], vec![3, 9], vec![9, 0]];
+        let refs: Vec<&[usize]> = requests.iter().map(Vec::as_slice).collect();
+        let plan = router.plan_union(&refs);
+        // Give component c the value 100 + c and check each request's answer
+        // positionally.
+        let results: Vec<Vec<u64>> = plan
+            .group_components(&router)
+            .into_iter()
+            .map(|comps| comps.into_iter().map(|c| 100 + c as u64).collect())
+            .collect();
+        for (k, request) in requests.iter().enumerate() {
+            let expected: Vec<u64> = request.iter().map(|&c| 100 + c as u64).collect();
+            assert_eq!(plan.assemble(k, &results), expected, "request {k}");
+        }
+    }
+
+    #[test]
+    fn plan_matches_single_request_union_plan() {
+        for partition in [Partition::Contiguous, Partition::Hashed] {
+            let router = ShardRouter::new(24, 3, partition);
+            let request = [7usize, 1, 7, 20, 3, 1];
+            let single = router.plan(&request);
+            let union = router.plan_union(&[&request]);
+            assert_eq!(single.groups, union.groups, "{partition:?}");
+            assert_eq!(single.positions, union.positions[0], "{partition:?}");
         }
     }
 

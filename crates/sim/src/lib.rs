@@ -7,7 +7,10 @@
 //! schedule perturbation from `psnap-shmem`'s chaos layer) and records a
 //! [`psnap_lincheck::History`], and the [`chaos_runner`] sweeps many seeds and
 //! checks every history with the appropriate checker (exhaustive WGL for small
-//! schedules, scalable monotone checks for stress schedules).
+//! schedules, scalable monotone checks for stress schedules). The
+//! [`service_driver`] runs the same scenarios through the `psnap-serve`
+//! frontend instead, recording client-observed histories so the coalesced
+//! results of the service layer face the same checkers.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -15,9 +18,11 @@
 pub mod chaos_runner;
 pub mod runner;
 pub mod scenario;
+pub mod service_driver;
 
 pub use chaos_runner::{
     fuzz_batched_stress_schedules, fuzz_small_schedules, fuzz_stress_schedules, FuzzOutcome,
 };
 pub use runner::run_scenario;
 pub use scenario::{Role, Scenario, ScenarioChaos};
+pub use service_driver::{run_scenario_via_service, ServiceDriverConfig};
