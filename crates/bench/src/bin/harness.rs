@@ -11,15 +11,16 @@
 //! EXPERIMENTS.md is applied. `--json` additionally writes machine-readable
 //! results for the experiments that define a JSON schema (E8 →
 //! `BENCH_E8.json`, E9 → `BENCH_E9.json`, E10 → `BENCH_E10.json`, E11 →
-//! `BENCH_E11.json`), so the performance trajectory of the sharded store,
-//! the lock-free cell, the batched-update path and the service frontend can
-//! be tracked across commits. JSON files are written atomically (temp file
+//! `BENCH_E11.json`, E12 → `BENCH_E12.json`), so the performance trajectory
+//! of the sharded store, the lock-free cell, the batched-update path, the
+//! service frontend and the multiversioned scan path can be tracked across
+//! commits. JSON files are written atomically (temp file
 //! in the same directory, then rename), so an interrupted run can never
 //! leave a truncated `BENCH_*.json` behind.
 
 use psnap_bench::{
-    e10_batched_updates_data, e11_service_data, e8_sharding_data, e9_cell_contention_data,
-    run_experiment, Effort, ALL_EXPERIMENTS,
+    e10_batched_updates_data, e11_service_data, e12_multiversion_data, e8_sharding_data,
+    e9_cell_contention_data, run_experiment, Effort, ALL_EXPERIMENTS,
 };
 
 /// Writes `contents` to `path` atomically: the bytes land in a temporary
@@ -90,6 +91,14 @@ fn main() {
                     "BENCH_E11.json",
                     data.to_json(),
                     psnap_bench::experiments::e11_service_table(&data),
+                ))
+            }
+            "E12" if json => {
+                let data = e12_multiversion_data(effort);
+                Some((
+                    "BENCH_E12.json",
+                    data.to_json(),
+                    psnap_bench::experiments::e12_multiversion_table(&data),
                 ))
             }
             _ => None,

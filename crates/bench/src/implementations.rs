@@ -4,10 +4,10 @@ use std::sync::Arc;
 
 use psnap_activeset::CollectActiveSet;
 use psnap_core::{
-    AfekFullSnapshot, CasPartialSnapshot, DoubleCollectSnapshot, LockSnapshot, PartialSnapshot,
-    RegisterPartialSnapshot,
+    AfekFullSnapshot, CasPartialSnapshot, DoubleCollectSnapshot, LockSnapshot, MvSnapshot,
+    PartialSnapshot, RegisterPartialSnapshot,
 };
-use psnap_shard::{Partition, ShardConfig, ShardedSnapshot};
+use psnap_shard::{MvShardedSnapshot, Partition, ShardConfig, ShardedSnapshot};
 
 /// The implementations compared by the experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,11 +35,24 @@ pub enum ImplKind {
         /// Component-to-shard placement.
         partition: Partition,
     },
+    /// `MvSnapshot`: the multiversioned object — one-shot timestamped scans
+    /// over per-register version chains, wait-free under any writer
+    /// behaviour (the Wei et al. constant-time-snapshot direction).
+    Mv,
+    /// `MvShardedSnapshot`: `shards` multiversioned shards sharing one
+    /// timestamp camera — the wait-free cross-shard path
+    /// (`CrossShardPath::Multiversioned`).
+    MvSharded {
+        /// Number of shards (clamped to the component count at build time).
+        shards: usize,
+        /// Component-to-shard placement.
+        partition: Partition,
+    },
 }
 
 impl ImplKind {
     /// Every implementation, in the order used by the experiment tables.
-    pub const ALL: [ImplKind; 9] = [
+    pub const ALL: [ImplKind; 11] = [
         ImplKind::Cas,
         ImplKind::CasWithCollectActiveSet,
         ImplKind::Register,
@@ -49,6 +62,8 @@ impl ImplKind {
         ImplKind::SHARDED_CAS_2,
         ImplKind::SHARDED_CAS_4,
         ImplKind::SHARDED_CAS_4_HASHED,
+        ImplKind::Mv,
+        ImplKind::MV_SHARDED_4,
     ];
 
     /// The wait-free implementations from the paper (used where baselines
@@ -75,6 +90,18 @@ impl ImplKind {
         shards: 4,
         partition: Partition::Hashed,
     };
+
+    /// Four contiguous multiversioned shards on one camera.
+    pub const MV_SHARDED_4: ImplKind = ImplKind::MvSharded {
+        shards: 4,
+        partition: Partition::Contiguous,
+    };
+
+    /// A multiversioned sharded object with an arbitrary shard count (used
+    /// by the E12 sweep).
+    pub fn mv_sharded(shards: usize, partition: Partition) -> ImplKind {
+        ImplKind::MvSharded { shards, partition }
+    }
 
     /// A sharded Figure-3 object with an arbitrary shard count (used by the
     /// E8 shard-count sweep).
@@ -110,6 +137,14 @@ impl ImplKind {
                 (_, Partition::Contiguous) => "sharded-cas",
                 (_, Partition::Hashed) => "sharded-cas-hashed",
             },
+            ImplKind::Mv => "mv-snapshot",
+            ImplKind::MvSharded { shards, partition } => match (shards, partition) {
+                (2, Partition::Contiguous) => "mv-sharded-k2",
+                (4, Partition::Contiguous) => "mv-sharded-k4",
+                (8, Partition::Contiguous) => "mv-sharded-k8",
+                (_, Partition::Contiguous) => "mv-sharded",
+                (_, Partition::Hashed) => "mv-sharded-hashed",
+            },
         }
     }
 
@@ -134,9 +169,8 @@ impl ImplKind {
                 partition,
             } => {
                 let config = ShardConfig {
-                    shards: *shards,
                     partition: *partition,
-                    max_optimistic_retries: 8,
+                    ..ShardConfig::contiguous(*shards)
                 };
                 Arc::new(ShardedSnapshot::with_factory(
                     m,
@@ -145,6 +179,14 @@ impl ImplKind {
                     config,
                     |_, shard_m, shard_n, init| inner.build(shard_m, shard_n, init),
                 ))
+            }
+            ImplKind::Mv => Arc::new(MvSnapshot::new(m, n, initial)),
+            ImplKind::MvSharded { shards, partition } => {
+                let config = ShardConfig {
+                    partition: *partition,
+                    ..ShardConfig::multiversioned(*shards)
+                };
+                Arc::new(MvShardedSnapshot::new(m, n, initial, config))
             }
         }
     }

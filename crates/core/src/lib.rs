@@ -18,6 +18,7 @@
 //! | [`AfekFullSnapshot`] | baseline of Section 1/5 | registers only | wait-free, `Θ(m)` | wait-free, `Θ(m)` |
 //! | [`DoubleCollectSnapshot`] | introduction's non-blocking variant | registers only | non-blocking (may starve), cheap when quiet | single write |
 //! | [`LockSnapshot`] | practitioner comparator (not in paper) | reader-writer lock | blocking | blocking |
+//! | [`MvSnapshot`] | multiversion extension (Wei et al. direction, not in paper) | multiversioned registers + timestamp camera | wait-free, one-shot (no retry loop), **local** | wait-free, O(n) |
 //!
 //! All wait-free implementations go through the same
 //! [`PartialSnapshot`] trait, so the test suites, the linearizability checker
@@ -52,6 +53,7 @@ mod collect;
 pub mod double_collect;
 pub mod entry;
 pub mod lock_snapshot;
+pub mod mv_snapshot;
 pub mod register_snapshot;
 pub mod traits;
 pub mod view;
@@ -61,6 +63,7 @@ pub use cas_snapshot::CasPartialSnapshot;
 pub use double_collect::{DoubleCollectSnapshot, ScanStarved};
 pub use entry::Entry;
 pub use lock_snapshot::LockSnapshot;
+pub use mv_snapshot::{MvSnapshot, ParkedUpdate};
 pub use register_snapshot::RegisterPartialSnapshot;
 pub use traits::PartialSnapshot;
 pub use view::View;

@@ -17,6 +17,15 @@
 //! runner, both linearizability checkers, the experiment harness, even
 //! another `ShardedSnapshot` — applies to it unchanged.
 //!
+//! The coordinated fallback waits on in-flight writers, so multi-shard
+//! placements of `ShardedSnapshot` are blocking in the strict asynchronous
+//! model. [`MvShardedSnapshot`] is the wait-free alternative
+//! ([`CrossShardPath::Multiversioned`]): every shard is a multiversioned
+//! [`psnap_core::MvSnapshot`] sharing one timestamp camera, and a
+//! cross-shard scan draws a single timestamp and reads the newest version
+//! at or below it on every shard — bounded steps under any writer
+//! behaviour, no retries, no latch (experiment E12 measures the trade).
+//!
 //! ```
 //! use psnap_core::PartialSnapshot;
 //! use psnap_core::CasPartialSnapshot;
@@ -37,8 +46,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod mv_sharded;
 pub mod partition;
 pub mod sharded;
 
+pub use mv_sharded::{MvShardedParked, MvShardedSnapshot};
 pub use partition::{Partition, ScanPlan, ShardRouter, UnionPlan};
-pub use sharded::{CoordinationStats, ShardConfig, ShardedSnapshot};
+pub use sharded::{CoordinationStats, CrossShardPath, ShardConfig, ShardedSnapshot};

@@ -1,0 +1,490 @@
+//! [`MvShardedSnapshot`]: the multiversioned cross-shard path — wait-free
+//! cross-shard scans with no validation retries and no coordination latch.
+//!
+//! [`ShardedSnapshot`](crate::ShardedSnapshot) validates cross-shard scans
+//! against per-shard epoch counters and, when validation keeps failing,
+//! escalates to a coordinated scan that *waits for in-flight updates to
+//! drain* — a straggler updater suspended mid-update delays it indefinitely,
+//! which is why a multi-shard placement reports `is_wait_free() == false`.
+//! This type removes that wait. Every shard is a
+//! [`psnap_core::MvSnapshot`] and all shards share **one**
+//! [`TimestampCamera`] and one batch serializer, so a cross-shard scan is:
+//!
+//! 1. announce on every involved shard (one camera read + one slot write
+//!    each — the announcement keeps pruners from detaching the versions the
+//!    scan is about to read);
+//! 2. draw one timestamp `s` with a single `camera.tick()` — the scan's
+//!    linearization point, shared by every sub-read;
+//! 3. read, in each involved register of each involved shard, the version
+//!    with the largest timestamp `≤ s`;
+//! 4. clear the announcements.
+//!
+//! No step re-reads anything, no step waits on a writer, and the combined
+//! cut is consistent across shards because the camera is shared: the cut is
+//! the state of the whole object at the instant the camera moved past `s`.
+//! Cross-shard batches commit by publishing one timestamp (the shared
+//! stamp's finalize), so a scan sees a batch that spans every shard either
+//! everywhere or nowhere — without the two-phase `writers`/`batch_writers`
+//! bracketing the coordinated path needs.
+//!
+//! Which path a deployment gets is chosen by
+//! [`ShardConfig::cross_shard`](crate::ShardConfig): `Coordinated` builds
+//! the epoch-validated [`ShardedSnapshot`](crate::ShardedSnapshot),
+//! `Multiversioned` builds this type (see
+//! [`ImplKind`](../psnap_bench/enum.ImplKind.html)'s `MvSharded` kinds and
+//! experiment E12 for the measured trade: the multiversioned path buys its
+//! bounded scans with one extra fetch&add per scan and a version chain per
+//! register).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use psnap_core::{MvSnapshot, PartialSnapshot};
+use psnap_shmem::{MvStamp, ProcessId, TimestampCamera};
+
+use crate::partition::ShardRouter;
+use crate::sharded::ShardConfig;
+
+/// A partial snapshot object sharded over multiversioned shards that share
+/// one timestamp camera. See the module docs.
+pub struct MvShardedSnapshot<T> {
+    router: ShardRouter,
+    inner: Vec<MvSnapshot<T>>,
+    camera: Arc<TimestampCamera>,
+    /// Serializes whole batches across the family — the same `Arc` every
+    /// shard holds, so single-shard batches entering through an inner shard
+    /// and cross-shard batches entering here can never interleave their
+    /// installs.
+    batches: Arc<Mutex<()>>,
+    /// Cross-shard scans served (diagnostics; every one of them is answered
+    /// by the one-shot timestamp path — there is no other path to count).
+    stats_cross: AtomicU64,
+    n: usize,
+}
+
+impl<T: Clone + Send + Sync + 'static> MvShardedSnapshot<T> {
+    /// Creates a multiversioned sharded object over `m` components for
+    /// `max_processes` processes. `config.shards` and `config.partition`
+    /// are honoured; `config.max_optimistic_retries` is irrelevant here (the
+    /// multiversioned path never retries).
+    pub fn new(m: usize, max_processes: usize, initial: T, config: ShardConfig) -> Self {
+        assert!(m > 0, "a snapshot object needs at least one component");
+        assert!(max_processes > 0, "at least one process must be allowed");
+        assert!(
+            config.cross_shard == crate::CrossShardPath::Multiversioned,
+            "MvShardedSnapshot implements the multiversioned cross-shard path; a \
+             config requesting CrossShardPath::Coordinated needs ShardedSnapshot \
+             (use ShardConfig::multiversioned)"
+        );
+        let router = ShardRouter::new(m, config.shards, config.partition);
+        let camera = Arc::new(TimestampCamera::new());
+        let batches = Arc::new(Mutex::new(()));
+        let inner: Vec<MvSnapshot<T>> = (0..router.shards())
+            .map(|s| {
+                MvSnapshot::with_shared(
+                    router.shard_size(s),
+                    max_processes,
+                    initial.clone(),
+                    Arc::clone(&camera),
+                    Arc::clone(&batches),
+                )
+            })
+            .collect();
+        MvShardedSnapshot {
+            router,
+            inner,
+            camera,
+            batches,
+            stats_cross: AtomicU64::new(0),
+            n: max_processes,
+        }
+    }
+
+    /// The router mapping components to shards.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of inner shards.
+    pub fn shards(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Access to one inner shard (diagnostics and tests).
+    pub fn shard(&self, s: usize) -> &MvSnapshot<T> {
+        &self.inner[s]
+    }
+
+    /// The shared timestamp camera.
+    pub fn camera(&self) -> &Arc<TimestampCamera> {
+        &self.camera
+    }
+
+    /// Number of cross-shard scans served so far (racy snapshot).
+    pub fn cross_shard_scans(&self) -> u64 {
+        self.stats_cross.load(Ordering::Relaxed)
+    }
+
+    fn validate(&self, pid: ProcessId, components: &[usize]) {
+        let m = self.router.components();
+        assert!(
+            pid.index() < self.n,
+            "process id {pid} out of range: object configured for {} processes",
+            self.n
+        );
+        for &c in components {
+            assert!(
+                c < m,
+                "component {c} out of range: object has {m} components"
+            );
+        }
+    }
+
+    /// Starts a cross-shard `update_many` and **parks it mid-batch**: every
+    /// version is installed on every involved shard, but the single commit
+    /// timestamp is not yet published. The deterministic seam of the
+    /// wait-freedom harness — scans must (and do) stay within their step
+    /// budget with the batch parked on every involved shard, returning the
+    /// pre-batch cut. The batch serializer is held until commit; dropping
+    /// the guard commits.
+    pub fn begin_parked_update_many(
+        &self,
+        pid: ProcessId,
+        writes: &[(usize, T)],
+    ) -> MvShardedParked<'_, T> {
+        self.validate(pid, &writes.iter().map(|(c, _)| *c).collect::<Vec<_>>());
+        let guard = self.batches.lock().unwrap_or_else(|e| e.into_inner());
+        let by_shard = self.router.group_last_write_wins(writes);
+        let stamp = MvStamp::pending_batch();
+        for (&shard, sub_batch) in &by_shard {
+            self.inner[shard].install_pending(pid, sub_batch, &stamp);
+        }
+        let touched = by_shard
+            .into_iter()
+            .map(|(shard, sub)| (shard, sub.into_iter().map(|(slot, _)| slot).collect()))
+            .collect();
+        MvShardedParked {
+            snapshot: self,
+            stamp,
+            touched,
+            _serial: guard,
+        }
+    }
+}
+
+/// A cross-shard `update_many` parked mid-batch by
+/// [`MvShardedSnapshot::begin_parked_update_many`].
+#[must_use = "a parked batch holds the batch serializer until committed or dropped"]
+pub struct MvShardedParked<'a, T: Clone + Send + Sync + 'static> {
+    snapshot: &'a MvShardedSnapshot<T>,
+    stamp: MvStamp,
+    /// `(shard, slots)` touched by the batch.
+    touched: Vec<(usize, Vec<usize>)>,
+    _serial: MutexGuard<'a, ()>,
+}
+
+impl<T: Clone + Send + Sync + 'static> MvShardedParked<'_, T> {
+    /// Publishes the batch's timestamp — the single cross-shard commit
+    /// point — and prunes the touched chains on every involved shard.
+    pub fn commit(self) {}
+}
+
+impl<T: Clone + Send + Sync + 'static> Drop for MvShardedParked<'_, T> {
+    fn drop(&mut self) {
+        self.stamp.finalize(&self.snapshot.camera);
+        for (shard, slots) in &self.touched {
+            self.snapshot.inner[*shard].prune_components(slots);
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<T> {
+    fn components(&self) -> usize {
+        self.router.components()
+    }
+
+    fn max_processes(&self) -> usize {
+        self.n
+    }
+
+    fn update(&self, pid: ProcessId, component: usize, value: T) {
+        self.validate(pid, &[component]);
+        let (shard, slot) = self.router.route(component);
+        self.inner[shard].update(pid, slot, value);
+    }
+
+    fn update_many(&self, pid: ProcessId, writes: &[(usize, T)]) {
+        let components: Vec<usize> = writes.iter().map(|(c, _)| *c).collect();
+        self.validate(pid, &components);
+        let by_shard = self.router.group_last_write_wins(writes);
+        match by_shard.len() {
+            0 => return,
+            1 => {
+                // Single-shard batch: the inner object's own batch path is
+                // already atomic and takes the shared serializer itself.
+                let (&shard, sub_batch) = by_shard.iter().next().expect("one shard");
+                return self.inner[shard].update_many(pid, sub_batch);
+            }
+            _ => {}
+        }
+        // Cross-shard batch: all installs under the shared serializer, then
+        // one finalize — the single timestamp every shard's versions share
+        // is the whole commit protocol. No per-shard write phases, no marks
+        // for scans to validate.
+        let serial = self.batches.lock().unwrap_or_else(|e| e.into_inner());
+        let stamp = MvStamp::pending_batch();
+        for (&shard, sub_batch) in &by_shard {
+            self.inner[shard].install_pending(pid, sub_batch, &stamp);
+        }
+        stamp.finalize(&self.camera);
+        for (&shard, sub_batch) in &by_shard {
+            let slots: Vec<usize> = sub_batch.iter().map(|(slot, _)| *slot).collect();
+            self.inner[shard].prune_components(&slots);
+        }
+        drop(serial);
+    }
+
+    fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T> {
+        self.validate(pid, components);
+        if components.is_empty() {
+            return Vec::new();
+        }
+        let plan = self.router.plan(components);
+        if !plan.is_cross_shard() {
+            // Locality fast path: one inner scan — which is itself the
+            // one-shot announce/tick/read protocol, no validation needed
+            // against anything (cross-shard batches are a single published
+            // timestamp, so even a one-component scan orders consistently
+            // against them).
+            let (shard, ref slots) = plan.groups[0];
+            let values = self.inner[shard].scan(pid, slots);
+            return plan.assemble(&[values]);
+        }
+        self.stats_cross.fetch_add(1, Ordering::Relaxed);
+        // Announce on every involved shard *before* drawing the timestamp:
+        // each announcement lower-bounds `s`, keeping every shard's pruners
+        // away from the versions this scan may select.
+        for &(shard, _) in &plan.groups {
+            self.inner[shard].announce_scan(pid);
+        }
+        let s = self.camera.tick();
+        let results: Vec<Vec<T>> = plan
+            .groups
+            .iter()
+            .map(|(shard, slots)| self.inner[*shard].scan_at(pid, slots, s))
+            .collect();
+        for &(shard, _) in &plan.groups {
+            self.inner[shard].clear_announcement(pid);
+        }
+        plan.assemble(&results)
+    }
+
+    fn is_wait_free(&self) -> bool {
+        // The headline property: cross-shard scans are one camera tick plus
+        // a bounded chain walk per register — no validation retries, no
+        // coordinated drain waiting on straggler updates. Wait-freedom
+        // survives sharding.
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "mv-sharded-partial-snapshot"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Partition;
+    use psnap_shmem::StepScope;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    fn mv_sharded(m: usize, n: usize, shards: usize) -> MvShardedSnapshot<u64> {
+        MvShardedSnapshot::new(m, n, 0u64, ShardConfig::multiversioned(shards))
+    }
+
+    #[test]
+    fn sequential_update_and_scan_across_shards() {
+        let snap = mv_sharded(16, 2, 4);
+        assert_eq!(snap.components(), 16);
+        assert_eq!(snap.shards(), 4);
+        snap.update(ProcessId(0), 0, 10);
+        snap.update(ProcessId(0), 7, 70);
+        snap.update(ProcessId(0), 15, 150);
+        assert_eq!(
+            snap.scan(ProcessId(1), &[0, 7, 15, 3]),
+            vec![10, 70, 150, 0]
+        );
+        assert_eq!(snap.scan(ProcessId(1), &[15, 0, 15]), vec![150, 10, 150]);
+        assert!(snap.cross_shard_scans() >= 2);
+    }
+
+    #[test]
+    fn hashed_partition_behaves_identically_sequentially() {
+        let a = mv_sharded(32, 2, 4);
+        let b = MvShardedSnapshot::new(
+            32,
+            2,
+            0u64,
+            ShardConfig {
+                partition: Partition::Hashed,
+                ..ShardConfig::multiversioned(4)
+            },
+        );
+        for i in 0..32 {
+            a.update(ProcessId(0), i, i as u64 * 3);
+            b.update(ProcessId(0), i, i as u64 * 3);
+        }
+        assert_eq!(a.scan_all(ProcessId(1)), b.scan_all(ProcessId(1)));
+    }
+
+    #[test]
+    fn cross_shard_batches_commit_atomically() {
+        let snap = mv_sharded(16, 2, 4);
+        snap.update_many(ProcessId(0), &[(0, 10), (7, 70), (15, 150)]);
+        assert_eq!(snap.scan(ProcessId(1), &[0, 7, 15]), vec![10, 70, 150]);
+        snap.update_many(ProcessId(0), &[(3, 1), (3, 2), (12, 5), (3, 3)]);
+        assert_eq!(snap.scan(ProcessId(1), &[3, 12]), vec![3, 5]);
+        snap.update_many(ProcessId(0), &[]);
+        snap.update_many(ProcessId(0), &[(4, 40), (5, 50)]); // single shard
+        assert_eq!(snap.scan(ProcessId(1), &[4, 5]), vec![40, 50]);
+    }
+
+    #[test]
+    fn parked_cross_shard_batch_is_invisible_until_commit_and_scans_stay_bounded() {
+        let snap = mv_sharded(8, 3, 4);
+        snap.update_many(ProcessId(0), &[(0, 1), (6, 1)]);
+        // Park a batch spanning shards 0 and 3 — the state a writer
+        // suspended between its installs and its commit leaves behind, and
+        // exactly where the coordinated path would stall scans.
+        let parked = snap.begin_parked_update_many(ProcessId(0), &[(0, 2), (6, 2)]);
+        let budget = MvSnapshot::<u64>::scan_step_budget(2, 3, 1) + 2 * 3;
+        for _ in 0..10 {
+            let scope = StepScope::start();
+            let got = snap.scan(ProcessId(1), &[0, 6]);
+            let steps = scope.finish().total();
+            assert_eq!(got, vec![1, 1], "parked cross-shard batch leaked");
+            assert!(
+                steps <= budget,
+                "scan took {steps} steps against a parked cross-shard batch, budget {budget}"
+            );
+        }
+        parked.commit();
+        assert_eq!(snap.scan(ProcessId(1), &[0, 6]), vec![2, 2]);
+    }
+
+    #[test]
+    fn cross_shard_scans_never_tear_batches_under_churn() {
+        let snap = Arc::new(mv_sharded(8, 2, 4));
+        snap.update_many(ProcessId(0), &[(0, 1), (6, 1)]);
+        let stop = Arc::new(AtomicBool::new(false));
+        let updater = {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut v = 2u64;
+                while !stop.load(Ordering::Relaxed) {
+                    snap.update_many(ProcessId(0), &[(0, v), (6, v)]);
+                    v += 1;
+                }
+            })
+        };
+        for _ in 0..3000 {
+            let got = snap.scan(ProcessId(1), &[0, 6]);
+            assert_eq!(got[0], got[1], "torn cross-shard batch observed: {got:?}");
+        }
+        stop.store(true, Ordering::Relaxed);
+        updater.join().unwrap();
+    }
+
+    #[test]
+    fn single_shard_scans_order_consistently_against_cross_shard_batches() {
+        // The regression the coordinated path needs `batch_writers` marks
+        // for: alternating one-component scans across two shards must see a
+        // monotone batch sequence. Here the single published timestamp
+        // makes it hold by construction.
+        let snap = Arc::new(mv_sharded(8, 2, 4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let updater = {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut v = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    snap.update_many(ProcessId(0), &[(0, v), (6, v)]);
+                    v += 1;
+                }
+            })
+        };
+        let mut last = 0u64;
+        for i in 0..4000 {
+            let component = if i % 2 == 0 { 0 } else { 6 };
+            let got = snap.scan(ProcessId(1), &[component])[0];
+            assert!(
+                got >= last,
+                "single-shard scan of component {component} saw batch {got} after {last}"
+            );
+            last = got;
+        }
+        stop.store(true, Ordering::Relaxed);
+        updater.join().unwrap();
+    }
+
+    #[test]
+    fn cross_shard_transfers_never_tear() {
+        let snap = Arc::new(mv_sharded(8, 2, 4));
+        snap.update(ProcessId(0), 0, 1000);
+        snap.update(ProcessId(0), 6, 1000);
+        let stop = Arc::new(AtomicBool::new(false));
+        let updater = {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut a = 1000i64;
+                let mut toggle = false;
+                while !stop.load(Ordering::Relaxed) {
+                    let delta = if toggle { 100 } else { -100 };
+                    toggle = !toggle;
+                    a += delta;
+                    snap.update(ProcessId(0), 0, a as u64);
+                    snap.update(ProcessId(0), 6, (2000 - a) as u64);
+                }
+            })
+        };
+        for _ in 0..5000 {
+            let v = snap.scan(ProcessId(1), &[0, 6]);
+            let total = v[0] + v[1];
+            assert!(
+                (1900..=2100).contains(&total),
+                "torn cross-shard scan: {v:?}"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        updater.join().unwrap();
+    }
+
+    #[test]
+    fn metadata_reports_wait_freedom() {
+        let snap = mv_sharded(8, 3, 2);
+        assert_eq!(snap.max_processes(), 3);
+        // The point of the type: multi-shard placements stay wait-free.
+        assert!(snap.is_wait_free());
+        assert_eq!(snap.name(), "mv-sharded-partial-snapshot");
+        assert_eq!(snap.shard(0).components(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "component")]
+    fn out_of_range_component_is_rejected() {
+        let snap = mv_sharded(8, 1, 2);
+        snap.update(ProcessId(0), 8, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "process id")]
+    fn out_of_range_pid_is_rejected() {
+        let snap = mv_sharded(8, 1, 2);
+        let _ = snap.scan(ProcessId(1), &[0]);
+    }
+}

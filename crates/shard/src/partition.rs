@@ -126,6 +126,30 @@ impl ShardRouter {
         self.inverse[shard][slot]
     }
 
+    /// Resolves a batch's duplicate components **last-write-wins** and
+    /// groups the surviving writes by shard as `(shard → [(slot, value)])`,
+    /// slots in ascending component order — the write-side counterpart of
+    /// [`plan`](Self::plan), shared by both sharded stores' `update_many`
+    /// paths so the batch semantics cannot drift apart.
+    pub fn group_last_write_wins<T: Clone>(
+        &self,
+        writes: &[(usize, T)],
+    ) -> BTreeMap<usize, Vec<(usize, T)>> {
+        let mut latest: BTreeMap<usize, &T> = BTreeMap::new();
+        for (component, value) in writes {
+            latest.insert(*component, value);
+        }
+        let mut by_shard: BTreeMap<usize, Vec<(usize, T)>> = BTreeMap::new();
+        for (component, value) in latest {
+            let (shard, slot) = self.route(component);
+            by_shard
+                .entry(shard)
+                .or_default()
+                .push((slot, value.clone()));
+        }
+        by_shard
+    }
+
     /// Decomposes a scan request into per-shard sub-scans.
     ///
     /// `components` may be unordered and contain duplicates, exactly like the

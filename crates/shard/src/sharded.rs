@@ -70,7 +70,6 @@
 //! two batches could commit in opposite orders on different shards, producing
 //! a final state no serialization explains.
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
@@ -80,7 +79,27 @@ use psnap_shmem::ProcessId;
 
 use crate::partition::{Partition, ScanPlan, ShardRouter};
 
-/// Configuration of a [`ShardedSnapshot`].
+/// Which cross-shard scan discipline a sharded deployment uses — the knob
+/// that selects between the two sharded types of this crate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CrossShardPath {
+    /// Epoch-validated optimistic scans with the bounded-retry/coordinated
+    /// fallback of [`ShardedSnapshot`]: scans are free of extra per-scan
+    /// base objects when quiet, but the fallback waits on in-flight writers
+    /// (blocking in the strict model).
+    #[default]
+    Coordinated,
+    /// Multiversioned one-shot scans
+    /// ([`MvShardedSnapshot`](crate::MvShardedSnapshot)): every scan draws
+    /// one shared-camera timestamp and reads the newest version `≤` it —
+    /// bounded steps under any writer behaviour, at the cost of a version
+    /// chain per register and one fetch&add per scan (measured by E12).
+    Multiversioned,
+}
+
+/// Configuration of a sharded snapshot ([`ShardedSnapshot`] or
+/// [`MvShardedSnapshot`](crate::MvShardedSnapshot), per
+/// [`cross_shard`](ShardConfig::cross_shard)).
 #[derive(Clone, Copy, Debug)]
 pub struct ShardConfig {
     /// Requested number of shards (clamped to `1..=m`).
@@ -89,8 +108,11 @@ pub struct ShardConfig {
     pub partition: Partition,
     /// Optimistic validation rounds a cross-shard scan attempts before
     /// escalating to the coordinated path. `0` escalates immediately (useful
-    /// for testing the coordinated path).
+    /// for testing the coordinated path). Irrelevant under
+    /// [`CrossShardPath::Multiversioned`], which never retries.
     pub max_optimistic_retries: usize,
+    /// The cross-shard scan discipline this configuration asks for.
+    pub cross_shard: CrossShardPath,
 }
 
 impl ShardConfig {
@@ -100,6 +122,7 @@ impl ShardConfig {
             shards,
             partition: Partition::Contiguous,
             max_optimistic_retries: 8,
+            cross_shard: CrossShardPath::Coordinated,
         }
     }
 
@@ -109,6 +132,15 @@ impl ShardConfig {
             shards,
             partition: Partition::Hashed,
             max_optimistic_retries: 8,
+            cross_shard: CrossShardPath::Coordinated,
+        }
+    }
+
+    /// `shards` contiguous shards on the multiversioned cross-shard path.
+    pub fn multiversioned(shards: usize) -> Self {
+        ShardConfig {
+            cross_shard: CrossShardPath::Multiversioned,
+            ..ShardConfig::contiguous(shards)
         }
     }
 
@@ -226,6 +258,11 @@ where
     ) -> Self {
         assert!(m > 0, "a snapshot object needs at least one component");
         assert!(max_processes > 0, "at least one process must be allowed");
+        assert!(
+            config.cross_shard == CrossShardPath::Coordinated,
+            "ShardedSnapshot implements the coordinated cross-shard path; a config \
+             requesting CrossShardPath::Multiversioned needs MvShardedSnapshot"
+        );
         let router = ShardRouter::new(m, config.shards, config.partition);
         let inner: Vec<S> = (0..router.shards())
             .map(|s| {
@@ -393,26 +430,18 @@ where
     fn update_many(&self, pid: ProcessId, writes: &[(usize, T)]) {
         let components: Vec<usize> = writes.iter().map(|(c, _)| *c).collect();
         self.validate(pid, &components);
-        // Resolve duplicates last-write-wins, then group by shard.
-        let mut latest: BTreeMap<usize, &T> = BTreeMap::new();
-        for (component, value) in writes {
-            latest.insert(*component, value);
-        }
-        match latest.len() {
+        // Resolve duplicates last-write-wins and group by shard (shared
+        // router helper, so both sharded stores keep identical semantics).
+        let by_shard = self.router.group_last_write_wins(writes);
+        let total: usize = by_shard.values().map(Vec::len).sum();
+        match total {
             0 => return,
             1 => {
-                let (&component, &value) = latest.iter().next().expect("len == 1");
-                return self.update(pid, component, value.clone());
+                let (&shard, sub) = by_shard.iter().next().expect("one shard");
+                let component = self.router.component_of(shard, sub[0].0);
+                return self.update(pid, component, sub[0].1.clone());
             }
             _ => {}
-        }
-        let mut by_shard: BTreeMap<usize, Vec<(usize, T)>> = BTreeMap::new();
-        for (component, value) in latest {
-            let (shard, slot) = self.router.route(component);
-            by_shard
-                .entry(shard)
-                .or_default()
-                .push((slot, value.clone()));
         }
         // Same fast/slow latch split as `update`: hold the read side while a
         // coordinated scan is pending so its straggler set stays bounded.

@@ -132,7 +132,12 @@ proptest! {
             1..60,
         ),
     ) {
-        let config = ShardConfig { shards: k, partition, max_optimistic_retries: retries };
+        let config = ShardConfig {
+            shards: k,
+            partition,
+            max_optimistic_retries: retries,
+            ..ShardConfig::contiguous(k)
+        };
         let snap = ShardedSnapshot::with_factory(m, 2, 0u64, config, |_, sm, sn, init| {
             CasPartialSnapshot::new(sm, sn, init)
         });

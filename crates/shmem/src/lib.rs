@@ -63,6 +63,7 @@
 pub mod chaos;
 pub mod epoch;
 pub mod fetch_inc;
+pub mod mv;
 pub mod process;
 pub mod rwlock_cell;
 pub mod seg_array;
@@ -70,6 +71,7 @@ pub mod steps;
 pub mod versioned;
 
 pub use fetch_inc::FetchIncrement;
+pub use mv::{MvRegister, MvStamp, TimestampCamera};
 pub use process::ProcessId;
 pub use rwlock_cell::RwLockVersionedCell;
 pub use seg_array::{SegmentedArray, WordRegister};

@@ -2,22 +2,25 @@
 //!
 //! The batched-update contract is all-or-nothing: a concurrent scan must
 //! never observe a strict subset of a batch. These tests attack the contract
-//! from three sides: exhaustive WGL checking of small cross-shard batch
-//! schedules, a targeted seam test that parks an updater *mid-batch* (chaos
-//! sleeps fire after every base-object step, so the updater provably stalls
-//! between the per-component writes of one batch) while scans race, and
-//! sequential conformance of the duplicate-component last-write-wins rule
-//! across every registered implementation.
+//! from four sides: exhaustive WGL checking of small cross-shard batch
+//! schedules (on the coordinated two-phase path *and* the multiversioned
+//! single-published-timestamp path), a targeted seam test that parks an
+//! updater *mid-batch* (chaos sleeps fire after every base-object step, so
+//! the updater provably stalls between the per-component writes of one
+//! batch) while scans race, a deterministic version-boundary seam where a
+//! scan's announced timestamp races a parked batch commit, and sequential
+//! conformance of the duplicate-component last-write-wins rule across every
+//! registered implementation.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use partial_snapshot::bench::ImplKind;
 use partial_snapshot::lincheck::check_history;
-use partial_snapshot::shard::{ShardConfig, ShardedSnapshot};
+use partial_snapshot::shard::{MvShardedSnapshot, ShardConfig, ShardedSnapshot};
 use partial_snapshot::shmem::{chaos, ProcessId};
 use partial_snapshot::sim::{run_scenario, Role, Scenario, ScenarioChaos};
-use partial_snapshot::snapshot::{CasPartialSnapshot, PartialSnapshot};
+use partial_snapshot::snapshot::{CasPartialSnapshot, MvSnapshot, PartialSnapshot};
 
 /// A small scenario whose only updater issues batches that deliberately span
 /// every shard of a `shards`-way contiguous partition, racing two scanners
@@ -76,6 +79,308 @@ fn cross_shard_batches_racing_scans_are_linearizable() {
                      cross-shard batch produced a non-linearizable history"
                 );
             }
+        }
+    }
+}
+
+/// The multiversioned seam: WGL-check histories where a scan's announced
+/// timestamp races a cross-shard `update_many` commit. The batch commits by
+/// publishing one timestamp, and a scan whose timestamp the commit raced
+/// must land wholly before or wholly after it — a torn batch at the version
+/// boundary would make the history non-linearizable. Checked exhaustively
+/// across shard counts and chaos seeds, with the same scenarios the
+/// coordinated path is checked under (including the all-shard-scan ×
+/// full-width-batch shapes `Scenario::random_cross_shard` now generates).
+#[test]
+fn mv_scans_racing_cross_shard_batch_commits_are_linearizable() {
+    for shards in [2usize, 3] {
+        for seed in 0..20u64 {
+            let scenario = cross_shard_batch_scenario(shards, seed);
+            scenario.validate().unwrap();
+            let snapshot = Arc::new(MvShardedSnapshot::new(
+                scenario.components,
+                scenario.processes(),
+                0u64,
+                ShardConfig::multiversioned(shards),
+            ));
+            let history = run_scenario(&snapshot, &scenario);
+            assert!(
+                check_history(&history).is_linearizable(),
+                "shards={shards} seed={seed}: a scan raced a multiversioned \
+                 cross-shard batch commit into a non-linearizable history"
+            );
+        }
+        // The union-plan shapes: every scan spans ≥ 2 shards, a third of
+        // the seeds spanning *all* of them against a full-width batch.
+        for seed in 0..20u64 {
+            let scenario = Scenario::random_cross_shard(seed, shards);
+            let snapshot = Arc::new(MvShardedSnapshot::new(
+                scenario.components,
+                scenario.processes(),
+                0u64,
+                ShardConfig::multiversioned(shards),
+            ));
+            let history = run_scenario(&snapshot, &scenario);
+            assert!(
+                check_history(&history).is_linearizable(),
+                "shards={shards} seed={seed}: random cross-shard scenario \
+                 non-linearizable on the multiversioned path"
+            );
+        }
+    }
+}
+
+/// The version-boundary seam, pinned down deterministically: a scan
+/// announces its timestamp, a cross-shard batch then installs *and parks*
+/// (versions present on every shard, commit timestamp unpublished), and the
+/// scan reads. The floor protocol must exclude the whole batch — on every
+/// shard — because the commit, whenever it lands, is forced above the
+/// scan's timestamp; a second scan after the commit must see the whole
+/// batch. No interleaving of announce and commit may tear.
+#[test]
+fn announced_timestamp_racing_a_batch_commit_never_sees_a_torn_batch() {
+    let snap = MvSnapshot::new(8, 3, 0u64);
+    snap.update_many(ProcessId(0), &[(0, 1), (7, 1)]);
+    // Scan announces and draws its timestamp first…
+    snap.announce_scan(ProcessId(1));
+    let s = snap.camera().tick();
+    // …then the batch installs on both registers and parks mid-commit.
+    let parked = snap.begin_parked_update_many(ProcessId(0), &[(0, 2), (7, 2)]);
+    let before_commit = snap.scan_at(ProcessId(1), &[0, 7], s);
+    assert_eq!(before_commit, vec![1, 1], "parked batch leaked into scan");
+    // The commit races the still-announced scan: publishing the timestamp
+    // now must land it *after* `s` (the scan's floor), so re-reading at the
+    // same timestamp returns the same cut — no torn batch at the boundary.
+    parked.commit();
+    let after_commit = snap.scan_at(ProcessId(1), &[0, 7], s);
+    assert_eq!(
+        after_commit, before_commit,
+        "the announced timestamp changed its answer across the batch commit"
+    );
+    snap.clear_announcement(ProcessId(1));
+    // A scan that starts after the commit sees the whole batch.
+    assert_eq!(snap.scan(ProcessId(2), &[0, 7]), vec![2, 2]);
+}
+
+/// Regression for the multiversioned torn-batch bug: a single update racing
+/// a parked batch **on a shared component** buries the batch's version under
+/// a chain-newer one with a smaller timestamp. Selection is by timestamp —
+/// not chain position — so once the batch commits (above the single and
+/// above every scan that stepped over it), it wins *both* registers: the
+/// history linearizes as single → scan → batch → scan. With first-from-head
+/// selection the batch stayed half-visible forever (new on component 1,
+/// shadowed on component 0), which no serialization explains.
+#[test]
+fn late_committed_batch_beats_an_interleaved_single_on_the_shared_component() {
+    let snap = MvSnapshot::new(2, 4, 0u64);
+    let parked = snap.begin_parked_update_many(ProcessId(0), &[(0, 10), (1, 10)]);
+    // The single lands *above* the parked batch's version on component 0
+    // and commits first, with the smaller timestamp.
+    snap.update(ProcessId(1), 0, 5);
+    assert_eq!(
+        snap.scan(ProcessId(2), &[0, 1]),
+        vec![5, 0],
+        "parked batch must be invisible on both components"
+    );
+    parked.commit();
+    assert_eq!(
+        snap.scan(ProcessId(2), &[0, 1]),
+        vec![10, 10],
+        "the late-committed batch must win both components or neither"
+    );
+    // Same shape across shards: components 0 and 6 live on shards 0 and 3.
+    let sharded = MvShardedSnapshot::new(8, 4, 0u64, ShardConfig::multiversioned(4));
+    let parked = sharded.begin_parked_update_many(ProcessId(0), &[(0, 10), (6, 10)]);
+    sharded.update(ProcessId(1), 0, 5);
+    assert_eq!(sharded.scan(ProcessId(2), &[0, 6]), vec![5, 0]);
+    parked.commit();
+    assert_eq!(sharded.scan(ProcessId(2), &[0, 6]), vec![10, 10]);
+}
+
+/// Concurrent companion: a single updater and a batcher hammer a **shared**
+/// component while the batch also writes a private one. Batch values come
+/// from a distinct range, so atomicity is directly observable: whenever a
+/// scan resolves the shared component to a batch value, it must be exactly
+/// the batch it sees on the private component — a mismatch would be a batch
+/// half-overwritten at a version boundary.
+#[test]
+fn concurrent_singles_and_batches_on_a_shared_component_never_tear() {
+    const BATCH_BASE: u64 = 1 << 32;
+    for sharded in [false, true] {
+        let snap: Arc<dyn PartialSnapshot<u64>> = if sharded {
+            Arc::new(MvShardedSnapshot::new(
+                8,
+                3,
+                0u64,
+                ShardConfig::multiversioned(4),
+            ))
+        } else {
+            Arc::new(MvSnapshot::new(8, 3, 0u64))
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let single = {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut v = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    snap.update(ProcessId(0), 0, v); // shared with the batcher
+                    v += 1;
+                }
+            })
+        };
+        let batcher = {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut k = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    snap.update_many(ProcessId(1), &[(0, BATCH_BASE + k), (6, BATCH_BASE + k)]);
+                    k += 1;
+                }
+            })
+        };
+        let mut last_batch = 0u64;
+        for _ in 0..3000 {
+            let got = snap.scan(ProcessId(2), &[0, 6]);
+            let (shared, private) = (got[0], got[1]);
+            if shared >= BATCH_BASE {
+                assert_eq!(
+                    shared, private,
+                    "sharded={sharded}: the shared component resolved to batch \
+                     {shared:#x} while the private one shows {private:#x} — torn batch"
+                );
+            }
+            if private >= BATCH_BASE {
+                assert!(private >= last_batch, "batches went backwards");
+                last_batch = private;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        single.join().unwrap();
+        batcher.join().unwrap();
+    }
+}
+
+/// WGL coverage for the ownership shape the scenario generators cannot
+/// express (their monotone single-writer discipline forbids it): a single
+/// updater and a batcher writing the **same component** concurrently, racing
+/// scans, with per-thread chaos. Histories are recorded by hand (unique
+/// values per operation, logical-clock intervals) and checked exhaustively —
+/// this is the interleaving class where the multiversioned torn-batch bug
+/// lived, on every implementation that claims batch atomicity.
+#[test]
+fn shared_component_single_vs_batch_histories_are_linearizable() {
+    use partial_snapshot::lincheck::{History, LogicalClock, OpRecord, OpResult, Operation};
+    let kinds = [
+        ImplKind::Cas,
+        ImplKind::SHARDED_CAS_2,
+        ImplKind::Mv,
+        ImplKind::MvSharded {
+            shards: 2,
+            partition: partial_snapshot::shard::Partition::Contiguous,
+        },
+    ];
+    for kind in kinds {
+        for seed in 0..12u64 {
+            let snap = kind.build(4, 3, 0);
+            let clock = LogicalClock::new();
+            let barrier = Arc::new(std::sync::Barrier::new(3));
+            let mut logs: Vec<Vec<OpRecord>> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                // Process 0: three single updates to component 0.
+                {
+                    let snap = Arc::clone(&snap);
+                    let clock = clock.clone();
+                    let barrier = Arc::clone(&barrier);
+                    handles.push(scope.spawn(move || {
+                        let _chaos = chaos::enable(seed * 3, chaos::ChaosConfig::aggressive());
+                        barrier.wait();
+                        (0..3u64)
+                            .map(|k| {
+                                let value = 100 + k;
+                                let invoked_at = clock.now();
+                                snap.update(ProcessId(0), 0, value);
+                                let returned_at = clock.now();
+                                OpRecord {
+                                    pid: ProcessId(0),
+                                    op: Operation::Update {
+                                        component: 0,
+                                        value,
+                                    },
+                                    result: OpResult::Ack,
+                                    invoked_at,
+                                    returned_at,
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                // Process 1: three batches over components {0, 2} — the
+                // shared component plus one of its own (cross-shard under
+                // the 2-way contiguous split).
+                {
+                    let snap = Arc::clone(&snap);
+                    let clock = clock.clone();
+                    let barrier = Arc::clone(&barrier);
+                    handles.push(scope.spawn(move || {
+                        let _chaos = chaos::enable(seed * 3 + 1, chaos::ChaosConfig::aggressive());
+                        barrier.wait();
+                        (0..3u64)
+                            .map(|k| {
+                                let value = 200 + k;
+                                let writes = vec![(0usize, value), (2usize, value)];
+                                let invoked_at = clock.now();
+                                snap.update_many(ProcessId(1), &writes);
+                                let returned_at = clock.now();
+                                OpRecord {
+                                    pid: ProcessId(1),
+                                    op: Operation::BatchUpdate { writes },
+                                    result: OpResult::Ack,
+                                    invoked_at,
+                                    returned_at,
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                // Process 2: four scans of the contested pair.
+                {
+                    let snap = Arc::clone(&snap);
+                    let clock = clock.clone();
+                    let barrier = Arc::clone(&barrier);
+                    handles.push(scope.spawn(move || {
+                        let _chaos = chaos::enable(seed * 3 + 2, chaos::ChaosConfig::aggressive());
+                        barrier.wait();
+                        (0..4)
+                            .map(|_| {
+                                let components = vec![0usize, 2];
+                                let invoked_at = clock.now();
+                                let values = snap.scan(ProcessId(2), &components);
+                                let returned_at = clock.now();
+                                OpRecord {
+                                    pid: ProcessId(2),
+                                    op: Operation::Scan { components },
+                                    result: OpResult::Values(values),
+                                    invoked_at,
+                                    returned_at,
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for h in handles {
+                    logs.push(h.join().expect("worker panicked"));
+                }
+            });
+            let history = History::from_logs(4, 0, logs);
+            assert!(
+                check_history(&history).is_linearizable(),
+                "{} seed {seed}: single-vs-batch race on a shared component \
+                 produced a non-linearizable history",
+                kind.label()
+            );
         }
     }
 }
