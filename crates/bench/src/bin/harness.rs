@@ -11,16 +11,17 @@
 //! EXPERIMENTS.md is applied. `--json` additionally writes machine-readable
 //! results for the experiments that define a JSON schema (E8 →
 //! `BENCH_E8.json`, E9 → `BENCH_E9.json`, E10 → `BENCH_E10.json`, E11 →
-//! `BENCH_E11.json`, E12 → `BENCH_E12.json`), so the performance trajectory
-//! of the sharded store, the lock-free cell, the batched-update path, the
-//! service frontend and the multiversioned scan path can be tracked across
-//! commits. JSON files are written atomically (temp file
+//! `BENCH_E11.json`, E12 → `BENCH_E12.json`, E13 → `BENCH_E13.json` plus a
+//! `BENCH_E13_REGISTRY.json` scrape of the live metric registry), so the
+//! performance trajectory of the sharded store, the lock-free cell, the
+//! batched-update path, the service frontend, the multiversioned scan path
+//! and the observability layer itself can be tracked across commits. JSON files are written atomically (temp file
 //! in the same directory, then rename), so an interrupted run can never
 //! leave a truncated `BENCH_*.json` behind.
 
 use psnap_bench::{
-    e10_batched_updates_data, e11_service_data, e12_multiversion_data, e8_sharding_data,
-    e9_cell_contention_data, run_experiment, Effort, ALL_EXPERIMENTS,
+    e10_batched_updates_data, e11_service_data, e12_multiversion_data, e13_obs_overhead_data,
+    e8_sharding_data, e9_cell_contention_data, run_experiment, Effort, ALL_EXPERIMENTS,
 };
 
 /// Writes `contents` to `path` atomically: the bytes land in a temporary
@@ -49,7 +50,7 @@ fn main() {
         _ => true,
     });
     if args.is_empty() {
-        eprintln!("usage: harness [--quick] [--json] <E1..E11 | all> [more ids...]");
+        eprintln!("usage: harness [--quick] [--json] <E1..E13 | all> [more ids...]");
         std::process::exit(2);
     }
     let ids: Vec<String> = if args.iter().any(|a| a.eq_ignore_ascii_case("all")) {
@@ -99,6 +100,25 @@ fn main() {
                     "BENCH_E12.json",
                     data.to_json(),
                     psnap_bench::experiments::e12_multiversion_table(&data),
+                ))
+            }
+            "E13" if json => {
+                let data = e13_obs_overhead_data(effort);
+                // The workload just ran fully instrumented; dump the global
+                // registry alongside the overhead numbers so a harness run
+                // also exercises (and preserves) one real registry scrape.
+                let registry = psnap_obs::Registry::global();
+                psnap_shmem::metrics::register_metrics(registry);
+                write_atomically(
+                    "BENCH_E13_REGISTRY.json",
+                    &registry.to_json().to_string_pretty(),
+                )
+                .unwrap_or_else(|e| panic!("failed to write BENCH_E13_REGISTRY.json: {e}"));
+                eprintln!("wrote BENCH_E13_REGISTRY.json");
+                Some((
+                    "BENCH_E13.json",
+                    data.to_json(),
+                    psnap_bench::experiments::e13_obs_overhead_table(&data),
                 ))
             }
             _ => None,

@@ -2082,6 +2082,243 @@ pub fn e12_multiversion_table(data: &E12Data) -> Table {
     }
 }
 
+/// One grid point of experiment E13: the same E10-style workload measured
+/// with the observability layer recording and with it disabled.
+#[derive(Clone, Debug)]
+pub struct E13Point {
+    /// Implementation label (`ImplKind::label`).
+    pub impl_label: &'static str,
+    /// Shard count of the measured object.
+    pub shards: usize,
+    /// `"uniform"` or `"zipf"`.
+    pub dist: &'static str,
+    /// Components written per batch.
+    pub batch: usize,
+    /// Mean base-object steps per component written, obs **disabled**.
+    pub off_steps_per_component: f64,
+    /// Mean base-object steps per component written, obs **enabled**.
+    pub on_steps_per_component: f64,
+    /// Component writes per second, obs **disabled**.
+    pub off_comps_per_sec: f64,
+    /// Component writes per second, obs **enabled**.
+    pub on_comps_per_sec: f64,
+    /// Step-count overhead of recording, percent (must be 0: metrics never
+    /// call `steps::record`, so the paper's cost metric is unperturbed by
+    /// construction — this column *verifies* that claim).
+    pub step_overhead_pct: f64,
+    /// Wall-clock overhead of recording, percent (noisy per point; the
+    /// aggregate is the acceptance number).
+    pub wall_overhead_pct: f64,
+}
+
+/// The raw data behind experiment E13 (also serialized to `BENCH_E13.json`).
+#[derive(Clone, Debug)]
+pub struct E13Data {
+    /// Number of components of each measured object.
+    pub m: usize,
+    /// Batches measured per point and obs state.
+    pub ops: usize,
+    /// Continuously scanning background processes per point.
+    pub scanners: usize,
+    /// One entry per (implementation × distribution × batch size).
+    pub points: Vec<E13Point>,
+    /// Grid-aggregate step overhead, percent (total steps on vs off).
+    pub aggregate_step_overhead_pct: f64,
+    /// Grid-aggregate wall-clock overhead, percent (total batched apply
+    /// time on vs off over the whole grid — the < 3% acceptance number).
+    pub aggregate_wall_overhead_pct: f64,
+}
+
+impl E13Data {
+    /// The experiment description used by the table and the JSON document.
+    pub fn description(&self) -> String {
+        format!(
+            "cost of the observability layer (psnap-obs): the E10 grid (shard count × \
+             distribution × batch size, m = {}, {} scanners) run twice per point — \
+             once with metric recording enabled (trace collection stays opt-in/off, \
+             as in production), once with the global obs switch off. Recording never \
+             calls steps::record, so any step delta is pure interleaving noise, not \
+             instrumentation cost; wall-clock overhead is the price of the striped \
+             counter adds and histogram records on the hot paths, acceptable below \
+             3% on the grid aggregate.",
+            self.m, self.scanners
+        )
+    }
+
+    /// Serializes the data for `BENCH_E13.json`.
+    pub fn to_json(&self) -> psnap_json::Json {
+        use psnap_json::Json;
+        Json::obj([
+            ("experiment", Json::Str("E13".into())),
+            ("description", Json::Str(self.description())),
+            ("m", Json::Num(self.m as f64)),
+            ("ops", Json::Num(self.ops as f64)),
+            ("scanners", Json::Num(self.scanners as f64)),
+            (
+                "aggregate_step_overhead_pct",
+                Json::Num(self.aggregate_step_overhead_pct),
+            ),
+            (
+                "aggregate_wall_overhead_pct",
+                Json::Num(self.aggregate_wall_overhead_pct),
+            ),
+            (
+                "points",
+                Json::arr(self.points.iter().map(|p| {
+                    Json::obj([
+                        ("impl", Json::Str(p.impl_label.into())),
+                        ("shards", Json::Num(p.shards as f64)),
+                        ("dist", Json::Str(p.dist.into())),
+                        ("batch", Json::Num(p.batch as f64)),
+                        (
+                            "off_steps_per_component",
+                            Json::Num(p.off_steps_per_component),
+                        ),
+                        (
+                            "on_steps_per_component",
+                            Json::Num(p.on_steps_per_component),
+                        ),
+                        ("off_comps_per_sec", Json::Num(p.off_comps_per_sec)),
+                        ("on_comps_per_sec", Json::Num(p.on_comps_per_sec)),
+                        ("step_overhead_pct", Json::Num(p.step_overhead_pct)),
+                        ("wall_overhead_pct", Json::Num(p.wall_overhead_pct)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+/// Runs the E13 measurement: the E10 grid, obs off vs obs on per point.
+pub fn e13_obs_overhead_data(effort: Effort) -> E13Data {
+    let m = 256;
+    let scanners = 2;
+    let ops = effort.ops;
+    let mut points = Vec::new();
+    let mut total_on_steps = 0.0f64;
+    let mut total_off_steps = 0.0f64;
+    let mut total_on_secs = 0.0f64;
+    let mut total_off_secs = 0.0f64;
+    let was_enabled = psnap_obs::enabled();
+    for shards in [1usize, 2, 4, 8] {
+        let kind = if shards == 1 {
+            ImplKind::Cas
+        } else {
+            ImplKind::sharded_cas(shards, psnap_shard::Partition::Contiguous)
+        };
+        for (dist, zipf_s) in [("uniform", None), ("zipf", Some(0.9f64))] {
+            for batch in [2usize, 4, 8, 16] {
+                // Off first, then on: identical seeds, so both runs apply the
+                // same component sets under the same scanner pressure.
+                psnap_obs::set_enabled(false);
+                let (off_steps, _, off_tput, _) = e10_point(kind, m, batch, ops, scanners, zipf_s);
+                psnap_obs::set_enabled(true);
+                let (on_steps, _, on_tput, _) = e10_point(kind, m, batch, ops, scanners, zipf_s);
+                let components = (ops * batch) as f64;
+                total_off_steps += off_steps * components;
+                total_on_steps += on_steps * components;
+                if off_tput > 0.0 {
+                    total_off_secs += components / off_tput;
+                }
+                if on_tput > 0.0 {
+                    total_on_secs += components / on_tput;
+                }
+                points.push(E13Point {
+                    impl_label: kind.label(),
+                    shards,
+                    dist,
+                    batch,
+                    off_steps_per_component: off_steps,
+                    on_steps_per_component: on_steps,
+                    off_comps_per_sec: off_tput,
+                    on_comps_per_sec: on_tput,
+                    step_overhead_pct: overhead_pct(on_steps, off_steps),
+                    wall_overhead_pct: if on_tput > 0.0 && off_tput > 0.0 {
+                        overhead_pct(1.0 / on_tput, 1.0 / off_tput)
+                    } else {
+                        0.0
+                    },
+                });
+            }
+        }
+    }
+    psnap_obs::set_enabled(was_enabled);
+    E13Data {
+        m,
+        ops,
+        scanners,
+        points,
+        aggregate_step_overhead_pct: overhead_pct(total_on_steps, total_off_steps),
+        aggregate_wall_overhead_pct: overhead_pct(total_on_secs, total_off_secs),
+    }
+}
+
+/// `(on - off) / off`, in percent (0 when the baseline is 0).
+fn overhead_pct(on: f64, off: f64) -> f64 {
+    if off == 0.0 {
+        0.0
+    } else {
+        (on - off) / off * 100.0
+    }
+}
+
+/// E13 — the cost of the observability layer itself.
+pub fn e13_obs_overhead(effort: Effort) -> Table {
+    e13_obs_overhead_table(&e13_obs_overhead_data(effort))
+}
+
+/// Renders already-measured E13 data as a table (lets the harness emit the
+/// markdown table and `BENCH_E13.json` from one measurement run).
+pub fn e13_obs_overhead_table(data: &E13Data) -> Table {
+    let mut rows: Vec<Vec<String>> = data
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.impl_label.to_string(),
+                p.shards.to_string(),
+                p.dist.to_string(),
+                p.batch.to_string(),
+                format!("{:.1}", p.off_steps_per_component),
+                format!("{:.1}", p.on_steps_per_component),
+                format!("{:+.2}%", p.step_overhead_pct),
+                format!("{:.0}", p.off_comps_per_sec / 1000.0),
+                format!("{:.0}", p.on_comps_per_sec / 1000.0),
+                format!("{:+.2}%", p.wall_overhead_pct),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "**aggregate**".into(),
+        "—".into(),
+        "—".into(),
+        "—".into(),
+        "—".into(),
+        "—".into(),
+        format!("{:+.2}%", data.aggregate_step_overhead_pct),
+        "—".into(),
+        "—".into(),
+        format!("{:+.2}%", data.aggregate_wall_overhead_pct),
+    ]);
+    Table {
+        id: "E13".into(),
+        title: data.description(),
+        headers: vec![
+            "impl".into(),
+            "shards".into(),
+            "dist".into(),
+            "batch".into(),
+            "steps/comp (off)".into(),
+            "steps/comp (on)".into(),
+            "step overhead".into(),
+            "kcomps/s (off)".into(),
+            "kcomps/s (on)".into(),
+            "wall overhead".into(),
+        ],
+        rows,
+    }
+}
+
 /// Runs an experiment by id. Returns `None` for an unknown id.
 pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -2097,13 +2334,14 @@ pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
         "E10" => Some(e10_batched_updates(effort)),
         "E11" => Some(e11_service(effort)),
         "E12" => Some(e12_multiversion(effort)),
+        "E13" => Some(e13_obs_overhead(effort)),
         _ => None,
     }
 }
 
 /// All experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 12] = [
-    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
 ];
 
 #[cfg(test)]

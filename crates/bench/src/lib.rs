@@ -24,9 +24,9 @@ pub mod runner;
 pub mod stats;
 
 pub use experiments::{
-    e10_batched_updates_data, e11_service_data, e12_multiversion_data, e8_sharding_data,
-    e9_cell_contention_data, run_experiment, E10Data, E10Point, E11Data, E11Point, E12Data,
-    E12Point, E8Data, E8Point, E9Data, E9Point, Effort, Table, ALL_EXPERIMENTS,
+    e10_batched_updates_data, e11_service_data, e12_multiversion_data, e13_obs_overhead_data,
+    e8_sharding_data, e9_cell_contention_data, run_experiment, E10Data, E10Point, E11Data,
+    E11Point, E12Data, E12Point, E8Data, E8Point, E9Data, E9Point, Effort, Table, ALL_EXPERIMENTS,
 };
 pub use implementations::ImplKind;
 pub use runner::{run_point, PointConfig, PointResult};

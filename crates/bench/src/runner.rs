@@ -221,6 +221,21 @@ pub fn run_point(snapshot: &Arc<dyn PartialSnapshot<u64>>, cfg: &PointConfig) ->
     let update_steps = collect_steps(&update_samples);
     let scan_steps = collect_steps(&scan_samples);
     let total_ops = update_steps.len() + scan_steps.len();
+    // Feed the per-implementation step distributions into the global obs
+    // registry, so a harness registry scrape carries one step histogram per
+    // implementation name accumulated over every point it ran.
+    if psnap_obs::enabled() {
+        let registry = psnap_obs::Registry::global();
+        let name = snapshot.name();
+        let scan_hist = registry.histogram(&format!("bench.{name}.scan.steps"));
+        let update_hist = registry.histogram(&format!("bench.{name}.update.steps"));
+        for &v in &scan_steps {
+            scan_hist.record(v);
+        }
+        for &v in &update_steps {
+            update_hist.record(v);
+        }
+    }
     PointResult {
         scan_steps: Summary::of_u64(&scan_steps),
         update_steps: Summary::of_u64(&update_steps),

@@ -372,6 +372,7 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvSnapshot<T> {
             self.registers[*component].prune(&bounds);
         }
         drop(serial);
+        psnap_obs::trace::emit(psnap_obs::TraceKind::BatchCommit, batch.len() as u64, 1);
     }
 
     fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T> {
@@ -381,6 +382,7 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvSnapshot<T> {
         }
         self.announce_scan(pid);
         let s = self.camera.tick();
+        psnap_obs::trace::emit(psnap_obs::TraceKind::ScanAnnounce, s, 1);
         let values = self.scan_at(pid, components, s);
         self.clear_announcement(pid);
         values

@@ -68,6 +68,13 @@ pub trait PartialSnapshot<T: Clone + Send + Sync + 'static>: Send + Sync {
 
     /// Short name used in experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Per-shard operation counts ("heat") for sharded implementations:
+    /// element `i` is how many operations have touched shard `i` since
+    /// construction. Unsharded implementations return an empty vector.
+    fn shard_heat(&self) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 impl<T: Clone + Send + Sync + 'static, S: PartialSnapshot<T> + ?Sized> PartialSnapshot<T>
@@ -96,6 +103,9 @@ impl<T: Clone + Send + Sync + 'static, S: PartialSnapshot<T> + ?Sized> PartialSn
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn shard_heat(&self) -> Vec<u64> {
+        (**self).shard_heat()
     }
 }
 

@@ -36,11 +36,12 @@
 //! exchange for zero backing work.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use psnap_core::{PartialSnapshot, ProcessId};
+use psnap_obs::{trace, Counter, Gauge, Histogram, HistogramSnapshot, Metric, Registry, TraceKind};
 use psnap_shard::{Partition, ShardRouter};
 
 use crate::executor::{block_on_timeout, Executor, Handle};
@@ -126,27 +127,63 @@ struct ScanCache<T> {
     taken_at: Instant,
 }
 
-#[derive(Default)]
+/// The service's live metric handles — obs counters (striped, aggregated on
+/// read), latency histograms, and queue-depth gauges. Shared into any
+/// [`Registry`] by [`SnapshotService::register_obs`] without copying.
 struct Counters {
-    submits_ok: AtomicU64,
-    submits_busy: AtomicU64,
-    submits_closed: AtomicU64,
-    writes_submitted: AtomicU64,
-    batches_applied: AtomicU64,
-    writes_applied: AtomicU64,
-    writes_coalesced_away: AtomicU64,
-    submit_latency_ns: AtomicU64,
-    submits_resolved: AtomicU64,
-    scans_ok: AtomicU64,
-    scans_busy: AtomicU64,
-    scans_closed: AtomicU64,
-    scans_served_backing: AtomicU64,
-    scans_served_cache: AtomicU64,
-    scans_served_empty: AtomicU64,
-    backing_scans: AtomicU64,
-    backing_components: AtomicU64,
-    requested_components: AtomicU64,
-    scan_latency_ns: AtomicU64,
+    submits_ok: Arc<Counter>,
+    submits_busy: Arc<Counter>,
+    submits_closed: Arc<Counter>,
+    writes_submitted: Arc<Counter>,
+    batches_applied: Arc<Counter>,
+    writes_applied: Arc<Counter>,
+    writes_coalesced_away: Arc<Counter>,
+    submits_resolved: Arc<Counter>,
+    scans_ok: Arc<Counter>,
+    scans_busy: Arc<Counter>,
+    scans_closed: Arc<Counter>,
+    scans_served_backing: Arc<Counter>,
+    scans_served_cache: Arc<Counter>,
+    scans_served_empty: Arc<Counter>,
+    backing_scans: Arc<Counter>,
+    backing_components: Arc<Counter>,
+    requested_components: Arc<Counter>,
+    /// Submit-to-applied latency per resolved submission (nanoseconds).
+    submit_latency: Arc<Histogram>,
+    /// Request-to-answer latency per served scan (nanoseconds).
+    scan_latency: Arc<Histogram>,
+    /// Submissions currently queued across all clients.
+    ingest_depth: Arc<Gauge>,
+    /// Scan requests currently queued.
+    scan_depth: Arc<Gauge>,
+}
+
+impl Default for Counters {
+    fn default() -> Counters {
+        Counters {
+            submits_ok: Arc::new(Counter::new()),
+            submits_busy: Arc::new(Counter::new()),
+            submits_closed: Arc::new(Counter::new()),
+            writes_submitted: Arc::new(Counter::new()),
+            batches_applied: Arc::new(Counter::new()),
+            writes_applied: Arc::new(Counter::new()),
+            writes_coalesced_away: Arc::new(Counter::new()),
+            submits_resolved: Arc::new(Counter::new()),
+            scans_ok: Arc::new(Counter::new()),
+            scans_busy: Arc::new(Counter::new()),
+            scans_closed: Arc::new(Counter::new()),
+            scans_served_backing: Arc::new(Counter::new()),
+            scans_served_cache: Arc::new(Counter::new()),
+            scans_served_empty: Arc::new(Counter::new()),
+            backing_scans: Arc::new(Counter::new()),
+            backing_components: Arc::new(Counter::new()),
+            requested_components: Arc::new(Counter::new()),
+            submit_latency: Arc::new(Histogram::new()),
+            scan_latency: Arc::new(Histogram::new()),
+            ingest_depth: Arc::new(Gauge::new()),
+            scan_depth: Arc::new(Gauge::new()),
+        }
+    }
 }
 
 /// A point-in-time snapshot of the service's counters.
@@ -174,9 +211,9 @@ pub struct ServiceStats {
     pub writes_applied: u64,
     /// Writes superseded by a later same-component write in the same chunk.
     pub writes_coalesced_away: u64,
-    /// Total submit-to-applied latency (nanoseconds) over resolved
-    /// submissions.
-    pub submit_latency_ns: u64,
+    /// Submit-to-applied latency distribution (nanoseconds) over resolved
+    /// submissions — count, sum, exact max, and log2-resolution p50/p99.
+    pub submit_latency: HistogramSnapshot,
     /// Submissions whose ticket has been completed.
     pub submits_resolved: u64,
     /// Scan requests accepted into the scan queue.
@@ -198,8 +235,9 @@ pub struct ServiceStats {
     pub backing_components: u64,
     /// Components requested by scans served via the backing path.
     pub requested_components: u64,
-    /// Total request-to-answer latency (nanoseconds) over served scans.
-    pub scan_latency_ns: u64,
+    /// Request-to-answer latency distribution (nanoseconds) over served
+    /// scans — count, sum, exact max, and log2-resolution p50/p99.
+    pub scan_latency: HistogramSnapshot,
 }
 
 impl ServiceStats {
@@ -225,21 +263,87 @@ impl ServiceStats {
 
     /// Mean submit-to-applied latency in nanoseconds.
     pub fn mean_submit_latency_ns(&self) -> f64 {
-        if self.submits_resolved == 0 {
-            0.0
-        } else {
-            self.submit_latency_ns as f64 / self.submits_resolved as f64
-        }
+        self.submit_latency.mean()
     }
 
     /// Mean scan request-to-answer latency in nanoseconds.
     pub fn mean_scan_latency_ns(&self) -> f64 {
-        let served = self.scans_served_backing + self.scans_served_cache + self.scans_served_empty;
-        if served == 0 {
-            0.0
-        } else {
-            self.scan_latency_ns as f64 / served as f64
-        }
+        self.scan_latency.mean()
+    }
+}
+
+/// One observability snapshot of a live service: the counter stats, the
+/// derived ratios, the queue-depth gauges, the backing object's per-shard
+/// heat, and the process-wide multiversion chain gauges — everything the
+/// acceptance dashboard of a deployment needs, in one read.
+#[derive(Clone, Debug)]
+pub struct ServiceObs {
+    /// The counter/latency stats (see [`ServiceStats`]).
+    pub stats: ServiceStats,
+    /// Client scans answered per backing scan (`> 1` means coalescing won).
+    pub coalescing_ratio: f64,
+    /// Components requested per component actually read.
+    pub component_dedup_ratio: f64,
+    /// Submissions currently queued across all clients (live gauge).
+    pub ingest_depth: i64,
+    /// Scan requests currently queued (live gauge).
+    pub scan_depth: i64,
+    /// Client queues currently registered.
+    pub client_count: usize,
+    /// Per-shard operation heat of the backing object (empty when the
+    /// backing object is unsharded).
+    pub shard_heat: Vec<u64>,
+    /// Process-wide count of live multiversion chain entries
+    /// ([`psnap_shmem::metrics::mv_live_versions`]).
+    pub mv_live_versions: i64,
+    /// Process-wide chain-length-at-prune distribution
+    /// ([`psnap_shmem::metrics::mv_chain_len`]).
+    pub mv_chain_len: HistogramSnapshot,
+}
+
+impl ServiceObs {
+    /// JSON exposition of the whole snapshot.
+    pub fn to_json(&self) -> psnap_json::Json {
+        use psnap_json::Json;
+        let hist = |h: &HistogramSnapshot| {
+            Json::obj([
+                ("count", Json::Num(h.count as f64)),
+                ("sum", Json::Num(h.sum as f64)),
+                ("max", Json::Num(h.max as f64)),
+                ("p50", Json::Num(h.p50 as f64)),
+                ("p99", Json::Num(h.p99 as f64)),
+            ])
+        };
+        Json::obj([
+            ("submits_ok", Json::Num(self.stats.submits_ok as f64)),
+            ("submits_busy", Json::Num(self.stats.submits_busy as f64)),
+            (
+                "submits_resolved",
+                Json::Num(self.stats.submits_resolved as f64),
+            ),
+            (
+                "writes_applied",
+                Json::Num(self.stats.writes_applied as f64),
+            ),
+            ("scans_ok", Json::Num(self.stats.scans_ok as f64)),
+            ("backing_scans", Json::Num(self.stats.backing_scans as f64)),
+            ("submit_latency_ns", hist(&self.stats.submit_latency)),
+            ("scan_latency_ns", hist(&self.stats.scan_latency)),
+            ("coalescing_ratio", Json::Num(self.coalescing_ratio)),
+            (
+                "component_dedup_ratio",
+                Json::Num(self.component_dedup_ratio),
+            ),
+            ("ingest_depth", Json::Num(self.ingest_depth as f64)),
+            ("scan_depth", Json::Num(self.scan_depth as f64)),
+            ("client_count", Json::Num(self.client_count as f64)),
+            (
+                "shard_heat",
+                Json::arr(self.shard_heat.iter().map(|&h| Json::Num(h as f64))),
+            ),
+            ("mv_live_versions", Json::Num(self.mv_live_versions as f64)),
+            ("mv_chain_len", hist(&self.mv_chain_len)),
+        ])
     }
 }
 
@@ -287,25 +391,21 @@ where
             // would skew the coalescing ratio and wipe the freshness cache
             // with an empty union.
             if request.components.is_empty() {
+                self.counters.scans_served_empty.inc();
                 self.counters
-                    .scans_served_empty
-                    .fetch_add(1, Ordering::Relaxed);
-                self.counters.scan_latency_ns.fetch_add(
-                    request.submitted.elapsed().as_nanos() as u64,
-                    Ordering::Relaxed,
-                );
+                    .scan_latency
+                    .record(request.submitted.elapsed().as_nanos() as u64);
+                trace::emit(TraceKind::ScanServe, 2, 0);
                 request.cell.complete(Vec::new());
                 continue;
             }
             if let Freshness::AtMostStale(bound) = request.freshness {
                 if let Some(values) = self.try_cache(&request.components, bound) {
+                    self.counters.scans_served_cache.inc();
                     self.counters
-                        .scans_served_cache
-                        .fetch_add(1, Ordering::Relaxed);
-                    self.counters.scan_latency_ns.fetch_add(
-                        request.submitted.elapsed().as_nanos() as u64,
-                        Ordering::Relaxed,
-                    );
+                        .scan_latency
+                        .record(request.submitted.elapsed().as_nanos() as u64);
+                    trace::emit(TraceKind::ScanServe, 1, 0);
                     request.cell.complete(values);
                     continue;
                 }
@@ -329,13 +429,18 @@ where
             .iter()
             .map(|components| self.snapshot.scan(self.config.scan_pid, components))
             .collect();
-        self.counters.backing_scans.fetch_add(1, Ordering::Relaxed);
+        self.counters.backing_scans.inc();
         self.counters
             .backing_components
-            .fetch_add(plan.forwarded_slots() as u64, Ordering::Relaxed);
+            .add(plan.forwarded_slots() as u64);
         self.counters
             .requested_components
-            .fetch_add(sets.iter().map(|s| s.len() as u64).sum(), Ordering::Relaxed);
+            .add(sets.iter().map(|s| s.len() as u64).sum());
+        trace::emit(
+            TraceKind::Coalesce,
+            live.len() as u64,
+            plan.forwarded_slots() as u64,
+        );
         {
             let mut values = BTreeMap::new();
             for (components, result) in group_components.iter().zip(&results) {
@@ -348,13 +453,11 @@ where
         }
         for (k, request) in live.iter().enumerate() {
             let values = plan.assemble(k, &results);
+            self.counters.scans_served_backing.inc();
             self.counters
-                .scans_served_backing
-                .fetch_add(1, Ordering::Relaxed);
-            self.counters.scan_latency_ns.fetch_add(
-                request.submitted.elapsed().as_nanos() as u64,
-                Ordering::Relaxed,
-            );
+                .scan_latency
+                .record(request.submitted.elapsed().as_nanos() as u64);
+            trace::emit(TraceKind::ScanServe, 0, 0);
             request.cell.complete(values);
         }
     }
@@ -375,25 +478,18 @@ where
             let chunk = &pending[start..end];
             let writes = coalesce_last_write_wins(chunk);
             self.snapshot.update_many(self.config.drain_pid, &writes);
-            self.counters
-                .batches_applied
-                .fetch_add(1, Ordering::Relaxed);
-            self.counters
-                .writes_applied
-                .fetch_add(writes.len() as u64, Ordering::Relaxed);
+            self.counters.batches_applied.inc();
+            self.counters.writes_applied.add(writes.len() as u64);
             self.counters
                 .writes_coalesced_away
-                .fetch_add((width - writes.len()) as u64, Ordering::Relaxed);
+                .add((width - writes.len()) as u64);
             let now = Instant::now();
             for submission in chunk {
-                self.counters.submit_latency_ns.fetch_add(
+                self.counters.submit_latency.record(
                     now.saturating_duration_since(submission.submitted)
                         .as_nanos() as u64,
-                    Ordering::Relaxed,
                 );
-                self.counters
-                    .submits_resolved
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.submits_resolved.inc();
                 submission.cell.complete(());
             }
             start = end;
@@ -446,8 +542,14 @@ where
         // registered later are born closed and can hold nothing.
         let closing =
             core.closed.load(Ordering::Acquire) && queues.iter().all(|queue| queue.is_closed());
+        let before = pending.len();
         for queue in &queues {
             queue.drain_into(&mut pending);
+        }
+        let drained = (pending.len() - before) as u64;
+        if drained > 0 {
+            core.counters.ingest_depth.sub(drained as i64);
+            trace::emit(TraceKind::QueueDrain, 0, drained);
         }
         // Prune queues of dropped clients: closed means no further push can
         // succeed, and empty (checked after the drain above) means nothing
@@ -471,6 +573,13 @@ where
     core.drain_done.complete(());
 }
 
+fn track_scan_drain(counters: &Counters, drained: usize) {
+    if drained > 0 {
+        counters.scan_depth.sub(drained as i64);
+        trace::emit(TraceKind::QueueDrain, 1, drained as u64);
+    }
+}
+
 async fn scan_loop<T, S>(core: Arc<ServiceCore<T, S>>, handle: Handle)
 where
     T: Clone + Send + Sync + 'static,
@@ -484,7 +593,9 @@ where
         // before the close is seen by this or an earlier drain and no
         // ScanTicket is ever stranded.
         let closing = core.scan_queue.is_closed();
+        let before = requests.len();
         core.scan_queue.drain_into(&mut requests);
+        track_scan_drain(&core.counters, requests.len() - before);
         if requests.is_empty() {
             if closing {
                 break;
@@ -502,7 +613,9 @@ where
             Coalescing::Window(window) => {
                 if !window.is_zero() {
                     handle.sleep(window).await;
+                    let before = requests.len();
                     core.scan_queue.drain_into(&mut requests);
+                    track_scan_drain(&core.counters, requests.len() - before);
                 }
                 core.serve_scans(std::mem::take(&mut requests));
             }
@@ -566,6 +679,96 @@ where
             shutdown_done: Mutex::new(false),
         }
     }
+
+    /// Spawns a periodic reporter task on `executor`: every `every`, it
+    /// takes one [`ServiceObs`] snapshot and hands it to `sink`. The task
+    /// exits when [`StatsReporter::stop`] is called or the service shuts
+    /// down — whichever its next tick observes first.
+    pub fn spawn_stats_reporter<F>(
+        &self,
+        executor: &Executor,
+        every: Duration,
+        mut sink: F,
+    ) -> StatsReporter
+    where
+        F: FnMut(ServiceObs) + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let core = Arc::clone(&self.core);
+        let handle = executor.handle();
+        let flag = Arc::clone(&stop);
+        executor.spawn(async move {
+            loop {
+                handle.sleep(every).await;
+                if flag.load(Ordering::Acquire) || core.closed.load(Ordering::Acquire) {
+                    break;
+                }
+                sink(obs_of(&core));
+            }
+        });
+        StatsReporter { stop }
+    }
+}
+
+/// Builds a [`ServiceObs`] straight from the core (shared by
+/// [`SnapshotService::obs`] and the reporter task).
+fn stats_of(c: &Counters) -> ServiceStats {
+    ServiceStats {
+        submits_ok: c.submits_ok.get(),
+        submits_busy: c.submits_busy.get(),
+        submits_closed: c.submits_closed.get(),
+        writes_submitted: c.writes_submitted.get(),
+        batches_applied: c.batches_applied.get(),
+        writes_applied: c.writes_applied.get(),
+        writes_coalesced_away: c.writes_coalesced_away.get(),
+        submit_latency: c.submit_latency.snapshot(),
+        submits_resolved: c.submits_resolved.get(),
+        scans_ok: c.scans_ok.get(),
+        scans_busy: c.scans_busy.get(),
+        scans_closed: c.scans_closed.get(),
+        scans_served_backing: c.scans_served_backing.get(),
+        scans_served_cache: c.scans_served_cache.get(),
+        scans_served_empty: c.scans_served_empty.get(),
+        backing_scans: c.backing_scans.get(),
+        backing_components: c.backing_components.get(),
+        requested_components: c.requested_components.get(),
+        scan_latency: c.scan_latency.snapshot(),
+    }
+}
+
+/// Builds a [`ServiceObs`] straight from the core (shared by
+/// [`SnapshotService::obs`] and the reporter task).
+fn obs_of<T, S>(core: &ServiceCore<T, S>) -> ServiceObs
+where
+    T: Clone + Send + Sync + 'static,
+    S: PartialSnapshot<T>,
+{
+    let c = &core.counters;
+    let stats = stats_of(c);
+    ServiceObs {
+        coalescing_ratio: stats.coalescing_ratio(),
+        component_dedup_ratio: stats.component_dedup_ratio(),
+        ingest_depth: c.ingest_depth.get(),
+        scan_depth: c.scan_depth.get(),
+        client_count: core.clients.lock().unwrap_or_else(|e| e.into_inner()).len(),
+        shard_heat: core.snapshot.shard_heat(),
+        mv_live_versions: psnap_shmem::metrics::mv_live_versions().get(),
+        mv_chain_len: psnap_shmem::metrics::mv_chain_len().snapshot(),
+        stats,
+    }
+}
+
+/// Stop handle of a reporter spawned by
+/// [`SnapshotService::spawn_stats_reporter`].
+pub struct StatsReporter {
+    stop: Arc<AtomicBool>,
+}
+
+impl StatsReporter {
+    /// Asks the reporter task to exit at its next tick.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
 }
 
 impl<T, S> SnapshotService<T, S>
@@ -600,28 +803,7 @@ where
 
     /// A snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
-        let c = &self.core.counters;
-        ServiceStats {
-            submits_ok: c.submits_ok.load(Ordering::Relaxed),
-            submits_busy: c.submits_busy.load(Ordering::Relaxed),
-            submits_closed: c.submits_closed.load(Ordering::Relaxed),
-            writes_submitted: c.writes_submitted.load(Ordering::Relaxed),
-            batches_applied: c.batches_applied.load(Ordering::Relaxed),
-            writes_applied: c.writes_applied.load(Ordering::Relaxed),
-            writes_coalesced_away: c.writes_coalesced_away.load(Ordering::Relaxed),
-            submit_latency_ns: c.submit_latency_ns.load(Ordering::Relaxed),
-            submits_resolved: c.submits_resolved.load(Ordering::Relaxed),
-            scans_ok: c.scans_ok.load(Ordering::Relaxed),
-            scans_busy: c.scans_busy.load(Ordering::Relaxed),
-            scans_closed: c.scans_closed.load(Ordering::Relaxed),
-            scans_served_backing: c.scans_served_backing.load(Ordering::Relaxed),
-            scans_served_cache: c.scans_served_cache.load(Ordering::Relaxed),
-            scans_served_empty: c.scans_served_empty.load(Ordering::Relaxed),
-            backing_scans: c.backing_scans.load(Ordering::Relaxed),
-            backing_components: c.backing_components.load(Ordering::Relaxed),
-            requested_components: c.requested_components.load(Ordering::Relaxed),
-            scan_latency_ns: c.scan_latency_ns.load(Ordering::Relaxed),
-        }
+        stats_of(&self.core.counters)
     }
 
     /// Submissions currently queued across all clients (racy gauge).
@@ -648,6 +830,93 @@ where
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .len()
+    }
+
+    /// One observability snapshot of the live service: stats, derived
+    /// ratios, queue-depth gauges, the backing object's per-shard heat, and
+    /// the process-wide multiversion chain gauges.
+    pub fn obs(&self) -> ServiceObs {
+        obs_of(&self.core)
+    }
+
+    /// Registers the service's live metric handles into `registry` under
+    /// `{prefix}.ingest.*` / `{prefix}.scan.*`, and declares the counter
+    /// partition laws as checkable invariants. The invariants hold at
+    /// quiescence (no accepted-but-unapplied work) — after
+    /// [`shutdown`](SnapshotService::shutdown), or whenever both queue
+    /// families are drained:
+    ///
+    /// * every accepted submission resolves (`ingest.ok == ingest.resolved`);
+    /// * every submitted write is applied or coalesced away
+    ///   (`ingest.writes == ingest.writes_applied + ingest.writes_coalesced`);
+    /// * every accepted scan is served by exactly one of the backing, cache,
+    ///   or empty paths (`scan.ok == scan.served_backing + scan.served_cache
+    ///   + scan.served_empty`).
+    pub fn register_obs(&self, registry: &Registry, prefix: &str) {
+        let c = &self.core.counters;
+        let counters: [(&str, &Arc<Counter>); 17] = [
+            ("ingest.ok", &c.submits_ok),
+            ("ingest.busy", &c.submits_busy),
+            ("ingest.closed", &c.submits_closed),
+            ("ingest.writes", &c.writes_submitted),
+            ("ingest.batches", &c.batches_applied),
+            ("ingest.writes_applied", &c.writes_applied),
+            ("ingest.writes_coalesced", &c.writes_coalesced_away),
+            ("ingest.resolved", &c.submits_resolved),
+            ("scan.ok", &c.scans_ok),
+            ("scan.busy", &c.scans_busy),
+            ("scan.closed", &c.scans_closed),
+            ("scan.served_backing", &c.scans_served_backing),
+            ("scan.served_cache", &c.scans_served_cache),
+            ("scan.served_empty", &c.scans_served_empty),
+            ("scan.backing", &c.backing_scans),
+            ("scan.backing_components", &c.backing_components),
+            ("scan.requested_components", &c.requested_components),
+        ];
+        for (name, counter) in counters {
+            registry.register(
+                &format!("{prefix}.{name}"),
+                Metric::Counter(Arc::clone(counter)),
+            );
+        }
+        registry.register(
+            &format!("{prefix}.ingest.latency_ns"),
+            Metric::Histogram(Arc::clone(&c.submit_latency)),
+        );
+        registry.register(
+            &format!("{prefix}.scan.latency_ns"),
+            Metric::Histogram(Arc::clone(&c.scan_latency)),
+        );
+        registry.register(
+            &format!("{prefix}.ingest.depth"),
+            Metric::Gauge(Arc::clone(&c.ingest_depth)),
+        );
+        registry.register(
+            &format!("{prefix}.scan.depth"),
+            Metric::Gauge(Arc::clone(&c.scan_depth)),
+        );
+        registry.add_invariant(
+            &format!("{prefix}.submits_partition"),
+            &[&format!("{prefix}.ingest.ok")],
+            &[&format!("{prefix}.ingest.resolved")],
+        );
+        registry.add_invariant(
+            &format!("{prefix}.writes_partition"),
+            &[&format!("{prefix}.ingest.writes")],
+            &[
+                &format!("{prefix}.ingest.writes_applied"),
+                &format!("{prefix}.ingest.writes_coalesced"),
+            ],
+        );
+        registry.add_invariant(
+            &format!("{prefix}.scans_partition"),
+            &[&format!("{prefix}.scan.ok")],
+            &[
+                &format!("{prefix}.scan.served_backing"),
+                &format!("{prefix}.scan.served_cache"),
+                &format!("{prefix}.scan.served_empty"),
+            ],
+        );
     }
 
     /// Stops accepting work, drains everything already accepted (resolving
@@ -743,14 +1012,10 @@ where
         });
         match result {
             Ok(()) => {
-                self.core
-                    .counters
-                    .submits_ok
-                    .fetch_add(1, Ordering::Relaxed);
-                self.core
-                    .counters
-                    .writes_submitted
-                    .fetch_add(width, Ordering::Relaxed);
+                self.core.counters.submits_ok.inc();
+                self.core.counters.writes_submitted.add(width);
+                self.core.counters.ingest_depth.inc();
+                trace::emit(TraceKind::QueuePush, 0, self.queue.len() as u64);
                 Ok(Ticket::new(cell))
             }
             Err(e) => {
@@ -758,7 +1023,7 @@ where
                     SubmitError::Busy => &self.core.counters.submits_busy,
                     SubmitError::Closed => &self.core.counters.submits_closed,
                 };
-                counter.fetch_add(1, Ordering::Relaxed);
+                counter.inc();
                 Err(e)
             }
         }
@@ -802,7 +1067,9 @@ where
         });
         match result {
             Ok(()) => {
-                self.core.counters.scans_ok.fetch_add(1, Ordering::Relaxed);
+                self.core.counters.scans_ok.inc();
+                self.core.counters.scan_depth.inc();
+                trace::emit(TraceKind::QueuePush, 1, self.core.scan_queue.len() as u64);
                 Ok(Ticket::new(cell))
             }
             Err(e) => {
@@ -810,7 +1077,7 @@ where
                     SubmitError::Busy => &self.core.counters.scans_busy,
                     SubmitError::Closed => &self.core.counters.scans_closed,
                 };
-                counter.fetch_add(1, Ordering::Relaxed);
+                counter.inc();
                 Err(e)
             }
         }

@@ -36,11 +36,11 @@
 //! bounded scans with one extra fetch&add per scan and a version chain per
 //! register).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use psnap_core::{MvSnapshot, PartialSnapshot};
-use psnap_shmem::{MvStamp, ProcessId, TimestampCamera};
+use psnap_obs::{trace, Counter, Histogram, Metric, Registry, TraceKind};
+use psnap_shmem::{MvStamp, ProcessId, StepScope, TimestampCamera};
 
 use crate::partition::ShardRouter;
 use crate::sharded::ShardConfig;
@@ -58,7 +58,11 @@ pub struct MvShardedSnapshot<T> {
     batches: Arc<Mutex<()>>,
     /// Cross-shard scans served (diagnostics; every one of them is answered
     /// by the one-shot timestamp path — there is no other path to count).
-    stats_cross: AtomicU64,
+    stats_cross: Arc<Counter>,
+    /// Per-shard operation heat (updates, batches, and scans touching it).
+    heat: Vec<Arc<Counter>>,
+    scan_steps: Arc<Histogram>,
+    update_steps: Arc<Histogram>,
     n: usize,
 }
 
@@ -90,12 +94,16 @@ impl<T: Clone + Send + Sync + 'static> MvShardedSnapshot<T> {
                 )
             })
             .collect();
+        let shards = router.shards();
         MvShardedSnapshot {
             router,
             inner,
             camera,
             batches,
-            stats_cross: AtomicU64::new(0),
+            stats_cross: Arc::new(Counter::new()),
+            heat: (0..shards).map(|_| Arc::new(Counter::new())).collect(),
+            scan_steps: Arc::new(Histogram::new()),
+            update_steps: Arc::new(Histogram::new()),
             n: max_processes,
         }
     }
@@ -122,7 +130,38 @@ impl<T: Clone + Send + Sync + 'static> MvShardedSnapshot<T> {
 
     /// Number of cross-shard scans served so far (racy snapshot).
     pub fn cross_shard_scans(&self) -> u64 {
-        self.stats_cross.load(Ordering::Relaxed)
+        self.stats_cross.get()
+    }
+
+    /// Per-shard operation heat: how many update/batch/scan operations have
+    /// touched each shard since construction.
+    pub fn heat(&self) -> Vec<u64> {
+        self.heat.iter().map(|c| c.get()).collect()
+    }
+
+    /// Registers this store's live metric handles into `registry` under
+    /// `{prefix}.*`. The multiversioned path has no scan-outcome partition
+    /// to declare — every cross-shard scan is served by the one-shot
+    /// timestamp path.
+    pub fn register_obs(&self, registry: &Registry, prefix: &str) {
+        registry.register(
+            &format!("{prefix}.scan.cross"),
+            Metric::Counter(Arc::clone(&self.stats_cross)),
+        );
+        registry.register(
+            &format!("{prefix}.scan.steps"),
+            Metric::Histogram(Arc::clone(&self.scan_steps)),
+        );
+        registry.register(
+            &format!("{prefix}.update.steps"),
+            Metric::Histogram(Arc::clone(&self.update_steps)),
+        );
+        for (i, heat) in self.heat.iter().enumerate() {
+            registry.register(
+                &format!("{prefix}.heat.{i}"),
+                Metric::Counter(Arc::clone(heat)),
+            );
+        }
     }
 
     fn validate(&self, pid: ProcessId, components: &[usize]) {
@@ -210,20 +249,34 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<
     fn update(&self, pid: ProcessId, component: usize, value: T) {
         self.validate(pid, &[component]);
         let (shard, slot) = self.router.route(component);
+        self.heat[shard].inc();
+        let scope = psnap_obs::enabled().then(StepScope::start);
         self.inner[shard].update(pid, slot, value);
+        if let Some(scope) = scope {
+            self.update_steps.record(scope.finish().total());
+        }
     }
 
     fn update_many(&self, pid: ProcessId, writes: &[(usize, T)]) {
         let components: Vec<usize> = writes.iter().map(|(c, _)| *c).collect();
         self.validate(pid, &components);
         let by_shard = self.router.group_last_write_wins(writes);
+        let scope = psnap_obs::enabled().then(StepScope::start);
+        for &shard in by_shard.keys() {
+            self.heat[shard].inc();
+        }
         match by_shard.len() {
             0 => return,
             1 => {
                 // Single-shard batch: the inner object's own batch path is
                 // already atomic and takes the shared serializer itself.
                 let (&shard, sub_batch) = by_shard.iter().next().expect("one shard");
-                return self.inner[shard].update_many(pid, sub_batch);
+                self.inner[shard].update_many(pid, sub_batch);
+                trace::emit(TraceKind::BatchCommit, sub_batch.len() as u64, 1);
+                if let Some(scope) = scope {
+                    self.update_steps.record(scope.finish().total());
+                }
+                return;
             }
             _ => {}
         }
@@ -242,6 +295,14 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<
             self.inner[shard].prune_components(&slots);
         }
         drop(serial);
+        trace::emit(
+            TraceKind::BatchCommit,
+            by_shard.values().map(Vec::len).sum::<usize>() as u64,
+            by_shard.len() as u64,
+        );
+        if let Some(scope) = scope {
+            self.update_steps.record(scope.finish().total());
+        }
     }
 
     fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T> {
@@ -249,7 +310,11 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<
         if components.is_empty() {
             return Vec::new();
         }
+        let scope = psnap_obs::enabled().then(StepScope::start);
         let plan = self.router.plan(components);
+        for (shard, _) in &plan.groups {
+            self.heat[*shard].inc();
+        }
         if !plan.is_cross_shard() {
             // Locality fast path: one inner scan — which is itself the
             // one-shot announce/tick/read protocol, no validation needed
@@ -258,9 +323,12 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<
             // against them).
             let (shard, ref slots) = plan.groups[0];
             let values = self.inner[shard].scan(pid, slots);
+            if let Some(scope) = scope {
+                self.scan_steps.record(scope.finish().total());
+            }
             return plan.assemble(&[values]);
         }
-        self.stats_cross.fetch_add(1, Ordering::Relaxed);
+        self.stats_cross.inc();
         // Announce on every involved shard *before* drawing the timestamp:
         // each announcement lower-bounds `s`, keeping every shard's pruners
         // away from the versions this scan may select.
@@ -268,6 +336,7 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<
             self.inner[shard].announce_scan(pid);
         }
         let s = self.camera.tick();
+        trace::emit(TraceKind::ScanAnnounce, s, plan.groups.len() as u64);
         let results: Vec<Vec<T>> = plan
             .groups
             .iter()
@@ -275,6 +344,9 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<
             .collect();
         for &(shard, _) in &plan.groups {
             self.inner[shard].clear_announcement(pid);
+        }
+        if let Some(scope) = scope {
+            self.scan_steps.record(scope.finish().total());
         }
         plan.assemble(&results)
     }
@@ -290,6 +362,10 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<
     fn name(&self) -> &'static str {
         "mv-sharded-partial-snapshot"
     }
+
+    fn shard_heat(&self) -> Vec<u64> {
+        self.heat()
+    }
 }
 
 #[cfg(test)]
@@ -297,7 +373,7 @@ mod tests {
     use super::*;
     use crate::Partition;
     use psnap_shmem::StepScope;
-    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::thread;
 
     fn mv_sharded(m: usize, n: usize, shards: usize) -> MvShardedSnapshot<u64> {

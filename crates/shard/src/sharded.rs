@@ -71,11 +71,12 @@
 //! a final state no serialization explains.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use psnap_core::PartialSnapshot;
+use psnap_obs::{trace, Counter, Histogram, Metric, Registry, TraceKind};
 use psnap_shmem::steps::{self, OpKind};
-use psnap_shmem::ProcessId;
+use psnap_shmem::{ProcessId, StepScope};
 
 use crate::partition::{Partition, ScanPlan, ShardRouter};
 
@@ -232,10 +233,19 @@ pub struct ShardedSnapshot<T, S> {
     /// opposite orders on different shards, leaving a final state no
     /// serialization produces.
     batch_lock: Mutex<()>,
-    stats_clean: AtomicU64,
-    stats_retried: AtomicU64,
-    stats_retries: AtomicU64,
-    stats_coordinated: AtomicU64,
+    stats_clean: Arc<Counter>,
+    stats_retried: Arc<Counter>,
+    stats_retries: Arc<Counter>,
+    stats_coordinated: Arc<Counter>,
+    /// Total cross-shard scans (the whole the three outcome counters
+    /// partition), so the partition is checkable as a registry invariant.
+    stats_cross: Arc<Counter>,
+    /// Per-shard operation heat: updates and sub-scans routed to each shard
+    /// (the signal online resharding needs).
+    heat: Vec<Arc<Counter>>,
+    /// Base-object steps per scan / per update family, via [`StepScope`].
+    scan_steps: Arc<Histogram>,
+    update_steps: Arc<Histogram>,
     max_retries: usize,
     n: usize,
     _values: std::marker::PhantomData<fn() -> T>,
@@ -276,6 +286,9 @@ where
             })
             .collect();
         let epochs = (0..router.shards()).map(|_| ShardEpoch::new()).collect();
+        let heat = (0..router.shards())
+            .map(|_| Arc::new(Counter::new()))
+            .collect();
         ShardedSnapshot {
             router,
             inner,
@@ -283,10 +296,14 @@ where
             coord_waiters: AtomicU64::new(0),
             coord_latch: RwLock::new(()),
             batch_lock: Mutex::new(()),
-            stats_clean: AtomicU64::new(0),
-            stats_retried: AtomicU64::new(0),
-            stats_retries: AtomicU64::new(0),
-            stats_coordinated: AtomicU64::new(0),
+            stats_clean: Arc::new(Counter::new()),
+            stats_retried: Arc::new(Counter::new()),
+            stats_retries: Arc::new(Counter::new()),
+            stats_coordinated: Arc::new(Counter::new()),
+            stats_cross: Arc::new(Counter::new()),
+            heat,
+            scan_steps: Arc::new(Histogram::new()),
+            update_steps: Arc::new(Histogram::new()),
             max_retries: config.max_optimistic_retries,
             n: max_processes,
             _values: std::marker::PhantomData,
@@ -311,11 +328,66 @@ where
     /// Snapshot of the scan-path counters.
     pub fn coordination_stats(&self) -> CoordinationStats {
         CoordinationStats {
-            clean_scans: self.stats_clean.load(Ordering::Relaxed),
-            retried_scans: self.stats_retried.load(Ordering::Relaxed),
-            optimistic_retries: self.stats_retries.load(Ordering::Relaxed),
-            coordinated_scans: self.stats_coordinated.load(Ordering::Relaxed),
+            clean_scans: self.stats_clean.get(),
+            retried_scans: self.stats_retried.get(),
+            optimistic_retries: self.stats_retries.get(),
+            coordinated_scans: self.stats_coordinated.get(),
         }
+    }
+
+    /// Registers this store's live metric handles into `registry` under
+    /// `{prefix}.*`, and declares the scan-outcome partition (`clean +
+    /// retried + coordinated == cross`) as a checkable invariant.
+    pub fn register_obs(&self, registry: &Registry, prefix: &str) {
+        registry.register(
+            &format!("{prefix}.scan.clean"),
+            Metric::Counter(Arc::clone(&self.stats_clean)),
+        );
+        registry.register(
+            &format!("{prefix}.scan.retried"),
+            Metric::Counter(Arc::clone(&self.stats_retried)),
+        );
+        registry.register(
+            &format!("{prefix}.scan.retries"),
+            Metric::Counter(Arc::clone(&self.stats_retries)),
+        );
+        registry.register(
+            &format!("{prefix}.scan.coordinated"),
+            Metric::Counter(Arc::clone(&self.stats_coordinated)),
+        );
+        registry.register(
+            &format!("{prefix}.scan.cross"),
+            Metric::Counter(Arc::clone(&self.stats_cross)),
+        );
+        registry.register(
+            &format!("{prefix}.scan.steps"),
+            Metric::Histogram(Arc::clone(&self.scan_steps)),
+        );
+        registry.register(
+            &format!("{prefix}.update.steps"),
+            Metric::Histogram(Arc::clone(&self.update_steps)),
+        );
+        for (i, heat) in self.heat.iter().enumerate() {
+            registry.register(
+                &format!("{prefix}.heat.{i}"),
+                Metric::Counter(Arc::clone(heat)),
+            );
+        }
+        let clean = format!("{prefix}.scan.clean");
+        let retried = format!("{prefix}.scan.retried");
+        let coordinated = format!("{prefix}.scan.coordinated");
+        let cross = format!("{prefix}.scan.cross");
+        registry.add_invariant(
+            &format!("{prefix}.scan_outcomes_partition"),
+            &[&clean, &retried, &coordinated],
+            &[&cross],
+        );
+    }
+
+    /// Per-shard operation heat: how many update/batch/scan operations have
+    /// touched each shard since construction.
+    pub fn heat(&self) -> Vec<u64> {
+        self.heat.iter().map(|c| c.get()).collect()
     }
 
     fn validate(&self, pid: ProcessId, components: &[usize]) {
@@ -374,7 +446,7 @@ where
     /// keep validating until the bounded set of straggler updates has
     /// drained.
     fn coordinated_scan(&self, pid: ProcessId, plan: &ScanPlan) -> Vec<T> {
-        self.stats_coordinated.fetch_add(1, Ordering::Relaxed);
+        self.stats_coordinated.inc();
         self.coord_waiters.fetch_add(1, Ordering::SeqCst);
         let latch = self.coord_latch.write().unwrap_or_else(|e| e.into_inner());
         let result = loop {
@@ -408,6 +480,8 @@ where
     fn update(&self, pid: ProcessId, component: usize, value: T) {
         self.validate(pid, &[component]);
         let (shard, slot) = self.router.route(component);
+        self.heat[shard].inc();
+        let scope = psnap_obs::enabled().then(StepScope::start);
         // Fast path: one flag read. Slow path (a coordinated scan is waiting
         // or running): enter the read side of the latch so the scan's
         // straggler set stays bounded.
@@ -425,11 +499,15 @@ where
         e.epoch.fetch_add(1, Ordering::SeqCst);
         steps::record(OpKind::FetchInc);
         e.writers.fetch_sub(1, Ordering::SeqCst);
+        if let Some(scope) = scope {
+            self.update_steps.record(scope.finish().total());
+        }
     }
 
     fn update_many(&self, pid: ProcessId, writes: &[(usize, T)]) {
         let components: Vec<usize> = writes.iter().map(|(c, _)| *c).collect();
         self.validate(pid, &components);
+        let scope = psnap_obs::enabled().then(StepScope::start);
         // Resolve duplicates last-write-wins and group by shard (shared
         // router helper, so both sharded stores keep identical semantics).
         let by_shard = self.router.group_last_write_wins(writes);
@@ -451,6 +529,9 @@ where
         } else {
             None
         };
+        for &shard in by_shard.keys() {
+            self.heat[shard].inc();
+        }
         if by_shard.len() == 1 {
             // Single-shard batch: the inner object's own `update_many` makes
             // it atomic on that shard; bracket it exactly like an update so
@@ -464,6 +545,10 @@ where
             e.epoch.fetch_add(1, Ordering::SeqCst);
             steps::record(OpKind::FetchInc);
             e.writers.fetch_sub(1, Ordering::SeqCst);
+            trace::emit(TraceKind::BatchCommit, total as u64, 1);
+            if let Some(scope) = scope {
+                self.update_steps.record(scope.finish().total());
+            }
             return;
         }
         // Cross-shard batch, two-phase. Phase 1 raises `writers` (cross-shard
@@ -498,6 +583,10 @@ where
             e.batch_writers.fetch_sub(1, Ordering::SeqCst);
         }
         drop(serial);
+        trace::emit(TraceKind::BatchCommit, total as u64, by_shard.len() as u64);
+        if let Some(scope) = scope {
+            self.update_steps.record(scope.finish().total());
+        }
     }
 
     fn scan(&self, pid: ProcessId, components: &[usize]) -> Vec<T> {
@@ -505,7 +594,11 @@ where
         if components.is_empty() {
             return Vec::new();
         }
+        let scope = psnap_obs::enabled().then(StepScope::start);
         let plan = self.router.plan(components);
+        for (shard, _) in &plan.groups {
+            self.heat[*shard].inc();
+        }
         if !plan.is_cross_shard() {
             // Locality fast path: the inner object's linearizability covers a
             // single-shard scan against updates and same-shard batches, so no
@@ -534,6 +627,9 @@ where
                 let after = e.batch_epoch.load(Ordering::SeqCst);
                 steps::record(OpKind::Read);
                 if e.batch_writers.load(Ordering::SeqCst) == 0 && before == after {
+                    if let Some(scope) = scope {
+                        self.scan_steps.record(scope.finish().total());
+                    }
                     return plan.assemble(&[values]);
                 }
             }
@@ -541,22 +637,30 @@ where
         // Every cross-shard scan increments exactly one of the clean /
         // retried / coordinated counters; `stats_retries` separately counts
         // the failed rounds themselves (diagnostics, not a scan count).
+        self.stats_cross.inc();
         for round in 0..=self.max_retries {
             if let Some(values) = self.optimistic_round(pid, &plan) {
                 if round == 0 {
-                    self.stats_clean.fetch_add(1, Ordering::Relaxed);
+                    self.stats_clean.inc();
                 } else {
-                    self.stats_retried.fetch_add(1, Ordering::Relaxed);
-                    self.stats_retries
-                        .fetch_add(round as u64, Ordering::Relaxed);
+                    self.stats_retried.inc();
+                    self.stats_retries.add(round as u64);
+                }
+                if let Some(scope) = scope {
+                    self.scan_steps.record(scope.finish().total());
                 }
                 return values;
             }
+            trace::emit(TraceKind::ScanRetry, round as u64, 0);
         }
         // All max_retries + 1 optimistic rounds failed.
-        self.stats_retries
-            .fetch_add(self.max_retries as u64 + 1, Ordering::Relaxed);
-        self.coordinated_scan(pid, &plan)
+        self.stats_retries.add(self.max_retries as u64 + 1);
+        trace::emit(TraceKind::ScanFallback, self.max_retries as u64 + 1, 0);
+        let values = self.coordinated_scan(pid, &plan);
+        if let Some(scope) = scope {
+            self.scan_steps.record(scope.finish().total());
+        }
+        values
     }
 
     fn is_wait_free(&self) -> bool {
@@ -575,6 +679,10 @@ where
 
     fn name(&self) -> &'static str {
         "sharded-partial-snapshot"
+    }
+
+    fn shard_heat(&self) -> Vec<u64> {
+        self.heat()
     }
 }
 

@@ -293,6 +293,8 @@ unsafe fn retire_with<T: Send + 'static>(p: &Participant, ptr: *mut T) {
     fence(Ordering::SeqCst);
     // The tag is not stored: membership in bag `tag % BAGS` encodes it.
     let retired_at = GLOBAL_EPOCH.load(Ordering::SeqCst);
+    crate::metrics::epoch_retired().inc();
+    crate::metrics::epoch_bag_items().inc();
     let item = Garbage {
         ptr: ptr.cast::<()>(),
         drop_fn: drop_boxed::<T>,
@@ -320,13 +322,21 @@ fn try_advance() -> u64 {
         if claimed.load(Ordering::Acquire) {
             let e = SLOT_EPOCH[slot].0.load(Ordering::SeqCst);
             if e != 0 && e != g {
+                // A pinned straggler defers this round of reclamation.
+                crate::metrics::epoch_deferrals().inc();
                 return g;
             }
         }
     }
     fence(Ordering::SeqCst);
     // A lost race means someone else advanced; either way the epoch moved.
-    let _ = GLOBAL_EPOCH.compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst);
+    if GLOBAL_EPOCH
+        .compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        crate::metrics::epoch_advances().inc();
+        psnap_obs::trace::emit(psnap_obs::TraceKind::EpochAdvance, g + 1, 0);
+    }
     GLOBAL_EPOCH.load(Ordering::SeqCst)
 }
 
@@ -345,6 +355,12 @@ fn take_eligible_bag(bags: &mut [Vec<Garbage>; BAGS], epoch_now: u64) -> Vec<Gar
 }
 
 fn free_bag(bag: Vec<Garbage>) {
+    let freed = bag.len() as u64;
+    if freed > 0 {
+        crate::metrics::epoch_freed().add(freed);
+        crate::metrics::epoch_bag_items().sub(freed as i64);
+        crate::metrics::epoch_freed_per_collect().record(freed);
+    }
     for item in bag {
         // Safety: the epoch condition of the module-level argument holds.
         unsafe { item.free() };

@@ -63,6 +63,7 @@
 pub mod chaos;
 pub mod epoch;
 pub mod fetch_inc;
+pub mod metrics;
 pub mod mv;
 pub mod process;
 pub mod rwlock_cell;

@@ -233,6 +233,8 @@ impl MvStamp {
                 .compare_exchange(cur, encode_final(t), Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
+                crate::metrics::mv_help_finalized().inc();
+                psnap_obs::trace::emit(psnap_obs::TraceKind::HelpFinalize, t, 0);
                 return Some(t);
             }
         }
@@ -270,6 +272,8 @@ impl MvStamp {
                     .is_ok()
                 {
                     debug_assert!(t > s);
+                    crate::metrics::mv_help_finalized().inc();
+                    psnap_obs::trace::emit(psnap_obs::TraceKind::HelpFinalize, t, 0);
                     return None;
                 }
                 continue;
@@ -334,6 +338,8 @@ impl<T: Send + Sync + 'static> MvRegister<T> {
             stamp: MvStamp::finalized(0),
             next: AtomicPtr::new(std::ptr::null_mut()),
         }));
+        crate::metrics::mv_installed().inc();
+        crate::metrics::mv_live_versions().inc();
         MvRegister {
             head: AtomicPtr::new(node),
             pruner: AtomicBool::new(false),
@@ -363,7 +369,11 @@ impl<T: Send + Sync + 'static> MvRegister<T> {
             .head
             .compare_exchange(cur, node, Ordering::AcqRel, Ordering::Acquire)
         {
-            Ok(_) => Ok(()),
+            Ok(_) => {
+                crate::metrics::mv_installed().inc();
+                crate::metrics::mv_live_versions().inc();
+                Ok(())
+            }
             Err(winner) => {
                 // Never published: free directly.
                 // Safety: `node` was allocated above and never shared;
@@ -395,7 +405,11 @@ impl<T: Send + Sync + 'static> MvRegister<T> {
                 .head
                 .compare_exchange(expected, node, Ordering::AcqRel, Ordering::Acquire)
             {
-                Ok(_) => return,
+                Ok(_) => {
+                    crate::metrics::mv_installed().inc();
+                    crate::metrics::mv_live_versions().inc();
+                    return;
+                }
                 Err(winner) => unsafe { &*node }.next.store(winner, Ordering::Relaxed),
             }
         }
@@ -527,9 +541,11 @@ impl<T: Send + Sync + 'static> MvRegister<T> {
             .filter_map(|(_, t)| *t)
             .filter(|t| *t <= oldest)
             .max();
+        crate::metrics::mv_chain_len().record(chain.len() as u64);
         // Pass 2: unlink dead versions. `kept` tracks the last kept node,
         // whose `next` skips over everything unlinked since.
         let mut seen_ts: Vec<u64> = Vec::with_capacity(chain.len());
+        let mut unlinked = 0u64;
         let mut kept = chain[0].0;
         if let Some(t) = chain[0].1 {
             seen_ts.push(t);
@@ -547,6 +563,7 @@ impl<T: Send + Sync + 'static> MvRegister<T> {
             if dead {
                 let next = unsafe { &*ptr }.next.load(Ordering::Acquire);
                 unsafe { &*kept }.next.store(next, Ordering::Release);
+                unlinked += 1;
                 // Safety: unlinked above, never retired twice.
                 unsafe { epoch::retire(ptr) };
             } else {
@@ -557,6 +574,16 @@ impl<T: Send + Sync + 'static> MvRegister<T> {
             }
         }
         self.pruner.store(false, Ordering::Release);
+        crate::metrics::mv_pruned_per_call().record(unlinked);
+        if unlinked > 0 {
+            crate::metrics::mv_unlinked().add(unlinked);
+            crate::metrics::mv_live_versions().sub(unlinked as i64);
+            psnap_obs::trace::emit(
+                psnap_obs::TraceKind::Prune,
+                unlinked,
+                (chain.len() as u64).saturating_sub(unlinked),
+            );
+        }
     }
 }
 
@@ -566,11 +593,14 @@ impl<T> Drop for MvRegister<T> {
         // went through `epoch::retire` already and are not reachable from
         // the head.
         let mut cur = *self.head.get_mut();
+        let mut freed = 0i64;
         while !cur.is_null() {
             // Safety: exclusively owned chain nodes, freed exactly once.
             let node = unsafe { Box::from_raw(cur) };
             cur = node.next.load(Ordering::Relaxed);
+            freed += 1;
         }
+        crate::metrics::mv_live_versions().sub(freed);
     }
 }
 

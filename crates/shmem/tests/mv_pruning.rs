@@ -219,6 +219,70 @@ proptest! {
     }
 }
 
+/// The observability satellite of the pruning contract: the process-global
+/// `shmem.mv.*` metrics must account this test's installs, its prune's
+/// observed chain length and its unlinks. Other tests in this binary hit
+/// the same global handles concurrently, so every assertion is a monotone
+/// (`>=`) delta or a value this test alone can only push upward — never an
+/// exact equality a parallel test could falsify.
+#[test]
+fn prune_metrics_account_chain_length_and_unlinks() {
+    use psnap_shmem::metrics;
+    let installed_before = metrics::mv_installed().get();
+    let unlinked_before = metrics::mv_unlinked().get();
+    let chain_before = metrics::mv_chain_len().snapshot();
+    let pruned_before = metrics::mv_pruned_per_call().snapshot();
+
+    let camera = TimestampCamera::new();
+    let reg = MvRegister::new(0u64);
+    const WRITES: u64 = 50;
+    for tag in 1..=WRITES {
+        let stamp = MvStamp::pending_single();
+        reg.install(Arc::new(tag), stamp.clone());
+        stamp.finalize(&camera);
+    }
+    assert_eq!(reg.chain_len() as u64, WRITES + 1);
+    // No pinned readers: the camera is the only live bound, so an effective
+    // prune keeps exactly one finalized version — the efficiency half of
+    // the headline `pins + 1` bound.
+    reg.prune(&[camera.timestamp()]);
+    assert_eq!(
+        reg.chain_len(),
+        1,
+        "one bound must keep exactly one version"
+    );
+
+    assert!(
+        metrics::mv_installed().get() - installed_before >= WRITES,
+        "every install must be counted"
+    );
+    assert!(
+        metrics::mv_unlinked().get() - unlinked_before >= WRITES,
+        "the prune unlinked {WRITES} versions"
+    );
+    let chain = metrics::mv_chain_len().snapshot();
+    assert!(
+        chain.count > chain_before.count,
+        "an effective prune records the chain length it found"
+    );
+    assert!(
+        chain.max > WRITES,
+        "the histogram saw this test's {}-long chain (max {})",
+        WRITES + 1,
+        chain.max
+    );
+    let pruned = metrics::mv_pruned_per_call().snapshot();
+    assert!(pruned.count > pruned_before.count);
+    assert!(
+        pruned.max >= WRITES,
+        "the histogram saw this test's {WRITES}-version prune (max {})",
+        pruned.max
+    );
+    // The live-version gauge still covers this register's surviving chain:
+    // nothing else can decrement our contribution.
+    assert!(metrics::mv_live_versions().get() >= reg.chain_len() as i64);
+}
+
 /// Concurrent companion to the proptest: writers overwrite and prune while
 /// readers hold announced timestamps and re-read them, with payload
 /// verification on every read — the racy version of "no pinned version is

@@ -1,0 +1,146 @@
+//! Quickstart for the observability layer (`psnap-obs`).
+//!
+//! One registry, every tier: the process-wide epoch/multiversion metrics,
+//! the sharded store's scan-outcome counters and per-shard heat, and the
+//! service frontend's queue gauges and latency histograms all register
+//! their *live* handles into a single `Registry`, whose partition
+//! invariants (`accepted == resolved`, `scans == backing + cache + empty`,
+//! ...) are checked at the end. Trace collection — off by default, it is a
+//! debugging tool, not a production tax — is switched on so the merged
+//! timeline shows one coalesced scan end to end: queue pushes, the drain,
+//! the coalesce, and the per-request serves.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example metrics_quickstart
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use partial_snapshot::obs::{self as obs, Registry, TraceKind};
+use partial_snapshot::serve::{Coalescing, Executor, Freshness, ServiceConfig, SnapshotService};
+use partial_snapshot::shard::{ShardConfig, ShardedSnapshot};
+use partial_snapshot::shmem;
+use partial_snapshot::snapshot::CasPartialSnapshot;
+
+const M: usize = 64;
+const SHARDS: usize = 4;
+const WRITERS: usize = 2;
+const READERS: usize = 4;
+const OPS: usize = 200;
+
+fn main() {
+    // Tracing is opt-in; turn it on before the traffic of interest.
+    obs::set_trace_enabled(true);
+
+    let backing = Arc::new(ShardedSnapshot::with_factory(
+        M,
+        4,
+        0u64,
+        ShardConfig::contiguous(SHARDS),
+        |_, shard_m, shard_n, init| CasPartialSnapshot::new(shard_m, shard_n, init),
+    ));
+    let executor = Executor::new(2);
+    let service = SnapshotService::start(
+        Arc::clone(&backing),
+        ServiceConfig {
+            coalescing: Coalescing::Window(Duration::from_micros(150)),
+            ..ServiceConfig::default()
+        },
+        &executor,
+    );
+
+    // One registry, three tiers of live handles.
+    let registry = Registry::global();
+    shmem::metrics::register_metrics(registry);
+    backing.register_obs(registry, "shard");
+    service.register_obs(registry, "serve");
+
+    // A periodic reporter samples the full ServiceObs while traffic runs.
+    let reporter = service.spawn_stats_reporter(&executor, Duration::from_millis(5), |o| {
+        eprintln!(
+            "[reporter] ingest_depth={} scan_depth={} coalescing={:.2}x heat={:?}",
+            o.ingest_depth, o.scan_depth, o.coalescing_ratio, o.shard_heat
+        );
+    });
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let client = service.client();
+            scope.spawn(move || {
+                for k in 0..OPS {
+                    let component = (k * WRITERS + w) % M;
+                    assert!(client.submit_blocking(component, k as u64 + 1));
+                }
+            });
+        }
+        for r in 0..READERS {
+            let client = service.client();
+            scope.spawn(move || {
+                let window: Vec<usize> = (0..12).map(|i| (r * 5 + i * 3) % M).collect();
+                for k in 0..OPS / 4 {
+                    let freshness = if k % 4 == 0 {
+                        Freshness::Fresh
+                    } else {
+                        Freshness::AtMostStale(Duration::from_millis(1))
+                    };
+                    client
+                        .scan_blocking(&window, freshness)
+                        .expect("service closed");
+                }
+            });
+        }
+    });
+    reporter.stop();
+    service.shutdown();
+
+    // The text exposition: every family, one line per metric.
+    println!("\n=== registry exposition ===");
+    println!("{}", registry.dump_text());
+
+    // At quiescence the declared partitions must balance exactly.
+    registry.assert_invariants();
+    println!("all partition invariants hold");
+
+    // The merged timeline. Find one coalesced backing scan and show its
+    // neighborhood: the queue pushes feeding it, the drain, the coalesce
+    // and the serves it fanned out to.
+    let timeline = obs::trace::drain_timeline();
+    println!(
+        "\n=== trace timeline: {} events ({} dropped to ring overflow) ===",
+        timeline.events.len(),
+        timeline.dropped
+    );
+    let best = timeline
+        .events
+        .iter()
+        .position(|e| e.kind == TraceKind::Coalesce && e.a > 1);
+    match best {
+        Some(i) => {
+            let lo = i.saturating_sub(6);
+            let hi = (i + 6).min(timeline.events.len());
+            println!("one coalesced scan, in context:");
+            for event in &timeline.events[lo..hi] {
+                let marker = if event.kind == TraceKind::Coalesce {
+                    " <-- this backing scan answered several client scans"
+                } else {
+                    ""
+                };
+                println!("  {event}{marker}");
+            }
+        }
+        None => println!("(no multi-request coalesce this run — try more readers)"),
+    }
+
+    let obs_snapshot = service.obs();
+    println!(
+        "\nscan latency p50={}ns p99={}ns over {} scans; coalescing {:.2}x",
+        obs_snapshot.stats.scan_latency.p50,
+        obs_snapshot.stats.scan_latency.p99,
+        obs_snapshot.stats.scan_latency.count,
+        obs_snapshot.coalescing_ratio,
+    );
+    println!("done");
+}

@@ -8,6 +8,7 @@ pub use psnap_bench as bench;
 pub use psnap_core as snapshot;
 pub use psnap_json as json;
 pub use psnap_lincheck as lincheck;
+pub use psnap_obs as obs;
 pub use psnap_serve as serve;
 pub use psnap_shard as shard;
 pub use psnap_shmem as shmem;
