@@ -1704,6 +1704,9 @@ pub fn e11_service_data(effort: Effort) -> E11Data {
                         window_us: match coalescing {
                             Coalescing::Window(w) => w.as_secs_f64() * 1e6,
                             Coalescing::Disabled => 0.0,
+                            // E11 predates the adaptive policy and never uses
+                            // it; E14 sweeps it. Record the cap if it appears.
+                            Coalescing::Adaptive { max } => max.as_secs_f64() * 1e6,
                         },
                         ops_per_sec: measured.ops_per_sec,
                         scan_p50_ns: measured.scan_latency.p50,
@@ -2319,6 +2322,421 @@ pub fn e13_obs_overhead_table(data: &E13Data) -> Table {
     }
 }
 
+/// One grid point of experiment E14: the service frontend under a freshness
+/// mix, one (backend × stale fraction × clients × policy) cell.
+#[derive(Clone, Debug)]
+pub struct E14Point {
+    /// Backend label (`ImplKind::label`).
+    pub backend: &'static str,
+    /// Fraction of client scans issued `AtMostStale` (the rest are Fresh).
+    pub stale_frac: f64,
+    /// Client threads driving the service.
+    pub clients: usize,
+    /// Coalescing policy label: `none`, `window-100us`, `window-400us`,
+    /// `adaptive`.
+    pub mode: &'static str,
+    /// Aggregate client operations per second.
+    pub ops_per_sec: f64,
+    /// Client-observed scan latency percentiles (nanoseconds).
+    pub scan_p50_ns: f64,
+    /// Client-observed scan latency, 99th percentile (nanoseconds).
+    pub scan_p99_ns: f64,
+    /// Scans answered by the three serving tiers.
+    pub served_mv: f64,
+    /// Scans answered from a cached union.
+    pub served_cache: f64,
+    /// Scans answered by a backing scan.
+    pub served_backing: f64,
+    /// Backing union scans actually executed.
+    pub backing_scans: f64,
+    /// `served_mv / (served_mv + served_cache + served_backing)` — the mv
+    /// stale-read hit ratio. 0 on backends without version history.
+    pub mv_hit_ratio: f64,
+    /// Median coalescing-window decision (nanoseconds); 0 under `none`,
+    /// fixed under `window-*`, and whatever the controller chose under
+    /// `adaptive`.
+    pub window_p50_ns: f64,
+    /// This point's throughput over the `none` baseline at the same cell.
+    pub throughput_vs_none: f64,
+    /// For `adaptive` rows: throughput over the **best fixed-window** row of
+    /// the same cell (the tentpole's acceptance bar, ≥ 1 in aggregate).
+    /// 1.0 for every other mode.
+    pub throughput_vs_best_fixed: f64,
+}
+
+/// The raw data behind experiment E14 (also serialized to `BENCH_E14.json`).
+#[derive(Clone, Debug)]
+pub struct E14Data {
+    /// Components of the backing object.
+    pub m: usize,
+    /// Components per scan.
+    pub r: usize,
+    /// Operations per client at each point.
+    pub ops_per_client: usize,
+    /// Staleness bound handed to `AtMostStale` requests (microseconds).
+    pub stale_bound_us: f64,
+    /// One entry per (backend × stale fraction × clients × policy).
+    pub points: Vec<E14Point>,
+}
+
+impl E14Data {
+    /// The experiment description used by the table and the JSON document.
+    pub fn description(&self) -> String {
+        format!(
+            "fast-path scan serving: aggregate throughput and scan p50/p99 vs \
+             client count × coalescing policy × freshness mix (m = {}, r = {}, \
+             every 8th client op an ingested update, scans drawn from 12 \
+             Zipf-popular query shapes, two direct background updaters; \
+             `AtMostStale({}µs)` requests on a fraction of scans, the rest \
+             Fresh; Cas and 4-way multiversioned-sharded backends, the sharded \
+             rows running two parallel scan-server pids). Stale requests are \
+             served cache-first, then from the backend's version chains \
+             (`scan_stale`, a bounded targeted read of only the requested \
+             registers), then by joining the next backing union — on the mv \
+             backend a pure-stale mix therefore executes **zero** backing \
+             scans (mv_hit_ratio + cache absorb everything). The `adaptive` \
+             policy sizes the coalescing window from the observed arrival \
+             rate and backing-scan latency, opening one only past break-even \
+             and dispatching lone requests at an idle server immediately, so \
+             it tracks the best fixed window at every client count \
+             (throughput_vs_best_fixed) without per-deployment tuning.",
+            self.m, self.r, self.stale_bound_us
+        )
+    }
+
+    /// Serializes the data for `BENCH_E14.json`.
+    pub fn to_json(&self) -> psnap_json::Json {
+        use psnap_json::Json;
+        Json::obj([
+            ("experiment", Json::Str("E14".into())),
+            ("description", Json::Str(self.description())),
+            ("m", Json::Num(self.m as f64)),
+            ("r", Json::Num(self.r as f64)),
+            ("ops_per_client", Json::Num(self.ops_per_client as f64)),
+            ("stale_bound_us", Json::Num(self.stale_bound_us)),
+            (
+                "points",
+                Json::arr(self.points.iter().map(|p| {
+                    Json::obj([
+                        ("backend", Json::Str(p.backend.into())),
+                        ("stale_frac", Json::Num(p.stale_frac)),
+                        ("clients", Json::Num(p.clients as f64)),
+                        ("mode", Json::Str(p.mode.into())),
+                        ("ops_per_sec", Json::Num(p.ops_per_sec)),
+                        ("scan_p50_ns", Json::Num(p.scan_p50_ns)),
+                        ("scan_p99_ns", Json::Num(p.scan_p99_ns)),
+                        ("served_mv", Json::Num(p.served_mv)),
+                        ("served_cache", Json::Num(p.served_cache)),
+                        ("served_backing", Json::Num(p.served_backing)),
+                        ("backing_scans", Json::Num(p.backing_scans)),
+                        ("mv_hit_ratio", Json::Num(p.mv_hit_ratio)),
+                        ("window_p50_ns", Json::Num(p.window_p50_ns)),
+                        ("throughput_vs_none", Json::Num(p.throughput_vs_none)),
+                        (
+                            "throughput_vs_best_fixed",
+                            Json::Num(p.throughput_vs_best_fixed),
+                        ),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+struct E14Measured {
+    ops_per_sec: f64,
+    scan_latency: Summary,
+    served_mv: f64,
+    served_cache: f64,
+    served_backing: f64,
+    backing_scans: f64,
+    window_p50_ns: f64,
+}
+
+/// One E14 point: like [`e11_point`] but with a freshness mix — a seeded
+/// coin issues each scan `AtMostStale(bound)` with probability `stale_frac`
+/// — and, on sharded backends, two scan-server pids so disjoint unions run
+/// in parallel.
+#[allow(clippy::too_many_arguments)]
+fn e14_point(
+    kind: ImplKind,
+    m: usize,
+    r: usize,
+    clients: usize,
+    ops: usize,
+    stale_frac: f64,
+    stale_bound: std::time::Duration,
+    scan_pids: usize,
+    coalescing: psnap_serve::Coalescing,
+) -> E14Measured {
+    use psnap_serve::{Executor, Freshness, ServiceConfig, SnapshotService, SubmitError};
+    use psnap_workloads::IndexDist;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let bg_updaters = 2usize;
+    let service_pids = 1 + scan_pids; // drainer + scan-server pool
+    let snapshot = kind.build(m, service_pids + bg_updaters, 0);
+    let stop_bg = Arc::new(AtomicBool::new(false));
+    let bg_handles: Vec<_> = (0..bg_updaters)
+        .map(|u| {
+            let snapshot = Arc::clone(&snapshot);
+            let stop = Arc::clone(&stop_bg);
+            let dist = IndexDist::zipf(m, 0.9);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xE14B6 ^ ((u as u64) << 5));
+                let mut v = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    snapshot.update(ProcessId(service_pids + u), dist.sample(&mut rng), v);
+                    v += 1;
+                }
+            })
+        })
+        .collect();
+    let executor = Executor::new(2 + scan_pids.saturating_sub(1));
+    let service = SnapshotService::start(
+        Arc::clone(&snapshot),
+        ServiceConfig {
+            coalescing,
+            ingest_capacity: 64,
+            scan_capacity: 1024,
+            scan_pids,
+            ..ServiceConfig::default()
+        },
+        &executor,
+    );
+    let dist = IndexDist::zipf(m, 0.9);
+    let queries: Vec<Vec<usize>> = {
+        let mut rng = StdRng::seed_from_u64(0xE140);
+        (0..12).map(|_| dist.sample_set(&mut rng, r)).collect()
+    };
+    let query_popularity = IndexDist::zipf(queries.len(), 1.0);
+    let barrier = std::sync::Barrier::new(clients);
+    let mut scan_latency = Vec::new();
+    let mut longest_wall = std::time::Duration::ZERO;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let client = service.client();
+            let dist = dist.clone();
+            let queries = &queries;
+            let query_popularity = query_popularity.clone();
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xE14 ^ ((c as u64) << 11));
+                let mut scans = Vec::with_capacity(ops);
+                barrier.wait();
+                let t_start = std::time::Instant::now();
+                for k in 0..ops {
+                    if k % 8 == 0 {
+                        let component = dist.sample(&mut rng);
+                        loop {
+                            match client.submit(component, (k as u64) << 8 | c as u64) {
+                                Ok(ticket) => {
+                                    ticket.wait();
+                                    break;
+                                }
+                                Err(SubmitError::Busy) => std::thread::yield_now(),
+                                Err(SubmitError::Closed) => panic!("service closed mid-run"),
+                            }
+                        }
+                    } else {
+                        let components = queries[query_popularity.sample(&mut rng)].clone();
+                        let freshness = if rng.gen_bool(stale_frac) {
+                            Freshness::AtMostStale(stale_bound)
+                        } else {
+                            Freshness::Fresh
+                        };
+                        let t0 = std::time::Instant::now();
+                        loop {
+                            match client.scan(components.clone(), freshness) {
+                                Ok(ticket) => {
+                                    let values = ticket.wait();
+                                    debug_assert_eq!(values.len(), components.len());
+                                    break;
+                                }
+                                Err(SubmitError::Busy) => std::thread::yield_now(),
+                                Err(SubmitError::Closed) => panic!("service closed mid-run"),
+                            }
+                        }
+                        scans.push(t0.elapsed().as_nanos() as f64);
+                    }
+                }
+                (scans, t_start.elapsed())
+            }));
+        }
+        for h in handles {
+            let (scans, wall) = h.join().expect("E14 client panicked");
+            scan_latency.extend(scans);
+            longest_wall = longest_wall.max(wall);
+        }
+    });
+    stop_bg.store(true, Ordering::Relaxed);
+    for h in bg_handles {
+        h.join().expect("E14 background updater panicked");
+    }
+    let stats = service.stats();
+    service.shutdown();
+    E14Measured {
+        ops_per_sec: if longest_wall.is_zero() {
+            0.0
+        } else {
+            (clients * ops) as f64 / longest_wall.as_secs_f64()
+        },
+        scan_latency: Summary::of(&scan_latency),
+        served_mv: stats.scans_served_mv as f64,
+        served_cache: stats.scans_served_cache as f64,
+        served_backing: stats.scans_served_backing as f64,
+        backing_scans: stats.backing_scans as f64,
+        window_p50_ns: stats.window_ns.p50 as f64,
+    }
+}
+
+/// Runs the E14 measurement: the freshness-mix × coalescing-policy grid on
+/// the Cas and multiversioned-sharded backends.
+pub fn e14_fastpath_data(effort: Effort) -> E14Data {
+    use psnap_serve::Coalescing;
+    let m = 256;
+    let r = 16;
+    let ops = effort.ops;
+    let stale_bound = std::time::Duration::from_micros(500);
+    let modes: [(&'static str, Coalescing); 4] = [
+        ("none", Coalescing::Disabled),
+        (
+            "window-100us",
+            Coalescing::Window(std::time::Duration::from_micros(100)),
+        ),
+        (
+            "window-400us",
+            Coalescing::Window(std::time::Duration::from_micros(400)),
+        ),
+        ("adaptive", Coalescing::adaptive()),
+    ];
+    let mut points = Vec::new();
+    for (backend, kind, scan_pids) in [
+        ("fig3-cas", ImplKind::Cas, 1usize),
+        ("mv-sharded-k4", ImplKind::MV_SHARDED_4, 2usize),
+    ] {
+        for stale_frac in [0.0f64, 0.5, 1.0] {
+            for clients in [2usize, 8] {
+                let mut none_tput: Option<f64> = None;
+                let mut best_fixed = 0.0f64;
+                let mut cell = Vec::new();
+                for (mode, coalescing) in modes {
+                    let measured = e14_point(
+                        kind,
+                        m,
+                        r,
+                        clients,
+                        ops,
+                        stale_frac,
+                        stale_bound,
+                        scan_pids,
+                        coalescing,
+                    );
+                    let base = *none_tput.get_or_insert(measured.ops_per_sec);
+                    if mode.starts_with("window") {
+                        best_fixed = best_fixed.max(measured.ops_per_sec);
+                    }
+                    let served =
+                        measured.served_mv + measured.served_cache + measured.served_backing;
+                    cell.push(E14Point {
+                        backend,
+                        stale_frac,
+                        clients,
+                        mode,
+                        ops_per_sec: measured.ops_per_sec,
+                        scan_p50_ns: measured.scan_latency.p50,
+                        scan_p99_ns: measured.scan_latency.p99,
+                        served_mv: measured.served_mv,
+                        served_cache: measured.served_cache,
+                        served_backing: measured.served_backing,
+                        backing_scans: measured.backing_scans,
+                        mv_hit_ratio: if served > 0.0 {
+                            measured.served_mv / served
+                        } else {
+                            0.0
+                        },
+                        window_p50_ns: measured.window_p50_ns,
+                        throughput_vs_none: if base > 0.0 {
+                            measured.ops_per_sec / base
+                        } else {
+                            0.0
+                        },
+                        throughput_vs_best_fixed: 1.0,
+                    });
+                }
+                for p in &mut cell {
+                    if p.mode == "adaptive" && best_fixed > 0.0 {
+                        p.throughput_vs_best_fixed = p.ops_per_sec / best_fixed;
+                    }
+                }
+                points.extend(cell);
+            }
+        }
+    }
+    E14Data {
+        m,
+        r,
+        ops_per_client: ops,
+        stale_bound_us: stale_bound.as_secs_f64() * 1e6,
+        points,
+    }
+}
+
+/// E14 — fast-path scan serving: stale tiers and the adaptive window.
+pub fn e14_fastpath(effort: Effort) -> Table {
+    e14_fastpath_table(&e14_fastpath_data(effort))
+}
+
+/// Renders already-measured E14 data as a table (lets the harness emit the
+/// markdown table and `BENCH_E14.json` from one measurement run).
+pub fn e14_fastpath_table(data: &E14Data) -> Table {
+    let rows = data
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.backend.to_string(),
+                format!("{:.0}%", p.stale_frac * 100.0),
+                p.clients.to_string(),
+                p.mode.to_string(),
+                format!("{:.0}", p.ops_per_sec / 1000.0),
+                format!("{:.1}", p.scan_p50_ns / 1000.0),
+                format!("{:.1}", p.scan_p99_ns / 1000.0),
+                format!("{:.2}", p.mv_hit_ratio),
+                format!("{:.0}", p.backing_scans),
+                format!("{:.1}", p.window_p50_ns / 1000.0),
+                format!("{:.2}x", p.throughput_vs_none),
+                if p.mode == "adaptive" {
+                    format!("{:.2}x", p.throughput_vs_best_fixed)
+                } else {
+                    "—".into()
+                },
+            ]
+        })
+        .collect();
+    Table {
+        id: "E14".into(),
+        title: data.description(),
+        headers: vec![
+            "backend".into(),
+            "stale".into(),
+            "clients".into(),
+            "mode".into(),
+            "client kops/s".into(),
+            "scan p50 µs".into(),
+            "scan p99 µs".into(),
+            "mv hit ratio".into(),
+            "backing scans".into(),
+            "window p50 µs".into(),
+            "vs none".into(),
+            "vs best fixed".into(),
+        ],
+        rows,
+    }
+}
+
 /// Runs an experiment by id. Returns `None` for an unknown id.
 pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -2335,13 +2753,14 @@ pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
         "E11" => Some(e11_service(effort)),
         "E12" => Some(e12_multiversion(effort)),
         "E13" => Some(e13_obs_overhead(effort)),
+        "E14" => Some(e14_fastpath(effort)),
         _ => None,
     }
 }
 
 /// All experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
-    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+pub const ALL_EXPERIMENTS: [&str; 14] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
 ];
 
 #[cfg(test)]
@@ -2594,6 +3013,66 @@ mod tests {
             .and_then(psnap_json::Json::as_array)
             .unwrap();
         assert_eq!(points.len(), 6);
+        let text = json.to_string_pretty();
+        assert_eq!(psnap_json::Json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn e14_smoke_json_shape_and_stale_fastpath_skips_backing_scans() {
+        let data = e14_fastpath_data(Effort { ops: 32 });
+        // 2 backends × 3 stale fractions × 2 client counts × 4 modes.
+        assert_eq!(data.points.len(), 48);
+        assert!(data.points.iter().all(|p| p.ops_per_sec > 0.0));
+        // The acceptance bar of the fast-path tentpole, host-independent
+        // half: on the multiversioned backend a pure-stale mix is absorbed
+        // entirely by the mv and cache tiers — zero backing union scans —
+        // and the mv tier does real work. Version-history-free backends
+        // never report mv service.
+        for p in data
+            .points
+            .iter()
+            .filter(|p| p.backend == "mv-sharded-k4" && p.stale_frac == 1.0)
+        {
+            assert_eq!(p.backing_scans, 0.0, "{p:?}");
+            assert_eq!(p.served_backing, 0.0, "{p:?}");
+            assert!(p.mv_hit_ratio > 0.0, "{p:?}");
+        }
+        for p in data.points.iter().filter(|p| p.backend == "fig3-cas") {
+            assert_eq!(p.served_mv, 0.0, "{p:?}");
+            assert_eq!(p.mv_hit_ratio, 0.0, "{p:?}");
+        }
+        // Baselines are their own reference point.
+        for p in data.points.iter().filter(|p| p.mode == "none") {
+            assert!((p.throughput_vs_none - 1.0).abs() < 1e-9, "{p:?}");
+        }
+        // The wall-clock half (adaptive tracks the best fixed window) is
+        // asserted loosely — this is a tiny smoke run on an arbitrary CI
+        // host; the full-effort BENCH_E14.json records the strict sweep.
+        let adaptive: Vec<_> = data
+            .points
+            .iter()
+            .filter(|p| p.mode == "adaptive")
+            .collect();
+        assert_eq!(adaptive.len(), 12);
+        assert!(adaptive.iter().all(|p| p.throughput_vs_best_fixed > 0.0));
+        assert!(
+            adaptive.iter().any(|p| p.throughput_vs_best_fixed >= 1.0),
+            "adaptive never reached the best fixed window: {adaptive:?}"
+        );
+        assert!(data
+            .points
+            .iter()
+            .all(|p| p.scan_p99_ns >= p.scan_p50_ns && p.scan_p50_ns > 0.0));
+        let json = data.to_json();
+        assert_eq!(
+            json.get("experiment").and_then(psnap_json::Json::as_str),
+            Some("E14")
+        );
+        let points = json
+            .get("points")
+            .and_then(psnap_json::Json::as_array)
+            .unwrap();
+        assert_eq!(points.len(), 48);
         let text = json.to_string_pretty();
         assert_eq!(psnap_json::Json::parse(&text).unwrap(), json);
     }

@@ -150,11 +150,14 @@ impl<T: Clone + Send + Sync + 'static> MvSnapshot<T> {
     /// timestamp is drawn — the announced value is a lower bound on it, and
     /// the ordering is what keeps pruners from detaching the scan's
     /// versions. Cross-shard scans announce on every involved shard first,
-    /// then tick the shared camera once.
-    pub fn announce_scan(&self, pid: ProcessId) {
+    /// then tick the shared camera once. Returns the announced timestamp
+    /// (a lower bound on the `s` the tick will draw), for callers that
+    /// want to reason about or report it.
+    pub fn announce_scan(&self, pid: ProcessId) -> u64 {
         let a = self.camera.timestamp();
         steps::record(OpKind::Write);
         self.announce[pid.index()].store(a, Ordering::SeqCst);
+        a
     }
 
     /// Clears `pid`'s scan announcement (one write).
@@ -380,12 +383,35 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvSnapshot<T> {
         if components.is_empty() {
             return Vec::new();
         }
-        self.announce_scan(pid);
+        let _ = self.announce_scan(pid);
         let s = self.camera.tick();
         psnap_obs::trace::emit(psnap_obs::TraceKind::ScanAnnounce, s, 1);
         let values = self.scan_at(pid, components, s);
         self.clear_announcement(pid);
         values
+    }
+
+    fn scan_stale(&self, pid: ProcessId, components: &[usize]) -> Option<(u64, Vec<T>)> {
+        validate_args(self.registers.len(), self.n, pid, components);
+        if components.is_empty() {
+            return Some((self.camera.timestamp(), Vec::new()));
+        }
+        // The one-shot scan protocol, returning its timestamp: announce,
+        // tick, read exactly the requested chains, clear. The tick is not
+        // optional even though the caller tolerates staleness: between
+        // ticks every finalized write shares the camera's current value, so
+        // reading at the *announced* value without ticking can include one
+        // same-timestamp write and miss another that was acknowledged
+        // first — a torn cut no serialization explains. Ticking closes the
+        // timestamp (later finalizes draw a larger one), which makes the
+        // cut linearizable at `s` — trivially within any staleness bound —
+        // while still touching only the `r` requested registers.
+        let _ = self.announce_scan(pid);
+        let s = self.camera.tick();
+        psnap_obs::trace::emit(psnap_obs::TraceKind::ScanAnnounce, s, 1);
+        let values = self.scan_at(pid, components, s);
+        self.clear_announcement(pid);
+        Some((s, values))
     }
 
     fn is_wait_free(&self) -> bool {

@@ -75,6 +75,33 @@ pub trait PartialSnapshot<T: Clone + Send + Sync + 'static>: Send + Sync {
     fn shard_heat(&self) -> Vec<u64> {
         Vec::new()
     }
+
+    /// Optional fast path for freshness-relaxed reads: returns the listed
+    /// components as a consistent cut **at an announced timestamp**,
+    /// together with that timestamp.
+    ///
+    /// Multiversioned implementations answer from their version chains in
+    /// a bounded number of their own steps, touching only the `r`
+    /// requested registers — no union amplification, no cache, no
+    /// coordination with other readers — and the returned cut linearizes
+    /// inside the call's interval, so it is legal to serve for any
+    /// staleness bound `d >= 0`. The timestamp lets callers cache the cut
+    /// or annotate histories with the linearization point.
+    /// Implementations without version history return `None` (the
+    /// default) and callers fall back to a cache or a full
+    /// [`scan`](PartialSnapshot::scan).
+    fn scan_stale(&self, pid: ProcessId, components: &[usize]) -> Option<(u64, Vec<T>)> {
+        let _ = (pid, components);
+        None
+    }
+
+    /// The shard that owns `component`, for callers that want to group work
+    /// by shard without knowing the concrete router. Unsharded
+    /// implementations keep the default (everything on shard 0).
+    fn shard_of(&self, component: usize) -> usize {
+        let _ = component;
+        0
+    }
 }
 
 impl<T: Clone + Send + Sync + 'static, S: PartialSnapshot<T> + ?Sized> PartialSnapshot<T>
@@ -106,6 +133,12 @@ impl<T: Clone + Send + Sync + 'static, S: PartialSnapshot<T> + ?Sized> PartialSn
     }
     fn shard_heat(&self) -> Vec<u64> {
         (**self).shard_heat()
+    }
+    fn scan_stale(&self, pid: ProcessId, components: &[usize]) -> Option<(u64, Vec<T>)> {
+        (**self).scan_stale(pid, components)
+    }
+    fn shard_of(&self, component: usize) -> usize {
+        (**self).shard_of(component)
     }
 }
 

@@ -26,14 +26,28 @@
 //!    nothing. Accepted work is never dropped: every ticket resolves, even
 //!    across [`SnapshotService::shutdown`].
 //!
-//! Per-request **freshness bounds**: a scan submitted with
-//! [`Freshness::Fresh`] is always answered by a backing scan that starts
-//! after the request arrived (strict linearizability). With
-//! [`Freshness::AtMostStale`], the service may answer from the most recent
-//! backing scan's cached union if it covers the request and is younger than
-//! the bound — still an atomic view of the object, just a slightly old one
-//! (the read-from-the-recent-past trade of multiversioned snapshots), in
-//! exchange for zero backing work.
+//! Per-request **freshness bounds** sort scans into three serving tiers. A
+//! scan submitted with [`Freshness::Fresh`] is always answered by a backing
+//! scan that starts after the request arrived (strict linearizability).
+//! With [`Freshness::AtMostStale`], the service first tries the **cache
+//! tier** — a recent backing scan's union that covers the request within
+//! the bound, an atomic view at zero backing cost — and then the **mv
+//! tier**: if the backing object has version history
+//! ([`PartialSnapshot::scan_stale`]), the request is answered directly from
+//! the version chains, touching only its own components, with no union
+//! amplification and no coalescing wait. Only when both fast tiers decline
+//! does a stale request join the backing tier.
+//!
+//! The backing tier itself has two levers. **Window policy**:
+//! [`Coalescing::Window`] is a fixed accumulation window, while
+//! [`Coalescing::Adaptive`] sizes the window from the observed arrival
+//! rate and backing-scan latency, opening one only past break-even (an
+//! idle or lone request is always dispatched immediately). **Parallel
+//! union execution**: when the backing object is sharded and the pending
+//! requests split into shard-disjoint groups, the groups run as
+//! concurrent union scans on the executor (one process id per in-flight
+//! job, from the [`ServiceConfig::scan_pids`] pool), each group's union
+//! entering the cache as its own atomic view.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -55,8 +69,31 @@ pub enum Coalescing {
     Disabled,
     /// Merge everything pending when the scan server wakes; with a non-zero
     /// window, first sleep that long so more requests accumulate (larger
-    /// unions, higher latency floor).
+    /// unions, higher latency floor). A lone request at an idle server is
+    /// dispatched immediately — a window with no possible coalescing
+    /// partners buys nothing.
     Window(Duration),
+    /// Size the window from observation: the controller tracks the request
+    /// arrival rate and the backing-scan latency (exponentially weighted),
+    /// and opens a window of about one backing-scan's width — clamped to
+    /// `max` — only when at least one more request is expected to arrive
+    /// while a backing scan runs (E11's break-even point). Below
+    /// break-even, and for a lone request at an idle server, requests are
+    /// dispatched immediately. Every window decision (including the zero
+    /// ones) is recorded in the `scan.window_ns` histogram.
+    Adaptive {
+        /// Upper clamp on the chosen window.
+        max: Duration,
+    },
+}
+
+impl Coalescing {
+    /// The adaptive policy with a 1 ms window clamp.
+    pub fn adaptive() -> Coalescing {
+        Coalescing::Adaptive {
+            max: Duration::from_millis(1),
+        }
+    }
 }
 
 /// Per-request freshness bound of a scan (see the module docs).
@@ -64,8 +101,11 @@ pub enum Coalescing {
 pub enum Freshness {
     /// Linearizable: answered by a backing scan started after the request.
     Fresh,
-    /// May be served from the last backing scan's cached union if that scan
-    /// is at most this old and covers the requested components.
+    /// May be served without a fresh backing scan: from a cached union cut
+    /// at most this old that covers the requested components, or — on
+    /// multiversioned backends — by a bounded targeted read of the version
+    /// chains (`scan_stale`), whose cut is taken inside the request's
+    /// service time and therefore satisfies any bound.
     AtMostStale(Duration),
 }
 
@@ -84,8 +124,15 @@ pub struct ServiceConfig {
     pub max_batch: usize,
     /// Process id the ingestion drainer uses on the backing object.
     pub drain_pid: ProcessId,
-    /// Process id the scan server uses on the backing object.
+    /// First process id the scan server uses on the backing object.
     pub scan_pid: ProcessId,
+    /// Size of the scan server's process-id pool:
+    /// `scan_pid .. scan_pid + scan_pids`. With more than one pid, pending
+    /// requests that split into shard-disjoint groups are scanned
+    /// concurrently (one union scan per group, fanned out on the
+    /// executor). The backing object must have been built for at least
+    /// `scan_pid + scan_pids` processes. Clamped to ≥ 1.
+    pub scan_pids: usize,
 }
 
 impl Default for ServiceConfig {
@@ -97,6 +144,7 @@ impl Default for ServiceConfig {
             max_batch: 256,
             drain_pid: ProcessId(0),
             scan_pid: ProcessId(1),
+            scan_pids: 1,
         }
     }
 }
@@ -121,11 +169,20 @@ struct ScanRequest<T> {
     submitted: Instant,
 }
 
-/// The last backing scan's union view, for freshness-bounded requests.
+/// One backing scan's union view, for freshness-bounded requests. The
+/// service keeps the most recent [`CACHE_ENTRIES`] of these; each entry is
+/// one scan's atomic cut and entries are **never merged** — two concurrent
+/// union jobs have different linearization points, and a merged map could
+/// show a cut no single scan ever saw.
 struct ScanCache<T> {
     values: BTreeMap<usize, T>,
     taken_at: Instant,
 }
+
+/// Cache entries kept (newest first). Parallel union jobs and mv-served
+/// answers each push one, so a handful covers the recent past without
+/// letting an old deployment accumulate unbounded state.
+const CACHE_ENTRIES: usize = 8;
 
 /// The service's live metric handles — obs counters (striped, aggregated on
 /// read), latency histograms, and queue-depth gauges. Shared into any
@@ -144,6 +201,7 @@ struct Counters {
     scans_closed: Arc<Counter>,
     scans_served_backing: Arc<Counter>,
     scans_served_cache: Arc<Counter>,
+    scans_served_mv: Arc<Counter>,
     scans_served_empty: Arc<Counter>,
     backing_scans: Arc<Counter>,
     backing_components: Arc<Counter>,
@@ -152,6 +210,12 @@ struct Counters {
     submit_latency: Arc<Histogram>,
     /// Request-to-answer latency per served scan (nanoseconds).
     scan_latency: Arc<Histogram>,
+    /// Duration of each backing scan against the snapshot object
+    /// (nanoseconds) — the latency signal of the adaptive controller.
+    backing_latency: Arc<Histogram>,
+    /// Coalescing-window width chosen per serve round (nanoseconds),
+    /// including the zero decisions — the adaptive controller's output.
+    window_ns: Arc<Histogram>,
     /// Submissions currently queued across all clients.
     ingest_depth: Arc<Gauge>,
     /// Scan requests currently queued.
@@ -174,12 +238,15 @@ impl Default for Counters {
             scans_closed: Arc::new(Counter::new()),
             scans_served_backing: Arc::new(Counter::new()),
             scans_served_cache: Arc::new(Counter::new()),
+            scans_served_mv: Arc::new(Counter::new()),
             scans_served_empty: Arc::new(Counter::new()),
             backing_scans: Arc::new(Counter::new()),
             backing_components: Arc::new(Counter::new()),
             requested_components: Arc::new(Counter::new()),
             submit_latency: Arc::new(Histogram::new()),
             scan_latency: Arc::new(Histogram::new()),
+            backing_latency: Arc::new(Histogram::new()),
+            window_ns: Arc::new(Histogram::new()),
             ingest_depth: Arc::new(Gauge::new()),
             scan_depth: Arc::new(Gauge::new()),
         }
@@ -193,8 +260,9 @@ impl Default for Counters {
 /// (`submits_ok == submits_resolved` at quiescence), every submitted write is
 /// either applied or coalesced away (`writes_submitted == writes_applied +
 /// writes_coalesced_away`), and every accepted scan is served by exactly one
-/// of the backing, cache, or empty paths (`scans_ok == scans_served_backing
-/// + scans_served_cache + scans_served_empty`).
+/// of the backing, cache, mv, or empty paths (`scans_ok ==
+/// scans_served_backing + scans_served_cache + scans_served_mv +
+/// scans_served_empty`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Submissions accepted into an ingestion queue.
@@ -226,6 +294,9 @@ pub struct ServiceStats {
     pub scans_served_backing: u64,
     /// Scan requests answered from the freshness cache.
     pub scans_served_cache: u64,
+    /// Freshness-relaxed requests answered straight from the backing
+    /// object's version chains ([`PartialSnapshot::scan_stale`]).
+    pub scans_served_mv: u64,
     /// Scan requests for zero components, answered inline without backing
     /// work.
     pub scans_served_empty: u64,
@@ -238,6 +309,12 @@ pub struct ServiceStats {
     /// Request-to-answer latency distribution (nanoseconds) over served
     /// scans — count, sum, exact max, and log2-resolution p50/p99.
     pub scan_latency: HistogramSnapshot,
+    /// Per-backing-scan duration distribution (nanoseconds) — the latency
+    /// signal the adaptive controller sizes windows from.
+    pub backing_latency: HistogramSnapshot,
+    /// Coalescing-window widths chosen per serve round (nanoseconds),
+    /// zero decisions included.
+    pub window_ns: HistogramSnapshot,
 }
 
 impl ServiceStats {
@@ -327,8 +404,22 @@ impl ServiceObs {
             ),
             ("scans_ok", Json::Num(self.stats.scans_ok as f64)),
             ("backing_scans", Json::Num(self.stats.backing_scans as f64)),
+            (
+                "scans_served_backing",
+                Json::Num(self.stats.scans_served_backing as f64),
+            ),
+            (
+                "scans_served_cache",
+                Json::Num(self.stats.scans_served_cache as f64),
+            ),
+            (
+                "scans_served_mv",
+                Json::Num(self.stats.scans_served_mv as f64),
+            ),
             ("submit_latency_ns", hist(&self.stats.submit_latency)),
             ("scan_latency_ns", hist(&self.stats.scan_latency)),
+            ("backing_latency_ns", hist(&self.stats.backing_latency)),
+            ("window_ns", hist(&self.stats.window_ns)),
             ("coalescing_ratio", Json::Num(self.coalescing_ratio)),
             (
                 "component_dedup_ratio",
@@ -358,7 +449,8 @@ struct ServiceCore<T, S> {
     scan_notify: Arc<Notify>,
     scan_queue: BoundedQueue<ScanRequest<T>>,
     closed: AtomicBool,
-    cache: Mutex<Option<ScanCache<T>>>,
+    /// Recent atomic union views, newest first (see [`ScanCache`]).
+    cache: Mutex<Vec<ScanCache<T>>>,
     counters: Counters,
     drain_done: Arc<OpCell<()>>,
     scan_done: Arc<OpCell<()>>,
@@ -371,19 +463,41 @@ where
 {
     fn try_cache(&self, components: &[usize], bound: Duration) -> Option<Vec<T>> {
         let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-        let cache = cache.as_ref()?;
-        if cache.taken_at.elapsed() > bound {
-            return None;
-        }
-        components
-            .iter()
-            .map(|c| cache.values.get(c).cloned())
-            .collect()
+        // Newest-first insertion order is only approximate under parallel
+        // jobs, so every entry is checked for both age and coverage.
+        cache.iter().find_map(|entry| {
+            if entry.taken_at.elapsed() > bound {
+                return None;
+            }
+            components
+                .iter()
+                .map(|c| entry.values.get(c).cloned())
+                .collect()
+        })
     }
 
-    /// Answers a batch of scan requests: cache-eligible ones from the cache,
-    /// the rest via one union backing scan.
-    fn serve_scans(&self, requests: Vec<ScanRequest<T>>) {
+    /// Publishes one scan's atomic union as the newest cache entry.
+    fn push_cache(&self, values: BTreeMap<usize, T>, taken_at: Instant) {
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.insert(0, ScanCache { values, taken_at });
+        cache.truncate(CACHE_ENTRIES);
+    }
+
+    /// Answers a batch of scan requests: empty ones inline, freshness-
+    /// relaxed ones from the cache or the backing object's version chains,
+    /// the rest via union backing scans — run concurrently when the
+    /// requests split into shard-disjoint groups and the pid pool allows.
+    /// Returns `(backing_scans, total_backing_ns)` for the caller's
+    /// latency estimate (measured locally, so the adaptive controller
+    /// keeps working even with the obs layer disabled).
+    async fn serve_scans(
+        self: &Arc<Self>,
+        requests: Vec<ScanRequest<T>>,
+        handle: &Handle,
+    ) -> (u64, u64)
+    where
+        S: 'static,
+    {
         let mut live = Vec::with_capacity(requests.len());
         for request in requests {
             // An empty request needs no backing work at all; answering it
@@ -400,6 +514,10 @@ where
                 continue;
             }
             if let Freshness::AtMostStale(bound) = request.freshness {
+                // Cache tier first (a map lookup), then the mv tier: a
+                // direct read of the version chains, touching only this
+                // request's components. Both leave the backing-scan
+                // pipeline untouched.
                 if let Some(values) = self.try_cache(&request.components, bound) {
                     self.counters.scans_served_cache.inc();
                     self.counters
@@ -409,13 +527,96 @@ where
                     request.cell.complete(values);
                     continue;
                 }
+                let taken_at = Instant::now();
+                if let Some((ts, values)) = self
+                    .snapshot
+                    .scan_stale(self.config.scan_pid, &request.components)
+                {
+                    // The cut linearizes inside this call, so it is fresher
+                    // than any bound; publish it for the next stale reader.
+                    let map: BTreeMap<usize, T> = request
+                        .components
+                        .iter()
+                        .copied()
+                        .zip(values.iter().cloned())
+                        .collect();
+                    self.push_cache(map, taken_at);
+                    self.counters.scans_served_mv.inc();
+                    self.counters
+                        .scan_latency
+                        .record(request.submitted.elapsed().as_nanos() as u64);
+                    trace::emit(TraceKind::ScanServe, 3, ts);
+                    request.cell.complete(values);
+                    continue;
+                }
             }
             live.push(request);
         }
         if live.is_empty() {
-            return;
+            return (0, 0);
         }
-        let sets: Vec<&[usize]> = live.iter().map(|r| r.components.as_slice()).collect();
+        let pool = self.config.scan_pids.max(1);
+        let jobs = if pool == 1 {
+            vec![live]
+        } else {
+            group_shard_disjoint(&self.snapshot, live)
+        };
+        let workers = jobs.len().min(pool);
+        if workers <= 1 {
+            let mut count = 0u64;
+            let mut total_ns = 0u64;
+            for job in jobs {
+                total_ns += self.run_union_job(job, self.config.scan_pid);
+                count += 1;
+            }
+            return (count, total_ns);
+        }
+        // Fan shard-disjoint union jobs out on the executor: worker `w`
+        // owns pid `scan_pid + w` and runs its bucket of jobs
+        // sequentially, so no pid is ever used by two scans at once.
+        // Bucket 0 runs inline on the scan server itself.
+        let mut buckets: Vec<Vec<Vec<ScanRequest<T>>>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            buckets[i % workers].push(job);
+        }
+        let mut tickets = Vec::with_capacity(workers - 1);
+        for (w, bucket) in buckets.iter_mut().enumerate().skip(1) {
+            let bucket = std::mem::take(bucket);
+            let core = Arc::clone(self);
+            let pid = ProcessId(self.config.scan_pid.index() + w);
+            let cell = OpCell::new();
+            let done = Arc::clone(&cell);
+            handle.spawn(async move {
+                let mut count = 0u64;
+                let mut total_ns = 0u64;
+                for job in bucket {
+                    total_ns += core.run_union_job(job, pid);
+                    count += 1;
+                }
+                done.complete((count, total_ns));
+            });
+            tickets.push(Ticket::new(cell));
+        }
+        let mut count = 0u64;
+        let mut total_ns = 0u64;
+        for job in std::mem::take(&mut buckets[0]) {
+            total_ns += self.run_union_job(job, self.config.scan_pid);
+            count += 1;
+        }
+        for ticket in tickets {
+            let (n, ns) = ticket.await;
+            count += n;
+            total_ns += ns;
+        }
+        (count, total_ns)
+    }
+
+    /// Runs one union backing scan for `requests` on `pid`: plans the
+    /// deduplicated union, scans it, publishes the union as a cache entry,
+    /// and fans each requester's subset back out. Returns the backing
+    /// scan's duration in nanoseconds.
+    fn run_union_job(&self, requests: Vec<ScanRequest<T>>, pid: ProcessId) -> u64 {
+        let sets: Vec<&[usize]> = requests.iter().map(|r| r.components.as_slice()).collect();
         let plan = self.router.plan_union(&sets);
         // One group per shard of the trivial router — i.e. exactly one
         // backing scan of the deduplicated union. The cache timestamp is
@@ -427,9 +628,11 @@ where
         let group_components = plan.group_components(&self.router);
         let results: Vec<Vec<T>> = group_components
             .iter()
-            .map(|components| self.snapshot.scan(self.config.scan_pid, components))
+            .map(|components| self.snapshot.scan(pid, components))
             .collect();
+        let elapsed_ns = taken_at.elapsed().as_nanos() as u64;
         self.counters.backing_scans.inc();
+        self.counters.backing_latency.record(elapsed_ns);
         self.counters
             .backing_components
             .add(plan.forwarded_slots() as u64);
@@ -438,7 +641,7 @@ where
             .add(sets.iter().map(|s| s.len() as u64).sum());
         trace::emit(
             TraceKind::Coalesce,
-            live.len() as u64,
+            requests.len() as u64,
             plan.forwarded_slots() as u64,
         );
         {
@@ -448,10 +651,9 @@ where
                     values.insert(*c, v.clone());
                 }
             }
-            *self.cache.lock().unwrap_or_else(|e| e.into_inner()) =
-                Some(ScanCache { values, taken_at });
+            self.push_cache(values, taken_at);
         }
-        for (k, request) in live.iter().enumerate() {
+        for (k, request) in requests.iter().enumerate() {
             let values = plan.assemble(k, &results);
             self.counters.scans_served_backing.inc();
             self.counters
@@ -460,6 +662,7 @@ where
             trace::emit(TraceKind::ScanServe, 0, 0);
             request.cell.complete(values);
         }
+        elapsed_ns
     }
 
     /// Applies `pending` as `update_many` chunks that respect submission
@@ -518,6 +721,65 @@ fn coalesce_last_write_wins<T: Clone>(chunk: &[Submission<T>]) -> Vec<(usize, T)
         }
     }
     out
+}
+
+/// Partitions `requests` into groups whose shard footprints
+/// ([`PartialSnapshot::shard_of`]) are pairwise disjoint, preserving
+/// arrival order within each group. Requests touching a common shard land
+/// in one group (union-find over shard ids), so two concurrent union scans
+/// never contend on the same shard; on an unsharded backing object
+/// everything maps to shard 0 and one group comes back.
+fn group_shard_disjoint<T, S>(
+    snapshot: &S,
+    requests: Vec<ScanRequest<T>>,
+) -> Vec<Vec<ScanRequest<T>>>
+where
+    T: Clone + Send + Sync + 'static,
+    S: PartialSnapshot<T>,
+{
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    let mut parent: Vec<usize> = (0..requests.len()).collect();
+    let mut shard_owner: BTreeMap<usize, usize> = BTreeMap::new();
+    for (i, request) in requests.iter().enumerate() {
+        for &component in &request.components {
+            let shard = snapshot.shard_of(component);
+            match shard_owner.get(&shard) {
+                Some(&owner) => {
+                    let a = find(&mut parent, i);
+                    let b = find(&mut parent, owner);
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+                None => {
+                    shard_owner.insert(shard, i);
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<ScanRequest<T>>> = Vec::new();
+    let mut group_of_root: BTreeMap<usize, usize> = BTreeMap::new();
+    for (i, request) in requests.into_iter().enumerate() {
+        let root = find(&mut parent, i);
+        let g = *group_of_root.entry(root).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(request);
+    }
+    groups
 }
 
 async fn drain_loop<T, S>(core: Arc<ServiceCore<T, S>>)
@@ -580,12 +842,85 @@ fn track_scan_drain(counters: &Counters, drained: usize) {
     }
 }
 
+/// The adaptive controller's state: exponentially weighted estimates of
+/// the request arrival rate and the backing-scan latency, updated by the
+/// scan loop from its own measurements (so the controller works even with
+/// the obs layer disabled).
+struct WindowController {
+    /// Requests per nanosecond (EWMA).
+    arrival_rate: f64,
+    /// Nanoseconds per backing scan (EWMA; 0 until the first measurement,
+    /// which keeps the window closed on a cold start).
+    backing_ns: f64,
+    last_drain: Instant,
+}
+
+/// EWMA weight of the newest observation. High enough that a collapse in
+/// backing-scan latency closes the window within a few serve rounds.
+const EWMA_ALPHA: f64 = 0.5;
+
+impl WindowController {
+    fn new() -> WindowController {
+        WindowController {
+            arrival_rate: 0.0,
+            backing_ns: 0.0,
+            last_drain: Instant::now(),
+        }
+    }
+
+    /// Folds one drain observation (`drained` requests since the previous
+    /// observation) into the arrival-rate estimate.
+    fn observe_drain(&mut self, drained: usize) {
+        let now = Instant::now();
+        let elapsed_ns = now.duration_since(self.last_drain).as_nanos() as f64;
+        self.last_drain = now;
+        if elapsed_ns <= 0.0 {
+            return;
+        }
+        let instant_rate = drained as f64 / elapsed_ns;
+        self.arrival_rate = (1.0 - EWMA_ALPHA) * self.arrival_rate + EWMA_ALPHA * instant_rate;
+    }
+
+    /// Folds served backing scans into the latency estimate.
+    fn observe_backing(&mut self, scans: u64, total_ns: u64) {
+        if scans == 0 {
+            return;
+        }
+        let mean = total_ns as f64 / scans as f64;
+        self.backing_ns = if self.backing_ns == 0.0 {
+            mean
+        } else {
+            (1.0 - EWMA_ALPHA) * self.backing_ns + EWMA_ALPHA * mean
+        };
+    }
+
+    /// The window to open this round: about one backing scan's width,
+    /// clamped to `max`, but only past break-even — when at least one more
+    /// request is expected to arrive while a backing scan runs, waiting
+    /// merges requests that would otherwise each pay for their own scan.
+    /// Below break-even the window costs latency and buys nothing.
+    fn window(&self, max: Duration) -> Duration {
+        let expected_arrivals = self.arrival_rate * self.backing_ns;
+        if expected_arrivals < 1.0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.backing_ns as u64).min(max)
+    }
+}
+
 async fn scan_loop<T, S>(core: Arc<ServiceCore<T, S>>, handle: Handle)
 where
     T: Clone + Send + Sync + 'static,
-    S: PartialSnapshot<T>,
+    S: PartialSnapshot<T> + 'static,
 {
     let mut requests: Vec<ScanRequest<T>> = Vec::new();
+    let mut controller = WindowController::new();
+    // When the last batch was dispatched; `None` until the first dispatch.
+    // A lone request is served immediately only if the server has been idle
+    // for at least one window — arrivals within a window of the previous
+    // dispatch are treated as part of an ongoing trickle and still wait, so
+    // sub-window jitter between clients keeps coalescing.
+    let mut last_dispatch: Option<Instant> = None;
     loop {
         // Same discipline as the drainer: the exit precondition (the scan
         // queue itself is closed — shutdown's sweep, not just the global
@@ -595,7 +930,9 @@ where
         let closing = core.scan_queue.is_closed();
         let before = requests.len();
         core.scan_queue.drain_into(&mut requests);
-        track_scan_drain(&core.counters, requests.len() - before);
+        let drained = requests.len() - before;
+        track_scan_drain(&core.counters, drained);
+        controller.observe_drain(drained);
         if requests.is_empty() {
             if closing {
                 break;
@@ -603,21 +940,65 @@ where
             core.scan_notify.wait().await;
             continue;
         }
+        // A lone request at an idle server has no coalescing partners to
+        // wait for: any window would be pure added latency, so it is
+        // dispatched immediately under every windowed policy. "Idle" means
+        // no other request is queued AND at least one window has passed
+        // since the last dispatch (see `last_dispatch` above).
+        let lone_now = requests.len() == 1 && core.scan_queue.is_empty();
+        let idle_for =
+            |window: Duration| -> bool { last_dispatch.is_none_or(|at| at.elapsed() >= window) };
         match core.config.coalescing {
             Coalescing::Disabled => {
                 // Baseline: one backing scan per request, in arrival order.
                 for request in requests.drain(..) {
-                    core.serve_scans(vec![request]);
+                    let (scans, ns) = core.serve_scans(vec![request], &handle).await;
+                    controller.observe_backing(scans, ns);
                 }
+                last_dispatch = Some(Instant::now());
             }
             Coalescing::Window(window) => {
+                let window = if lone_now && idle_for(window) {
+                    Duration::ZERO
+                } else {
+                    window
+                };
+                core.counters.window_ns.record(window.as_nanos() as u64);
                 if !window.is_zero() {
                     handle.sleep(window).await;
                     let before = requests.len();
                     core.scan_queue.drain_into(&mut requests);
-                    track_scan_drain(&core.counters, requests.len() - before);
+                    let drained = requests.len() - before;
+                    track_scan_drain(&core.counters, drained);
+                    controller.observe_drain(drained);
                 }
-                core.serve_scans(std::mem::take(&mut requests));
+                let (scans, ns) = core
+                    .serve_scans(std::mem::take(&mut requests), &handle)
+                    .await;
+                controller.observe_backing(scans, ns);
+                last_dispatch = Some(Instant::now());
+            }
+            Coalescing::Adaptive { max } => {
+                let proposed = controller.window(max);
+                let window = if lone_now && idle_for(proposed) {
+                    Duration::ZERO
+                } else {
+                    proposed
+                };
+                core.counters.window_ns.record(window.as_nanos() as u64);
+                if !window.is_zero() {
+                    handle.sleep(window).await;
+                    let before = requests.len();
+                    core.scan_queue.drain_into(&mut requests);
+                    let drained = requests.len() - before;
+                    track_scan_drain(&core.counters, drained);
+                    controller.observe_drain(drained);
+                }
+                let (scans, ns) = core
+                    .serve_scans(std::mem::take(&mut requests), &handle)
+                    .await;
+                controller.observe_backing(scans, ns);
+                last_dispatch = Some(Instant::now());
             }
         }
     }
@@ -647,14 +1028,17 @@ where
     /// `executor`. The backing object must have been built for at least
     /// `max(drain_pid, scan_pid) + 1` processes; wrap it in an [`Arc`] to
     /// keep direct access on the side.
-    pub fn start(snapshot: S, config: ServiceConfig, executor: &Executor) -> Self {
+    pub fn start(snapshot: S, mut config: ServiceConfig, executor: &Executor) -> Self {
+        config.scan_pids = config.scan_pids.max(1);
+        let last_scan_pid = config.scan_pid.index() + config.scan_pids - 1;
         assert!(
-            snapshot.max_processes() > config.drain_pid.index().max(config.scan_pid.index()),
+            snapshot.max_processes() > config.drain_pid.index().max(last_scan_pid),
             "backing object has too few processes for the service pids"
         );
-        assert_ne!(
-            config.drain_pid, config.scan_pid,
-            "drainer and scan server need distinct process ids"
+        assert!(
+            config.drain_pid.index() < config.scan_pid.index()
+                || config.drain_pid.index() > last_scan_pid,
+            "drainer and scan server pids must not overlap"
         );
         let m = snapshot.components();
         let scan_notify = Arc::new(Notify::new());
@@ -667,7 +1051,7 @@ where
             ingest_notify: Arc::new(Notify::new()),
             scan_notify,
             closed: AtomicBool::new(false),
-            cache: Mutex::new(None),
+            cache: Mutex::new(Vec::new()),
             counters: Counters::default(),
             drain_done: OpCell::new(),
             scan_done: OpCell::new(),
@@ -728,11 +1112,14 @@ fn stats_of(c: &Counters) -> ServiceStats {
         scans_closed: c.scans_closed.get(),
         scans_served_backing: c.scans_served_backing.get(),
         scans_served_cache: c.scans_served_cache.get(),
+        scans_served_mv: c.scans_served_mv.get(),
         scans_served_empty: c.scans_served_empty.get(),
         backing_scans: c.backing_scans.get(),
         backing_components: c.backing_components.get(),
         requested_components: c.requested_components.get(),
         scan_latency: c.scan_latency.snapshot(),
+        backing_latency: c.backing_latency.snapshot(),
+        window_ns: c.window_ns.snapshot(),
     }
 }
 
@@ -850,11 +1237,11 @@ where
     /// * every submitted write is applied or coalesced away
     ///   (`ingest.writes == ingest.writes_applied + ingest.writes_coalesced`);
     /// * every accepted scan is served by exactly one of the backing, cache,
-    ///   or empty paths (`scan.ok == scan.served_backing + scan.served_cache
-    ///   + scan.served_empty`).
+    ///   mv, or empty paths (`scan.ok == scan.served_backing +
+    ///   scan.served_cache + scan.served_mv + scan.served_empty`).
     pub fn register_obs(&self, registry: &Registry, prefix: &str) {
         let c = &self.core.counters;
-        let counters: [(&str, &Arc<Counter>); 17] = [
+        let counters: [(&str, &Arc<Counter>); 18] = [
             ("ingest.ok", &c.submits_ok),
             ("ingest.busy", &c.submits_busy),
             ("ingest.closed", &c.submits_closed),
@@ -868,6 +1255,7 @@ where
             ("scan.closed", &c.scans_closed),
             ("scan.served_backing", &c.scans_served_backing),
             ("scan.served_cache", &c.scans_served_cache),
+            ("scan.served_mv", &c.scans_served_mv),
             ("scan.served_empty", &c.scans_served_empty),
             ("scan.backing", &c.backing_scans),
             ("scan.backing_components", &c.backing_components),
@@ -886,6 +1274,14 @@ where
         registry.register(
             &format!("{prefix}.scan.latency_ns"),
             Metric::Histogram(Arc::clone(&c.scan_latency)),
+        );
+        registry.register(
+            &format!("{prefix}.scan.backing_latency_ns"),
+            Metric::Histogram(Arc::clone(&c.backing_latency)),
+        );
+        registry.register(
+            &format!("{prefix}.scan.window_ns"),
+            Metric::Histogram(Arc::clone(&c.window_ns)),
         );
         registry.register(
             &format!("{prefix}.ingest.depth"),
@@ -914,6 +1310,7 @@ where
             &[
                 &format!("{prefix}.scan.served_backing"),
                 &format!("{prefix}.scan.served_cache"),
+                &format!("{prefix}.scan.served_mv"),
                 &format!("{prefix}.scan.served_empty"),
             ],
         );

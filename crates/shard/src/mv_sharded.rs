@@ -351,6 +351,47 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<
         plan.assemble(&results)
     }
 
+    fn scan_stale(&self, pid: ProcessId, components: &[usize]) -> Option<(u64, Vec<T>)> {
+        self.validate(pid, components);
+        if components.is_empty() {
+            return Some((self.camera.timestamp(), Vec::new()));
+        }
+        // The cross-shard one-shot protocol, returning its timestamp:
+        // announce on every involved shard, one shared tick, read each
+        // shard's chains at `s`, clear. Touches only the requested
+        // registers; the single published timestamp makes the combined cut
+        // consistent across shards exactly as in `scan`.
+        let scope = psnap_obs::enabled().then(StepScope::start);
+        let plan = self.router.plan(components);
+        for (shard, _) in &plan.groups {
+            self.heat[*shard].inc();
+        }
+        if plan.is_cross_shard() {
+            self.stats_cross.inc();
+        }
+        for &(shard, _) in &plan.groups {
+            let _ = self.inner[shard].announce_scan(pid);
+        }
+        let s = self.camera.tick();
+        trace::emit(TraceKind::ScanAnnounce, s, plan.groups.len() as u64);
+        let results: Vec<Vec<T>> = plan
+            .groups
+            .iter()
+            .map(|(shard, slots)| self.inner[*shard].scan_at(pid, slots, s))
+            .collect();
+        for &(shard, _) in &plan.groups {
+            self.inner[shard].clear_announcement(pid);
+        }
+        if let Some(scope) = scope {
+            self.scan_steps.record(scope.finish().total());
+        }
+        Some((s, plan.assemble(&results)))
+    }
+
+    fn shard_of(&self, component: usize) -> usize {
+        self.router.route(component).0
+    }
+
     fn is_wait_free(&self) -> bool {
         // The headline property: cross-shard scans are one camera tick plus
         // a bounded chain walk per register — no validation retries, no

@@ -684,6 +684,10 @@ where
     fn shard_heat(&self) -> Vec<u64> {
         self.heat()
     }
+
+    fn shard_of(&self, component: usize) -> usize {
+        self.router.route(component).0
+    }
 }
 
 #[cfg(test)]

@@ -3,8 +3,9 @@
 //!
 //! Every [`Role`] of the scenario becomes a *service client* on its own OS
 //! thread: updaters submit through [`psnap_serve::ClientHandle::submit`],
-//! batch updaters through `submit_batch`, scanners through `scan` with
-//! [`Freshness::Fresh`] — each operation awaited to completion before the
+//! batch updaters through `submit_batch`, scanners through `scan` with the
+//! configured [`Freshness`] bound ([`Freshness::Fresh`] by default) — each
+//! operation awaited to completion before the
 //! next, so the per-process histories stay sequential. The recorded
 //! [`History`] spans the *client-observed* interval of each operation
 //! (enqueue to ticket resolution), which is exactly what linearizability is
@@ -42,6 +43,17 @@ pub struct ServiceDriverConfig {
     pub ingest_capacity: usize,
     /// Capacity of the scan-request queue.
     pub scan_capacity: usize,
+    /// Scan-server process-id pool size (parallel union execution when
+    /// above 1; the backing object needs `1 + scan_pids` processes on top
+    /// of the scenario's roles).
+    pub scan_pids: usize,
+    /// Freshness bound every scanner role requests. The default is
+    /// [`Freshness::Fresh`]. `AtMostStale(Duration::ZERO)` routes scans
+    /// through the mv fast path (`scan_stale`) on multiversioned backends
+    /// while keeping the answers checkable against the client-observed
+    /// interval — the cut is taken inside the request's service time, so
+    /// the WGL checker applies unchanged.
+    pub scanner_freshness: Freshness,
     /// Also enable the scenario's chaos configuration on the executor
     /// workers, so the service pipelines themselves are perturbed.
     pub chaos_in_service: bool,
@@ -54,6 +66,8 @@ impl Default for ServiceDriverConfig {
             workers: 2,
             ingest_capacity: 16,
             scan_capacity: 64,
+            scan_pids: 1,
+            scanner_freshness: Freshness::Fresh,
             chaos_in_service: true,
         }
     }
@@ -82,8 +96,9 @@ where
         "snapshot object too small for the scenario"
     );
     assert!(
-        snapshot.max_processes() >= 2,
-        "the service needs two process ids on the backing object"
+        snapshot.max_processes() > driver.scan_pids.max(1),
+        "the service needs a drainer pid plus `scan_pids` scan-server pids \
+         on the backing object"
     );
 
     let executor = Executor::with_config(ExecutorConfig {
@@ -101,6 +116,7 @@ where
             ingest_capacity: driver.ingest_capacity,
             scan_capacity: driver.scan_capacity,
             coalescing: driver.coalescing,
+            scan_pids: driver.scan_pids.max(1),
             ..ServiceConfig::default()
         },
         &executor,
@@ -120,11 +136,12 @@ where
                 let clock = clock.clone();
                 let barrier = Arc::clone(&barrier);
                 let chaos_cfg = scenario.chaos.clone();
+                let freshness = driver.scanner_freshness;
                 scope.spawn(move || {
                     let _chaos_guard =
                         chaos_cfg.map(|c| chaos::enable(c.seed.wrapping_add(pid as u64), c.config));
                     barrier.wait();
-                    run_client_role(&client, pid, n, &role, &clock)
+                    run_client_role(&client, pid, n, &role, &clock, freshness)
                 })
             })
             .collect();
@@ -143,6 +160,7 @@ fn run_client_role<S>(
     processes: usize,
     role: &Role,
     clock: &LogicalClock,
+    freshness: Freshness,
 ) -> Vec<OpRecord>
 where
     S: PartialSnapshot<u64>,
@@ -204,7 +222,7 @@ where
             for components in scans {
                 let invoked_at = clock.now();
                 let values = client
-                    .scan_blocking(components, Freshness::Fresh)
+                    .scan_blocking(components, freshness)
                     .expect("service closed under a live scanner");
                 let returned_at = clock.now();
                 log.push(OpRecord {

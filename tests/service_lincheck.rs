@@ -13,10 +13,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use partial_snapshot::lincheck::{check_history, check_monotone_history};
-use partial_snapshot::serve::Coalescing;
-use partial_snapshot::shard::{ShardConfig, ShardedSnapshot};
+use partial_snapshot::serve::{Coalescing, Freshness};
+use partial_snapshot::shard::{MvShardedSnapshot, ShardConfig, ShardedSnapshot};
 use partial_snapshot::sim::{run_scenario_via_service, Scenario, ServiceDriverConfig};
-use partial_snapshot::snapshot::CasPartialSnapshot;
+use partial_snapshot::snapshot::{CasPartialSnapshot, MvSnapshot};
 
 fn driver(coalescing: Coalescing) -> ServiceDriverConfig {
     ServiceDriverConfig {
@@ -100,6 +100,117 @@ fn coalesced_histories_over_the_sharded_store_are_linearizable() {
         assert!(
             check_history(&history).is_linearizable(),
             "seed {seed}: sharded service history not linearizable"
+        );
+    }
+}
+
+#[test]
+fn mv_backed_stale_histories_are_linearizable() {
+    // Scanners request `AtMostStale(0)`: the zero bound makes the cache tier
+    // unusable (any cached cut is strictly older than the bound), so on a
+    // multiversioned backend every one of these scans is answered by the mv
+    // fast path — `scan_stale`'s announce→tick→read_at cut at its announced
+    // timestamp — with **no** backing union scans. That cut linearizes
+    // inside the request's service time, so the exhaustive WGL checker
+    // applies to the client-observed history unchanged: this is the
+    // conformance proof that coalesced `AtMostStale` answers are legal
+    // snapshots at their announced timestamps.
+    for seed in 0..12 {
+        let scenario = Scenario::random_small(seed ^ 0x57A1E);
+        let snapshot = Arc::new(MvSnapshot::new(scenario.components, 2, 0u64));
+        let history = run_scenario_via_service(
+            Arc::clone(&snapshot),
+            &scenario,
+            &ServiceDriverConfig {
+                coalescing: Coalescing::Window(Duration::from_micros(100)),
+                scanner_freshness: Freshness::AtMostStale(Duration::ZERO),
+                ..ServiceDriverConfig::default()
+            },
+        );
+        assert_eq!(history.len(), scenario.total_ops());
+        assert!(
+            check_history(&history).is_linearizable(),
+            "seed {seed}: mv-backed stale service history not linearizable"
+        );
+    }
+}
+
+#[test]
+fn mv_sharded_stale_histories_are_linearizable_with_parallel_unions() {
+    // Cross-shard scenarios over the multiversioned sharded store with a
+    // two-pid scan-server pool: stale requests ride the sharded
+    // `scan_stale` (announce every involved shard, one shared-camera tick),
+    // and the Fresh updater-driven unions that remain run as parallel
+    // shard-disjoint jobs. Both paths must yield linearizable
+    // client-observed histories.
+    for seed in 0..10 {
+        let scenario = Scenario::random_cross_shard(seed ^ 0x3A12D, 2);
+        let snapshot = Arc::new(MvShardedSnapshot::new(
+            scenario.components,
+            3, // drainer + two scan-server pids
+            0u64,
+            ShardConfig::multiversioned(2),
+        ));
+        let history = run_scenario_via_service(
+            Arc::clone(&snapshot),
+            &scenario,
+            &ServiceDriverConfig {
+                coalescing: Coalescing::Window(Duration::from_micros(100)),
+                scanner_freshness: Freshness::AtMostStale(Duration::ZERO),
+                scan_pids: 2,
+                ..ServiceDriverConfig::default()
+            },
+        );
+        assert!(
+            check_history(&history).is_linearizable(),
+            "seed {seed}: mv-sharded stale service history not linearizable"
+        );
+    }
+}
+
+#[test]
+fn parallel_union_histories_are_linearizable_over_sharded_cas() {
+    // Fresh scans only, two scan-server pids over the epoch-validated
+    // sharded store: shard-disjoint unions run concurrently on distinct
+    // pids and must still linearize against the coalesced write stream.
+    for seed in 0..10 {
+        let scenario = Scenario::random_cross_shard(seed ^ 0x9A8, 2);
+        let snapshot = Arc::new(ShardedSnapshot::with_factory(
+            scenario.components,
+            3,
+            0u64,
+            ShardConfig::contiguous(2),
+            |_, m, n, init| CasPartialSnapshot::new(m, n, init),
+        ));
+        let history = run_scenario_via_service(
+            snapshot,
+            &scenario,
+            &ServiceDriverConfig {
+                coalescing: Coalescing::Window(Duration::ZERO),
+                scan_pids: 2,
+                ..ServiceDriverConfig::default()
+            },
+        );
+        assert!(
+            check_history(&history).is_linearizable(),
+            "seed {seed}: parallel-union service history not linearizable"
+        );
+    }
+}
+
+#[test]
+fn adaptive_coalescing_histories_are_linearizable() {
+    // The adaptive controller only changes *when* the union scan runs,
+    // never what it reads — histories under it must check out exactly like
+    // the fixed-window ones.
+    for seed in 0..10 {
+        let scenario = Scenario::random_small(seed ^ 0xADA);
+        let snapshot = Arc::new(CasPartialSnapshot::new(scenario.components, 2, 0u64));
+        let history =
+            run_scenario_via_service(snapshot, &scenario, &driver(Coalescing::adaptive()));
+        assert!(
+            check_history(&history).is_linearizable(),
+            "seed {seed}: adaptive service history not linearizable"
         );
     }
 }
