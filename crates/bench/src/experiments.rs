@@ -2737,6 +2737,413 @@ pub fn e14_fastpath_table(data: &E14Data) -> Table {
     }
 }
 
+/// One grid point of experiment E15: a targeted reshard storm under live
+/// Zipf traffic, one (backend × skew) cell.
+#[derive(Clone, Debug)]
+pub struct E15Point {
+    /// Backend label (`ImplKind::label`). The multiversioned backend
+    /// migrates behind the shared camera without quiescing traffic; the
+    /// Figure-3 sharded backend is the deliberate drain-and-rebuild
+    /// baseline, so the storm's latency cost lands on its rows.
+    pub backend: &'static str,
+    /// Zipf skew parameter shared by the update and scan distributions.
+    pub zipf_s: f64,
+    /// Owning shards (non-empty slot sets) before the storm.
+    pub shards_before: usize,
+    /// Owning shards after the storm.
+    pub shards_after: usize,
+    /// Reshard operations the storm actually applied.
+    pub reshards: u64,
+    /// Partition-map generation after the storm.
+    pub generation: u64,
+    /// Scan latency p50 on the static layout (nanoseconds).
+    pub baseline_p50_ns: f64,
+    /// Scan latency p99 on the static layout (nanoseconds).
+    pub baseline_p99_ns: f64,
+    /// Scan latency p50 while the storm ran (nanoseconds).
+    pub reshard_p50_ns: f64,
+    /// Scan latency p99 while the storm ran (nanoseconds).
+    pub reshard_p99_ns: f64,
+    /// Worst single scan observed during the storm (nanoseconds) — the
+    /// drain-and-rebuild availability gap shows up here.
+    pub worst_stall_ns: f64,
+    /// `reshard_p99_ns / baseline_p99_ns`.
+    pub p99_ratio: f64,
+    /// Heat skew (hottest owning shard / mean owning shard) before the storm.
+    pub skew_before: f64,
+    /// Heat skew after the storm; targeted splits should pull it down.
+    pub skew_after: f64,
+    /// Scans that observed a per-component monotonicity violation (a torn
+    /// or lost write). Must be 0 on every backend.
+    pub torn_scans: u64,
+    /// Scans that returned the wrong shape. Must be 0.
+    pub failed_scans: u64,
+}
+
+/// The raw data behind experiment E15 (also serialized to `BENCH_E15.json`).
+#[derive(Clone, Debug)]
+pub struct E15Data {
+    /// Components of the backing object.
+    pub m: usize,
+    /// Components per scan.
+    pub r: usize,
+    /// Scans measured per phase (baseline / storm / settle).
+    pub ops_per_phase: usize,
+    /// One entry per (backend × Zipf skew).
+    pub points: Vec<E15Point>,
+}
+
+impl E15Data {
+    /// The experiment description used by the table and the JSON document.
+    pub fn description(&self) -> String {
+        format!(
+            "online resharding under live traffic: scan p50/p99 on a static \
+             two-shard layout vs through a heat-targeted reshard storm \
+             (split-hottest ×3 then merge-coldest), m = {}, r = {}, two \
+             single-writer Zipf updaters running throughout, scans drawn \
+             from 12 Zipf-popular query shapes. The multiversioned backend \
+             migrates behind the shared timestamp camera — writers and \
+             scanners keep running during the copy — while the Figure-3 \
+             sharded backend drains and rebuilds under a latch, so its storm \
+             p99 and worst stall absorb the full quiescence gap. Every scan \
+             is checked for per-component monotonicity against the \
+             single-writer discipline; torn_scans and failed_scans must be \
+             zero on both backends (migration moves values exactly, across \
+             every generation). Heat skew (hottest/mean owning shard) is \
+             sampled before and after: targeted splits divide the hot \
+             shard's load, so skew_after < skew_before under a skewed \
+             distribution.",
+            self.m, self.r
+        )
+    }
+
+    /// Serializes the data for `BENCH_E15.json`.
+    pub fn to_json(&self) -> psnap_json::Json {
+        use psnap_json::Json;
+        Json::obj([
+            ("experiment", Json::Str("E15".into())),
+            ("description", Json::Str(self.description())),
+            ("m", Json::Num(self.m as f64)),
+            ("r", Json::Num(self.r as f64)),
+            ("ops_per_phase", Json::Num(self.ops_per_phase as f64)),
+            (
+                "points",
+                Json::arr(self.points.iter().map(|p| {
+                    Json::obj([
+                        ("backend", Json::Str(p.backend.into())),
+                        ("zipf_s", Json::Num(p.zipf_s)),
+                        ("shards_before", Json::Num(p.shards_before as f64)),
+                        ("shards_after", Json::Num(p.shards_after as f64)),
+                        ("reshards", Json::Num(p.reshards as f64)),
+                        ("generation", Json::Num(p.generation as f64)),
+                        ("baseline_p50_ns", Json::Num(p.baseline_p50_ns)),
+                        ("baseline_p99_ns", Json::Num(p.baseline_p99_ns)),
+                        ("reshard_p50_ns", Json::Num(p.reshard_p50_ns)),
+                        ("reshard_p99_ns", Json::Num(p.reshard_p99_ns)),
+                        ("worst_stall_ns", Json::Num(p.worst_stall_ns)),
+                        ("p99_ratio", Json::Num(p.p99_ratio)),
+                        ("skew_before", Json::Num(p.skew_before)),
+                        ("skew_after", Json::Num(p.skew_after)),
+                        ("torn_scans", Json::Num(p.torn_scans as f64)),
+                        ("failed_scans", Json::Num(p.failed_scans as f64)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+/// Heat skew over the owning shards: hottest window delta / mean delta.
+/// The heat vector grows across generations, so the (shorter) baseline is
+/// zero-padded; emptied shards are excluded via `sizes`.
+fn e15_heat_skew(before: &[u64], after: &[u64], sizes: &[usize]) -> f64 {
+    let deltas: Vec<f64> = sizes
+        .iter()
+        .enumerate()
+        .filter(|(_, &size)| size > 0)
+        .map(|(i, _)| {
+            let b = before.get(i).copied().unwrap_or(0);
+            let a = after.get(i).copied().unwrap_or(0);
+            a.saturating_sub(b) as f64
+        })
+        .collect();
+    let total: f64 = deltas.iter().sum();
+    if deltas.is_empty() || total <= 0.0 {
+        return 1.0;
+    }
+    let mean = total / deltas.len() as f64;
+    deltas.iter().cloned().fold(0.0f64, f64::max) / mean
+}
+
+/// One E15 point: two pinned single-writer updaters churn throughout; the
+/// main thread is the scanner and checks per-component monotonicity on every
+/// scan; a storm thread splits the hottest owning shard three times (scored
+/// by heat-window delta, falling back to slot count when the heat signal is
+/// flat) and then merges the coldest survivor. The storm phase loops until
+/// the storm thread is done, so every migration happens under measured
+/// scan + update traffic.
+fn e15_point(kind: ImplKind, m: usize, r: usize, ops: usize, zipf_s: f64) -> E15Point {
+    use psnap_core::ReshardOp;
+    use psnap_workloads::IndexDist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let updaters = 2usize;
+    // pids 0..updaters write, pid `updaters` scans; the resharder performs
+    // no per-process snapshot operations.
+    let snapshot = kind.build(m, updaters + 1, 0);
+    let backend = kind.label();
+    let stop = Arc::new(AtomicBool::new(false));
+    let update_handles: Vec<_> = (0..updaters)
+        .map(|u| {
+            let snapshot = Arc::clone(&snapshot);
+            let stop = Arc::clone(&stop);
+            let dist = IndexDist::zipf(m, zipf_s);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xE15 ^ ((u as u64) << 7));
+                // Single-writer discipline: updater `u` owns the components
+                // with parity `u` and writes strictly increasing values to
+                // each, so any torn or lost migration shows up as a
+                // monotonicity violation at the scanner.
+                let mut counts = vec![0u64; m];
+                while !stop.load(Ordering::Relaxed) {
+                    let mut c = dist.sample(&mut rng);
+                    c -= c % updaters;
+                    c = (c + u).min(m - 1);
+                    counts[c] += 1;
+                    snapshot.update(ProcessId(u), c, counts[c]);
+                }
+            })
+        })
+        .collect();
+
+    let dist = IndexDist::zipf(m, zipf_s);
+    let queries: Vec<Vec<usize>> = {
+        let mut rng = StdRng::seed_from_u64(0xE150);
+        (0..12).map(|_| dist.sample_set(&mut rng, r)).collect()
+    };
+    let query_popularity = IndexDist::zipf(queries.len(), 1.0);
+    let scanner_pid = ProcessId(updaters);
+    let mut rng = StdRng::seed_from_u64(0xE15C ^ (zipf_s.to_bits() >> 3));
+    let mut last_seen = vec![0u64; m];
+    let mut torn = 0u64;
+    let mut failed = 0u64;
+    let mut scan_once = |rng: &mut StdRng, last_seen: &mut Vec<u64>| -> f64 {
+        let components = &queries[query_popularity.sample(rng)];
+        let t0 = std::time::Instant::now();
+        let values = snapshot.scan(scanner_pid, components);
+        let elapsed = t0.elapsed().as_nanos() as f64;
+        if values.len() != components.len() {
+            failed += 1;
+            return elapsed;
+        }
+        let mut tear = false;
+        for (&c, &v) in components.iter().zip(values.iter()) {
+            if v < last_seen[c] {
+                tear = true;
+            } else {
+                last_seen[c] = v;
+            }
+        }
+        if tear {
+            torn += 1;
+        }
+        elapsed
+    };
+
+    // Phase A: static layout baseline (and the pre-storm heat window).
+    let heat0 = snapshot.shard_heat();
+    let sizes0 = snapshot.shard_sizes();
+    let shards_before = sizes0.iter().filter(|&&s| s > 0).count();
+    let mut baseline = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        baseline.push(scan_once(&mut rng, &mut last_seen));
+    }
+    let heat_a = snapshot.shard_heat();
+    let skew_before = e15_heat_skew(&heat0, &heat_a, &sizes0);
+
+    // Phase B: the storm thread migrates while the scanner keeps measuring.
+    let storm_done = Arc::new(AtomicBool::new(false));
+    let storm = {
+        let snapshot = Arc::clone(&snapshot);
+        let done = Arc::clone(&storm_done);
+        std::thread::spawn(move || {
+            let mut applied = 0u64;
+            let mut last_heat = snapshot.shard_heat();
+            for _ in 0..3 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                let heat = snapshot.shard_heat();
+                let sizes = snapshot.shard_sizes();
+                // Hottest splittable shard by window delta; ties (and a
+                // flat signal, e.g. metrics disabled) fall back to size.
+                let hottest = sizes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &size)| size > 1)
+                    .max_by_key(|&(i, &size)| {
+                        let b = last_heat.get(i).copied().unwrap_or(0);
+                        let a = heat.get(i).copied().unwrap_or(0);
+                        (a.saturating_sub(b), size)
+                    })
+                    .map(|(i, _)| i);
+                if let Some(shard) = hottest {
+                    if snapshot.reshard(ReshardOp::Split { shard }) {
+                        applied += 1;
+                    }
+                }
+                last_heat = snapshot.shard_heat();
+            }
+            // Fold the coldest survivor into the next-coldest: the merge
+            // path runs under the same live traffic as the splits.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let heat = snapshot.shard_heat();
+            let sizes = snapshot.shard_sizes();
+            let mut owning: Vec<(u64, usize)> = sizes
+                .iter()
+                .enumerate()
+                .filter(|(_, &size)| size > 0)
+                .map(|(i, _)| (heat.get(i).copied().unwrap_or(0), i))
+                .collect();
+            owning.sort_unstable();
+            if owning.len() >= 2 {
+                let op = ReshardOp::Merge {
+                    from: owning[0].1,
+                    into: owning[1].1,
+                };
+                if snapshot.reshard(op) {
+                    applied += 1;
+                }
+            }
+            done.store(true, Ordering::Release);
+            applied
+        })
+    };
+    let mut through = Vec::with_capacity(ops);
+    loop {
+        through.push(scan_once(&mut rng, &mut last_seen));
+        if through.len() >= ops && storm_done.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    let reshards = storm.join().expect("E15 storm thread panicked");
+
+    // Phase C: the settled layout's heat window for the post-storm skew.
+    let heat_b = snapshot.shard_heat();
+    for _ in 0..ops.div_ceil(2) {
+        scan_once(&mut rng, &mut last_seen);
+    }
+    let heat_c = snapshot.shard_heat();
+    let sizes_after = snapshot.shard_sizes();
+    let skew_after = e15_heat_skew(&heat_b, &heat_c, &sizes_after);
+    let shards_after = sizes_after.iter().filter(|&&s| s > 0).count();
+
+    stop.store(true, Ordering::Relaxed);
+    for h in update_handles {
+        h.join().expect("E15 updater panicked");
+    }
+    let baseline_stats = Summary::of(&baseline);
+    let through_stats = Summary::of(&through);
+    E15Point {
+        backend,
+        zipf_s,
+        shards_before,
+        shards_after,
+        reshards,
+        generation: snapshot.generation(),
+        baseline_p50_ns: baseline_stats.p50,
+        baseline_p99_ns: baseline_stats.p99,
+        reshard_p50_ns: through_stats.p50,
+        reshard_p99_ns: through_stats.p99,
+        worst_stall_ns: through.iter().cloned().fold(0.0f64, f64::max),
+        p99_ratio: if baseline_stats.p99 > 0.0 {
+            through_stats.p99 / baseline_stats.p99
+        } else {
+            0.0
+        },
+        skew_before,
+        skew_after,
+        torn_scans: torn,
+        failed_scans: failed,
+    }
+}
+
+/// Runs the E15 measurement: the live-migration backend against the
+/// drain-and-rebuild baseline, both starting from two contiguous shards,
+/// under moderately and heavily skewed Zipf traffic.
+pub fn e15_reshard_data(effort: Effort) -> E15Data {
+    let m = 256;
+    let r = 16;
+    let ops = effort.ops;
+    let mut points = Vec::new();
+    for kind in [
+        ImplKind::mv_sharded(2, psnap_shard::Partition::Contiguous),
+        ImplKind::sharded_cas(2, psnap_shard::Partition::Contiguous),
+    ] {
+        for zipf_s in [0.9f64, 1.2] {
+            points.push(e15_point(kind, m, r, ops, zipf_s));
+        }
+    }
+    E15Data {
+        m,
+        r,
+        ops_per_phase: ops,
+        points,
+    }
+}
+
+/// E15 — online resharding: live migration vs drain-and-rebuild.
+pub fn e15_reshard(effort: Effort) -> Table {
+    e15_reshard_table(&e15_reshard_data(effort))
+}
+
+/// Renders already-measured E15 data as a table (lets the harness emit the
+/// markdown table and `BENCH_E15.json` from one measurement run).
+pub fn e15_reshard_table(data: &E15Data) -> Table {
+    let rows = data
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.backend.to_string(),
+                format!("{:.1}", p.zipf_s),
+                format!("{}→{}", p.shards_before, p.shards_after),
+                p.generation.to_string(),
+                p.reshards.to_string(),
+                format!("{:.1}", p.baseline_p50_ns / 1000.0),
+                format!("{:.1}", p.baseline_p99_ns / 1000.0),
+                format!("{:.1}", p.reshard_p50_ns / 1000.0),
+                format!("{:.1}", p.reshard_p99_ns / 1000.0),
+                format!("{:.2}x", p.p99_ratio),
+                format!("{:.1}", p.worst_stall_ns / 1000.0),
+                format!("{:.2}→{:.2}", p.skew_before, p.skew_after),
+                p.torn_scans.to_string(),
+                p.failed_scans.to_string(),
+            ]
+        })
+        .collect();
+    Table {
+        id: "E15".into(),
+        title: data.description(),
+        headers: vec![
+            "backend".into(),
+            "zipf s".into(),
+            "shards".into(),
+            "gen".into(),
+            "reshards".into(),
+            "base p50 µs".into(),
+            "base p99 µs".into(),
+            "storm p50 µs".into(),
+            "storm p99 µs".into(),
+            "p99 ratio".into(),
+            "worst stall µs".into(),
+            "heat skew".into(),
+            "torn".into(),
+            "failed".into(),
+        ],
+        rows,
+    }
+}
+
 /// Runs an experiment by id. Returns `None` for an unknown id.
 pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -2754,13 +3161,14 @@ pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
         "E12" => Some(e12_multiversion(effort)),
         "E13" => Some(e13_obs_overhead(effort)),
         "E14" => Some(e14_fastpath(effort)),
+        "E15" => Some(e15_reshard(effort)),
         _ => None,
     }
 }
 
 /// All experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 14] = [
-    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
+pub const ALL_EXPERIMENTS: [&str; 15] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
 ];
 
 #[cfg(test)]
@@ -3073,6 +3481,39 @@ mod tests {
             .and_then(psnap_json::Json::as_array)
             .unwrap();
         assert_eq!(points.len(), 48);
+        let text = json.to_string_pretty();
+        assert_eq!(psnap_json::Json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn e15_smoke_reshards_apply_and_no_scan_tears() {
+        let data = e15_reshard_data(Effort { ops: 24 });
+        // 2 backends × 2 Zipf skews.
+        assert_eq!(data.points.len(), 4);
+        for p in &data.points {
+            // The hard acceptance bar, host-independent: migration moves
+            // every value exactly, so no scan ever tears or fails — on the
+            // live multiversioned path *and* the drain-and-rebuild baseline.
+            assert_eq!(p.torn_scans, 0, "{p:?}");
+            assert_eq!(p.failed_scans, 0, "{p:?}");
+            // The storm really migrated under traffic.
+            assert!(p.reshards >= 1, "{p:?}");
+            assert!(p.generation >= p.reshards, "{p:?}");
+            assert_eq!(p.shards_before, 2, "{p:?}");
+            assert!(p.baseline_p99_ns >= p.baseline_p50_ns, "{p:?}");
+            assert!(p.reshard_p99_ns >= p.reshard_p50_ns, "{p:?}");
+            assert!(p.worst_stall_ns >= p.reshard_p99_ns, "{p:?}");
+        }
+        let json = data.to_json();
+        assert_eq!(
+            json.get("experiment").and_then(psnap_json::Json::as_str),
+            Some("E15")
+        );
+        let points = json
+            .get("points")
+            .and_then(psnap_json::Json::as_array)
+            .unwrap();
+        assert_eq!(points.len(), 4);
         let text = json.to_string_pretty();
         assert_eq!(psnap_json::Json::parse(&text).unwrap(), json);
     }

@@ -15,13 +15,14 @@
 //! * a batch *write phase* is bracketed by `writers += 1 … epoch += 1;
 //!   writers -= 1` (batches themselves are serialized by a mutex, so at most
 //!   one write phase is in flight per object);
-//! * a scan wraps its collect loop in a validation loop: read `(epoch,
-//!   writers)`, require `writers == 0`, run the embedded scan, re-read. If
-//!   nothing moved, **no batch write overlapped the scan's collects** — any
-//!   batch write is preceded by a visible `writers` increment and followed by
-//!   an `epoch` increment, one of which would show at one of the two
-//!   validation points — so the scan observed either all of a batch or none
-//!   of it.
+//! * a scan wraps its collect loop in a validation loop: read `writers`
+//!   (require 0) then `epoch`, run the embedded scan, re-read in the same
+//!   order. If nothing moved, **no batch write overlapped the scan's
+//!   collects** — any batch write is preceded by a visible `writers`
+//!   increment and followed by an `epoch` increment, one of which would show
+//!   at one of the two validation points — so the scan observed either all
+//!   of a batch or none of it. The writers-before-epoch read order is
+//!   load-bearing; see [`BatchGate::observe`].
 //!
 //! Single-component updates deliberately do **not** touch the gate: a single
 //! write is atomic on its own, an update returns only an acknowledgement (it
@@ -88,16 +89,26 @@ impl BatchGate {
     }
 
     /// Reads the gate: `Some(epoch)` if no batch write phase is in flight.
-    /// Counts two read steps.
+    /// Counts two read steps (one if a writer is seen).
+    ///
+    /// `writers` MUST be read before `epoch`. A phase ends with `epoch += 1;
+    /// writers -= 1`, so reading the pair in the opposite order lets an
+    /// entire phase tail slip between the two loads of a *closing*
+    /// validation read: the epoch load returns the pre-phase count, the
+    /// phase then bumps the epoch and drops `writers`, and the writers load
+    /// returns 0 — both halves look clean even though the validated body
+    /// overlapped the phase's writes (a torn batch observed, then
+    /// "validated"). Writers-first is safe on both ends of the window: a
+    /// phase that finished before the writers load has already bumped the
+    /// epoch the subsequent load reads, and a phase still in flight shows a
+    /// non-zero writer count.
     pub(crate) fn observe(&self) -> Option<u64> {
         steps::record(OpKind::Read);
-        let epoch = self.epoch.load(Ordering::SeqCst);
-        steps::record(OpKind::Read);
         if self.writers.load(Ordering::SeqCst) != 0 {
-            None
-        } else {
-            Some(epoch)
+            return None;
         }
+        steps::record(OpKind::Read);
+        Some(self.epoch.load(Ordering::SeqCst))
     }
 
     /// Runs `body` until one execution fits entirely inside a batch-free

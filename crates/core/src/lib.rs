@@ -65,7 +65,7 @@ pub use entry::Entry;
 pub use lock_snapshot::LockSnapshot;
 pub use mv_snapshot::{MvSnapshot, ParkedUpdate};
 pub use register_snapshot::RegisterPartialSnapshot;
-pub use traits::PartialSnapshot;
+pub use traits::{PartialSnapshot, ReshardOp};
 pub use view::View;
 
 /// Re-export of the process identifier type used by every operation.

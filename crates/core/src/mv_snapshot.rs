@@ -186,6 +186,37 @@ impl<T: Clone + Send + Sync + 'static> MvSnapshot<T> {
             .collect()
     }
 
+    /// Reads one slot at announced timestamp `s`, returning the winning
+    /// version's finalized timestamp alongside the value — the merge-read
+    /// half of a reshard migration window, where a moved component's answer
+    /// is arbitrated between its old and new register by larger timestamp.
+    /// The caller must hold a live announcement on this object (the same
+    /// protocol as [`scan_at`](Self::scan_at)) so pruners keep the version.
+    pub fn read_slot_stamped(&self, slot: usize, s: u64) -> (u64, T) {
+        let (t, v) = self.registers[slot].read_at_stamped(s, &self.camera);
+        (t, (*v).clone())
+    }
+
+    /// The finalized version history of `slot`, oldest-first — what a
+    /// reshard migration copies out of a source shard once it is frozen
+    /// (writers drained, batches excluded by the serializer). See
+    /// [`psnap_shmem::MvRegister::finalized_versions`].
+    pub fn slot_versions(&self, slot: usize) -> Vec<(u64, Arc<T>)> {
+        self.registers[slot].finalized_versions()
+    }
+
+    /// Installs a version whose timestamp is **already published** into
+    /// `slot` — the install half of a reshard migration copy. The frozen
+    /// timestamp keeps the copied version winning exactly the scans its
+    /// original did: it never shadows a post-cutover write (those carry
+    /// strictly larger timestamps, see
+    /// [`psnap_shmem::TimestampCamera::cutover`]) and never advances a
+    /// pre-cutover value past the scans that already excluded it.
+    pub fn install_frozen(&self, slot: usize, t: u64, value: Arc<T>) {
+        self.registers[slot].install(value, MvStamp::finalized(t));
+        psnap_shmem::metrics::mv_migrated_versions().inc();
+    }
+
     /// The timestamp bounds a pruner must respect: the camera's current
     /// value (covering every future scan — their timestamps can only be
     /// larger) plus every live announcement. The camera is read **first**:

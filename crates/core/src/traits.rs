@@ -2,6 +2,30 @@
 
 use psnap_shmem::ProcessId;
 
+/// A repartitioning request against a sharded implementation: change the
+/// component→shard assignment of a live object without stopping traffic.
+///
+/// Shard ids refer to the *current* generation's id space (see
+/// [`PartialSnapshot::generation`]); a split appends its new shard at the
+/// next free id, a merge leaves the `from` id allocated but empty. Both ops
+/// bump the generation by exactly one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReshardOp {
+    /// Split `shard` in two: the slot-order first half of its components
+    /// stays put, the rest move to a freshly appended shard.
+    Split {
+        /// The shard to split (must own at least two components).
+        shard: usize,
+    },
+    /// Move every component of `from` onto `into`, leaving `from` empty.
+    Merge {
+        /// The shard to drain (becomes empty).
+        from: usize,
+        /// The shard that absorbs `from`'s components.
+        into: usize,
+    },
+}
+
 /// A linearizable partial snapshot object over `m` components of type `T`
 /// (Section 2.1 of the paper).
 ///
@@ -76,6 +100,17 @@ pub trait PartialSnapshot<T: Clone + Send + Sync + 'static>: Send + Sync {
         Vec::new()
     }
 
+    /// Components owned per shard under the current partition map: element
+    /// `i` is how many components shard `i` currently routes (`0` for a
+    /// merged-away shard id whose slot stays allocated). Unsharded
+    /// implementations return an empty vector. A reshard policy needs this
+    /// alongside [`shard_heat`](PartialSnapshot::shard_heat): rates alone
+    /// cannot tell an emptied shard from an idle one that still owns
+    /// components.
+    fn shard_sizes(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
     /// Optional fast path for freshness-relaxed reads: returns the listed
     /// components as a consistent cut **at an announced timestamp**,
     /// together with that timestamp.
@@ -101,6 +136,28 @@ pub trait PartialSnapshot<T: Clone + Send + Sync + 'static>: Send + Sync {
     fn shard_of(&self, component: usize) -> usize {
         let _ = component;
         0
+    }
+
+    /// The generation number of the partition map currently routing this
+    /// object (0 for implementations whose layout is fixed for life). Two
+    /// calls returning the same value bracket a window in which
+    /// [`shard_of`](PartialSnapshot::shard_of) answers were mutually
+    /// consistent — the check the serve layer uses to keep a parallel-union
+    /// grouping from straddling a reshard.
+    fn generation(&self) -> u64 {
+        0
+    }
+
+    /// Applies a repartitioning op to a live object, returning `true` if the
+    /// layout changed (the generation advanced by one). The default — and
+    /// every implementation without online resharding — refuses with
+    /// `false`; callers must treat a refusal as "layout unchanged", not an
+    /// error. Implementations that accept must not stop the world: scans,
+    /// updates and batches in flight on the old generation complete
+    /// correctly and linearizably.
+    fn reshard(&self, op: ReshardOp) -> bool {
+        let _ = op;
+        false
     }
 }
 
@@ -134,11 +191,20 @@ impl<T: Clone + Send + Sync + 'static, S: PartialSnapshot<T> + ?Sized> PartialSn
     fn shard_heat(&self) -> Vec<u64> {
         (**self).shard_heat()
     }
+    fn shard_sizes(&self) -> Vec<usize> {
+        (**self).shard_sizes()
+    }
     fn scan_stale(&self, pid: ProcessId, components: &[usize]) -> Option<(u64, Vec<T>)> {
         (**self).scan_stale(pid, components)
     }
     fn shard_of(&self, component: usize) -> usize {
         (**self).shard_of(component)
+    }
+    fn generation(&self) -> u64 {
+        (**self).generation()
+    }
+    fn reshard(&self, op: ReshardOp) -> bool {
+        (**self).reshard(op)
     }
 }
 

@@ -36,7 +36,7 @@ pub mod metric;
 pub mod registry;
 pub mod trace;
 
-pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, RateTracker};
 pub use registry::{Metric, MetricSnapshot, Registry};
 pub use trace::{set_trace_enabled, trace_enabled, Timeline, TraceEvent, TraceKind};
 

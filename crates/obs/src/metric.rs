@@ -259,6 +259,83 @@ impl Histogram {
     }
 }
 
+/// Differentiates a vector of cumulative-monotone counter readings into
+/// **windowed rates** (EWMA-smoothed deltas per observation tick).
+///
+/// [`Counter`]s only ever go up, which makes `{prefix}.heat.k` useless as a
+/// load signal on its own: a shard that was hot an hour ago and idle since
+/// still dominates the totals. Feeding successive [`Counter::get`] readings
+/// through [`observe`](RateTracker::observe) yields per-entry rates over
+/// the recent past instead — the signal a reshard policy (or any
+/// controller) actually wants. Smoothing is a standard exponentially
+/// weighted moving average, `rate ← α·delta + (1−α)·rate`, the same family
+/// as the serve layer's coalescing-window controller.
+///
+/// The tracker is plain mutable state for a single observer (the stats
+/// reporter / reshard driver tick) — it takes no locks and is not meant to
+/// be shared. The observed vector may **grow** between ticks (a split
+/// appends a shard): new entries start with zero history. It never shrinks;
+/// merged-away entries simply decay toward zero.
+#[derive(Debug, Clone)]
+pub struct RateTracker {
+    alpha: f64,
+    last: Vec<u64>,
+    rates: Vec<f64>,
+    primed: bool,
+}
+
+impl RateTracker {
+    /// A tracker smoothing with factor `alpha` in `(0, 1]` — `1.0` means
+    /// "last window only", smaller values remember more history.
+    pub fn new(alpha: f64) -> RateTracker {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA factor must be in (0, 1], got {alpha}"
+        );
+        RateTracker {
+            alpha,
+            last: Vec::new(),
+            rates: Vec::new(),
+            primed: false,
+        }
+    }
+
+    /// Folds one reading of the cumulative totals into the rates and
+    /// returns the updated rate slice (aligned with `totals` by index).
+    ///
+    /// The first observation only primes the baseline (rates stay zero):
+    /// counters existing before the tracker must not register their whole
+    /// history as one infinite-rate spike. Entries appended after priming
+    /// are treated the same way — their first delta is measured from zero,
+    /// which is correct for freshly created (zero-valued) counters like a
+    /// split's new shard.
+    pub fn observe(&mut self, totals: &[u64]) -> &[f64] {
+        if totals.len() > self.last.len() {
+            self.last.resize(totals.len(), 0);
+            self.rates.resize(totals.len(), 0.0);
+        }
+        if !self.primed {
+            self.last[..totals.len()].copy_from_slice(totals);
+            self.primed = true;
+            return &self.rates;
+        }
+        for (i, &total) in totals.iter().enumerate() {
+            // saturating: a counter handle swapped for a fresh one (rare,
+            // e.g. diagnostics resets) reads as a quiet window, not a
+            // u64-wrapping spike.
+            let delta = total.saturating_sub(self.last[i]) as f64;
+            self.last[i] = total;
+            self.rates[i] = self.alpha * delta + (1.0 - self.alpha) * self.rates[i];
+        }
+        &self.rates
+    }
+
+    /// The current rate estimates (per observation tick).
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,5 +414,40 @@ mod tests {
         // Bucket [512, 1023] upper bound 1023, clamped by max 1000.
         assert_eq!(snap.p50, 1000);
         assert_eq!(snap.p99, 1000);
+    }
+
+    #[test]
+    fn rate_tracker_differentiates_and_smooths() {
+        let mut t = RateTracker::new(0.5);
+        // Priming: pre-existing totals are a baseline, not a spike.
+        assert_eq!(t.observe(&[1000, 0]), &[0.0, 0.0]);
+        assert_eq!(t.observe(&[1100, 10]), &[50.0, 5.0]);
+        // Second identical delta converges toward it.
+        assert_eq!(t.observe(&[1200, 20]), &[75.0, 7.5]);
+        // Quiet window decays.
+        assert_eq!(t.observe(&[1200, 20]), &[37.5, 3.75]);
+    }
+
+    #[test]
+    fn rate_tracker_accepts_appended_entries() {
+        let mut t = RateTracker::new(1.0);
+        t.observe(&[10]);
+        // A split appended a shard whose counter starts cold.
+        assert_eq!(t.observe(&[30, 5]), &[20.0, 5.0]);
+        assert_eq!(t.observe(&[30, 12]), &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn rate_tracker_treats_counter_regression_as_quiet() {
+        let mut t = RateTracker::new(1.0);
+        t.observe(&[100]);
+        assert_eq!(t.observe(&[40]), &[0.0], "regression must not wrap");
+        assert_eq!(t.observe(&[50]), &[10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA factor")]
+    fn rate_tracker_rejects_zero_alpha() {
+        let _ = RateTracker::new(0.0);
     }
 }

@@ -53,6 +53,9 @@ pub enum TraceKind {
     /// A register chain was pruned (`a` = versions unlinked, `b` = chain
     /// length kept).
     Prune,
+    /// A live reshard retired one partition-map generation for the next
+    /// (`a` = new generation, `b` = components migrated).
+    Reshard,
 }
 
 impl TraceKind {
@@ -70,6 +73,7 @@ impl TraceKind {
             TraceKind::Coalesce => "coalesce",
             TraceKind::ScanServe => "scan_serve",
             TraceKind::Prune => "prune",
+            TraceKind::Reshard => "reshard",
         }
     }
 }

@@ -55,8 +55,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use psnap_core::{PartialSnapshot, ProcessId};
-use psnap_obs::{trace, Counter, Gauge, Histogram, HistogramSnapshot, Metric, Registry, TraceKind};
-use psnap_shard::{Partition, ShardRouter};
+use psnap_obs::{
+    trace, Counter, Gauge, Histogram, HistogramSnapshot, Metric, RateTracker, Registry, TraceKind,
+};
+use psnap_shard::{Partition, ReshardPolicy, ReshardPolicyConfig, ShardRouter};
 
 use crate::executor::{block_on_timeout, Executor, Handle};
 use crate::queue::{BoundedQueue, Notify, OpCell, SubmitError, Ticket};
@@ -183,6 +185,12 @@ struct ScanCache<T> {
 /// answers each push one, so a handful covers the recent past without
 /// letting an old deployment accumulate unbounded state.
 const CACHE_ENTRIES: usize = 8;
+
+/// EWMA weight of the newest heat-rate observation (see
+/// [`ServiceObs::shard_heat_rate`]). Matches the adaptive-window
+/// controller's weighting: responsive within a few ticks, but one noisy
+/// window cannot swing the rate by itself.
+const HEAT_EWMA_ALPHA: f64 = 0.5;
 
 /// The service's live metric handles — obs counters (striped, aggregated on
 /// read), latency histograms, and queue-depth gauges. Shared into any
@@ -370,6 +378,19 @@ pub struct ServiceObs {
     /// Per-shard operation heat of the backing object (empty when the
     /// backing object is unsharded).
     pub shard_heat: Vec<u64>,
+    /// EWMA-smoothed per-shard heat **rate** (operations per observation
+    /// tick), differentiated from the cumulative [`shard_heat`] counters
+    /// across successive obs snapshots. This is the windowed view a
+    /// reshard policy consumes: a shard that was hot an hour ago but is
+    /// idle now decays toward `0` here while its cumulative counter never
+    /// moves backwards. Zeros on the first snapshot (nothing to diff yet).
+    ///
+    /// [`shard_heat`]: ServiceObs::shard_heat
+    pub shard_heat_rate: Vec<f64>,
+    /// Partition-map generation of the backing object: `0` forever on a
+    /// static object, bumped once per accepted reshard on an
+    /// epoch-versioned one.
+    pub generation: u64,
     /// Process-wide count of live multiversion chain entries
     /// ([`psnap_shmem::metrics::mv_live_versions`]).
     pub mv_live_versions: i64,
@@ -432,6 +453,11 @@ impl ServiceObs {
                 "shard_heat",
                 Json::arr(self.shard_heat.iter().map(|&h| Json::Num(h as f64))),
             ),
+            (
+                "shard_heat_rate",
+                Json::arr(self.shard_heat_rate.iter().map(|&r| Json::Num(r))),
+            ),
+            ("generation", Json::Num(self.generation as f64)),
             ("mv_live_versions", Json::Num(self.mv_live_versions as f64)),
             ("mv_chain_len", hist(&self.mv_chain_len)),
         ])
@@ -451,6 +477,10 @@ struct ServiceCore<T, S> {
     closed: AtomicBool,
     /// Recent atomic union views, newest first (see [`ScanCache`]).
     cache: Mutex<Vec<ScanCache<T>>>,
+    /// Differentiates the backing object's cumulative `shard_heat` into
+    /// per-tick rates, advanced once per obs snapshot (see
+    /// [`ServiceObs::shard_heat_rate`]).
+    heat_rates: Mutex<RateTracker>,
     counters: Counters,
     drain_done: Arc<OpCell<()>>,
     scan_done: Arc<OpCell<()>>,
@@ -559,7 +589,21 @@ where
         let jobs = if pool == 1 {
             vec![live]
         } else {
-            group_shard_disjoint(&self.snapshot, live)
+            // Shard-disjoint grouping consults the live partition map once
+            // per component, so a reshard landing mid-grouping could split
+            // the requests along a mix of two generations — two "disjoint"
+            // jobs might share a shard of the new layout and contend, or
+            // worse, plan against ranges that no longer exist. Bracket the
+            // grouping with a generation check and collapse to one union
+            // job if the map moved: correct in every case, merely
+            // unparallel for the one batch that raced the reshard.
+            let generation = self.snapshot.generation();
+            let groups = group_shard_disjoint(&self.snapshot, live);
+            if self.snapshot.generation() != generation {
+                vec![groups.into_iter().flatten().collect()]
+            } else {
+                groups
+            }
         };
         let workers = jobs.len().min(pool);
         if workers <= 1 {
@@ -575,9 +619,39 @@ where
         // owns pid `scan_pid + w` and runs its bucket of jobs
         // sequentially, so no pid is ever used by two scans at once.
         // Bucket 0 runs inline on the scan server itself.
+        //
+        // Jobs are assigned longest-processing-time-first, each priced by
+        // the cumulative heat of the shards it touches: a job over a hot
+        // shard gets a bucket to itself while cold-shard jobs batch
+        // together, instead of round-robin occasionally queueing two hot
+        // jobs behind one pid while another sits idle.
+        let heat = self.snapshot.shard_heat();
+        let mut priced: Vec<(u64, Vec<ScanRequest<T>>)> = jobs
+            .into_iter()
+            .map(|job| {
+                let mut shards: Vec<usize> = job
+                    .iter()
+                    .flat_map(|r| r.components.iter())
+                    .map(|&c| self.snapshot.shard_of(c))
+                    .collect();
+                shards.sort_unstable();
+                shards.dedup();
+                // +1 per shard so unheated footprints (obs disabled, cold
+                // start) still spread by width instead of collapsing to 0.
+                let cost: u64 = shards
+                    .iter()
+                    .map(|&s| heat.get(s).copied().unwrap_or(0) + 1)
+                    .sum();
+                (cost, job)
+            })
+            .collect();
+        priced.sort_by_key(|&(cost, _)| std::cmp::Reverse(cost));
         let mut buckets: Vec<Vec<Vec<ScanRequest<T>>>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, job) in jobs.into_iter().enumerate() {
-            buckets[i % workers].push(job);
+        let mut load = vec![0u64; workers];
+        for (cost, job) in priced {
+            let lightest = (0..workers).min_by_key(|&w| load[w]).unwrap_or(0);
+            load[lightest] += cost;
+            buckets[lightest].push(job);
         }
         let mut tickets = Vec::with_capacity(workers - 1);
         for (w, bucket) in buckets.iter_mut().enumerate().skip(1) {
@@ -1052,6 +1126,7 @@ where
             scan_notify,
             closed: AtomicBool::new(false),
             cache: Mutex::new(Vec::new()),
+            heat_rates: Mutex::new(RateTracker::new(HEAT_EWMA_ALPHA)),
             counters: Counters::default(),
             drain_done: OpCell::new(),
             scan_done: OpCell::new(),
@@ -1091,6 +1166,53 @@ where
             }
         });
         StatsReporter { stop }
+    }
+
+    /// Spawns the online reshard driver on `executor`: every `every`, it
+    /// samples the backing object's cumulative shard heat, differentiates
+    /// it into windowed rates (its own [`RateTracker`], so the obs cadence
+    /// cannot distort the decision window), asks the [`ReshardPolicy`] for
+    /// a split/merge, and applies any proposal through
+    /// [`PartialSnapshot::reshard`] while traffic keeps flowing. On a
+    /// backing object that does not support resharding (or reports no
+    /// shard heat) the driver ticks harmlessly forever. The task exits
+    /// when [`ReshardDriver::stop`] is called or the service shuts down.
+    pub fn spawn_reshard_driver(
+        &self,
+        executor: &Executor,
+        every: Duration,
+        policy: ReshardPolicyConfig,
+    ) -> ReshardDriver {
+        let stop = Arc::new(AtomicBool::new(false));
+        let core = Arc::clone(&self.core);
+        let handle = executor.handle();
+        let flag = Arc::clone(&stop);
+        executor.spawn(async move {
+            let mut policy = ReshardPolicy::new(policy);
+            let mut rates = RateTracker::new(HEAT_EWMA_ALPHA);
+            loop {
+                handle.sleep(every).await;
+                if flag.load(Ordering::Acquire) || core.closed.load(Ordering::Acquire) {
+                    break;
+                }
+                let heat = core.snapshot.shard_heat();
+                if heat.is_empty() {
+                    continue;
+                }
+                let sizes = core.snapshot.shard_sizes();
+                let window = rates.observe(&heat);
+                if let Some(op) = policy.decide(window, &sizes) {
+                    // The store may refuse (single-slot shard, merge of an
+                    // already-empty shard, racing driver); only an accepted
+                    // op starts the cooldown, so a refused proposal is
+                    // retried against fresher rates next tick.
+                    if core.snapshot.reshard(op) {
+                        policy.note_applied();
+                    }
+                }
+            }
+        });
+        ReshardDriver { stop }
     }
 }
 
@@ -1132,13 +1254,22 @@ where
 {
     let c = &core.counters;
     let stats = stats_of(c);
+    let shard_heat = core.snapshot.shard_heat();
+    let shard_heat_rate = core
+        .heat_rates
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .observe(&shard_heat)
+        .to_vec();
     ServiceObs {
         coalescing_ratio: stats.coalescing_ratio(),
         component_dedup_ratio: stats.component_dedup_ratio(),
         ingest_depth: c.ingest_depth.get(),
         scan_depth: c.scan_depth.get(),
         client_count: core.clients.lock().unwrap_or_else(|e| e.into_inner()).len(),
-        shard_heat: core.snapshot.shard_heat(),
+        shard_heat,
+        shard_heat_rate,
+        generation: core.snapshot.generation(),
         mv_live_versions: psnap_shmem::metrics::mv_live_versions().get(),
         mv_chain_len: psnap_shmem::metrics::mv_chain_len().snapshot(),
         stats,
@@ -1153,6 +1284,20 @@ pub struct StatsReporter {
 
 impl StatsReporter {
     /// Asks the reporter task to exit at its next tick.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// Stop handle of a reshard driver spawned by
+/// [`SnapshotService::spawn_reshard_driver`].
+pub struct ReshardDriver {
+    stop: Arc<AtomicBool>,
+}
+
+impl ReshardDriver {
+    /// Asks the driver task to exit at its next tick; in-flight reshards
+    /// complete (they run synchronously inside the tick).
     pub fn stop(&self) {
         self.stop.store(true, Ordering::Release);
     }

@@ -26,6 +26,18 @@
 //! at or below it on every shard — bounded steps under any writer
 //! behaviour, no retries, no latch (experiment E12 measures the trade).
 //!
+//! Both stores route through an **epoch-versioned [`PartitionMap`]** (a
+//! generation number plus the component→shard assignment) held behind an
+//! `AtomicPtr` and reclaimed through `psnap_shmem::epoch`, so the layout
+//! can change while traffic is live: [`psnap_core::ReshardOp`] splits a hot
+//! shard or merges a cold one away. `MvShardedSnapshot` migrates version
+//! history behind a single camera-cutover timestamp with scans and updates
+//! still running (see its module docs for the protocol); `ShardedSnapshot`
+//! has no history to migrate and implements the naive drain-and-rebuild
+//! baseline. [`ReshardPolicy`] is the pure decision core that turns
+//! windowed shard-heat rates into split/merge proposals (experiment E15
+//! measures live migration against the baseline under skewed load).
+//!
 //! ```
 //! use psnap_core::PartialSnapshot;
 //! use psnap_core::CasPartialSnapshot;
@@ -48,8 +60,10 @@
 
 pub mod mv_sharded;
 pub mod partition;
+pub mod reshard;
 pub mod sharded;
 
 pub use mv_sharded::{MvShardedParked, MvShardedSnapshot};
-pub use partition::{Partition, ScanPlan, ShardRouter, UnionPlan};
+pub use partition::{Partition, PartitionMap, ScanPlan, ShardRouter, UnionPlan};
+pub use reshard::{ReshardPolicy, ReshardPolicyConfig};
 pub use sharded::{CoordinationStats, CrossShardPath, ShardConfig, ShardedSnapshot};

@@ -1,5 +1,6 @@
 //! [`MvShardedSnapshot`]: the multiversioned cross-shard path — wait-free
-//! cross-shard scans with no validation retries and no coordination latch.
+//! cross-shard scans with no validation retries and no coordination latch,
+//! over an **epoch-versioned partition map** that can be resharded online.
 //!
 //! [`ShardedSnapshot`](crate::ShardedSnapshot) validates cross-shard scans
 //! against per-shard epoch counters and, when validation keeps failing,
@@ -27,50 +28,169 @@
 //! everywhere or nowhere — without the two-phase `writers`/`batch_writers`
 //! bracketing the coordinated path needs.
 //!
+//! # Online resharding
+//!
+//! The component→shard assignment is not fixed at construction: the whole
+//! routing state (a [`PartitionMap`] generation, its [`ShardRouter`], the
+//! inner shard objects, and per-shard writer gates) lives in one immutable
+//! [`RouterState`] behind an `AtomicPtr`. Operations pin the epoch
+//! ([`psnap_shmem::epoch`]), load the pointer, and work against that
+//! coherent generation; [`reshard`](PartialSnapshot::reshard) builds the
+//! next generation and swaps the pointer, retiring the old state through
+//! the epoch module so in-flight readers keep a dereferenceable view.
+//!
+//! A live reshard never stops scans. The protocol (per affected shard):
+//!
+//! 1. **exclude batches** — take the shared batch serializer (in-flight
+//!    batches complete first; new ones queue);
+//! 2. **freeze + drain writers** — set the affected shards' gate flags and
+//!    wait for their in-flight single updates to finish (updates to other
+//!    shards continue untouched);
+//! 3. **cutover** — draw one boundary timestamp with
+//!    [`TimestampCamera::cutover`]: every version finalized before it sits
+//!    strictly below, every write after the swap lands at or above;
+//! 4. **copy** — build the replacement shard objects
+//!    ([`MvSnapshot::with_shared`], same camera and serializer) and install
+//!    the moved components' finalized version history with its original
+//!    timestamps ([`MvSnapshot::install_frozen`]) — the copies win exactly
+//!    the scans the originals did and can never shadow a post-cutover write;
+//! 5. **swap + retire** — publish the new `RouterState`, unfreeze the
+//!    gates, and retire the old state epoch-style.
+//!
+//! Scans are kept correct across the swap by a **post-tick generation
+//! recheck**: after drawing `s`, a scan re-reads the live generation. If it
+//! moved, the scan clears its announcements and retries on the new state
+//! (bounded by the number of concurrent reshard events, not by writers). If
+//! it did not move, the swap — if any — happened after this scan's tick, so
+//! every write the old state misses carries a timestamp `≥ s` drawn after
+//! the swap and is legally ordered after the scan. Writes the scan *can*
+//! see on the old state are complete: the affected shards were drained
+//! before the cutover, so their old chains are immutable below the
+//! boundary.
+//!
 //! Which path a deployment gets is chosen by
 //! [`ShardConfig::cross_shard`](crate::ShardConfig): `Coordinated` builds
 //! the epoch-validated [`ShardedSnapshot`](crate::ShardedSnapshot),
 //! `Multiversioned` builds this type (see
 //! [`ImplKind`](../psnap_bench/enum.ImplKind.html)'s `MvSharded` kinds and
-//! experiment E12 for the measured trade: the multiversioned path buys its
-//! bounded scans with one extra fetch&add per scan and a version chain per
-//! register).
+//! experiments E12/E15 for the measured trades).
 
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use psnap_core::{MvSnapshot, PartialSnapshot};
+use psnap_core::{MvSnapshot, PartialSnapshot, ReshardOp};
 use psnap_obs::{trace, Counter, Histogram, Metric, Registry, TraceKind};
+use psnap_shmem::epoch::{self, Guard};
 use psnap_shmem::{MvStamp, ProcessId, StepScope, TimestampCamera};
 
-use crate::partition::ShardRouter;
+use crate::partition::{PartitionMap, ShardRouter};
 use crate::sharded::ShardConfig;
 
-/// A partial snapshot object sharded over multiversioned shards that share
-/// one timestamp camera. See the module docs.
-pub struct MvShardedSnapshot<T> {
+/// Per-shard writer gate: lets a reshard drain in-flight single updates of
+/// the shards it rebuilds without touching writers elsewhere. Shared (by
+/// `Arc`) between consecutive router states of the same shard id, so a
+/// writer counted against generation `g` is still visible to a reshard
+/// running at generation `g + 1`.
+#[repr(align(64))]
+struct ShardGate {
+    /// Single updates currently mutating the shard.
+    writers: AtomicU64,
+    /// Raised while a reshard is rebuilding this shard: writers back off
+    /// (decrement and retry on the fresh state) instead of mutating a chain
+    /// that is being copied out.
+    frozen: AtomicBool,
+}
+
+impl ShardGate {
+    fn new() -> Self {
+        ShardGate {
+            writers: AtomicU64::new(0),
+            frozen: AtomicBool::new(false),
+        }
+    }
+}
+
+/// One generation of the routing state: everything an operation needs to
+/// run coherently against a single partition map. Immutable once published;
+/// unchanged shards share their inner objects, gates and heat counters with
+/// the previous generation via `Arc`.
+struct RouterState<T> {
+    map: PartitionMap,
     router: ShardRouter,
-    inner: Vec<MvSnapshot<T>>,
+    inner: Vec<Arc<MvSnapshot<T>>>,
+    gates: Vec<Arc<ShardGate>>,
+    /// Per-shard operation heat. Survivors keep their counter across
+    /// generations; shards appended by a split start cold, which is what
+    /// makes post-split skew directly observable.
+    heat: Vec<Arc<Counter>>,
+}
+
+impl<T> RouterState<T> {
+    /// Raises the writer count on `shard`, unless it is frozen by a
+    /// reshard. On refusal nothing is held.
+    fn enter_writer(&self, shard: usize) -> bool {
+        let gate = &self.gates[shard];
+        gate.writers.fetch_add(1, Ordering::SeqCst);
+        if gate.frozen.load(Ordering::SeqCst) {
+            gate.writers.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    fn exit_writer(&self, shard: usize) {
+        self.gates[shard].writers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A partial snapshot object sharded over multiversioned shards that share
+/// one timestamp camera, routed by an epoch-versioned partition map that
+/// supports live split/merge. See the module docs.
+pub struct MvShardedSnapshot<T> {
+    /// The live routing state. Readers pin the epoch, load, and use;
+    /// [`reshard`](PartialSnapshot::reshard) swaps and retires.
+    state: AtomicPtr<RouterState<T>>,
     camera: Arc<TimestampCamera>,
     /// Serializes whole batches across the family — the same `Arc` every
     /// shard holds, so single-shard batches entering through an inner shard
     /// and cross-shard batches entering here can never interleave their
-    /// installs.
+    /// installs. A reshard holds it across its whole migration, which is
+    /// what lets batches skip the writer gates entirely.
     batches: Arc<Mutex<()>>,
+    /// Serializes reshard operations against each other.
+    reshard_lock: Mutex<()>,
+    /// The initial component value (new shard objects need it before the
+    /// migration copy overwrites the slots that have history).
+    initial: T,
     /// Cross-shard scans served (diagnostics; every one of them is answered
     /// by the one-shot timestamp path — there is no other path to count).
     stats_cross: Arc<Counter>,
-    /// Per-shard operation heat (updates, batches, and scans touching it).
-    heat: Vec<Arc<Counter>>,
+    /// Reshard operations that changed the layout.
+    stats_reshards: Arc<Counter>,
+    /// Scan attempts retried because a reshard swapped the generation
+    /// between their planning and their tick.
+    stats_scan_regen: Arc<Counter>,
     scan_steps: Arc<Histogram>,
     update_steps: Arc<Histogram>,
+    m: usize,
     n: usize,
+}
+
+impl<T> Drop for MvShardedSnapshot<T> {
+    fn drop(&mut self) {
+        // Retired predecessors are owned by the epoch module; the live
+        // state is ours.
+        let ptr = self.state.load(Ordering::Acquire);
+        drop(unsafe { Box::from_raw(ptr) });
+    }
 }
 
 impl<T: Clone + Send + Sync + 'static> MvShardedSnapshot<T> {
     /// Creates a multiversioned sharded object over `m` components for
     /// `max_processes` processes. `config.shards` and `config.partition`
-    /// are honoured; `config.max_optimistic_retries` is irrelevant here (the
-    /// multiversioned path never retries).
+    /// seed generation 0 of the partition map;
+    /// `config.max_optimistic_retries` is irrelevant here (the
+    /// multiversioned path never retries validation).
     pub fn new(m: usize, max_processes: usize, initial: T, config: ShardConfig) -> Self {
         assert!(m > 0, "a snapshot object needs at least one component");
         assert!(max_processes > 0, "at least one process must be allowed");
@@ -80,47 +200,78 @@ impl<T: Clone + Send + Sync + 'static> MvShardedSnapshot<T> {
              config requesting CrossShardPath::Coordinated needs ShardedSnapshot \
              (use ShardConfig::multiversioned)"
         );
-        let router = ShardRouter::new(m, config.shards, config.partition);
+        let map = PartitionMap::new(m, config.shards, config.partition);
+        let router = ShardRouter::from_map(&map);
         let camera = Arc::new(TimestampCamera::new());
         let batches = Arc::new(Mutex::new(()));
-        let inner: Vec<MvSnapshot<T>> = (0..router.shards())
+        let inner: Vec<Arc<MvSnapshot<T>>> = (0..router.shards())
             .map(|s| {
-                MvSnapshot::with_shared(
+                Arc::new(MvSnapshot::with_shared(
                     router.shard_size(s),
                     max_processes,
                     initial.clone(),
                     Arc::clone(&camera),
                     Arc::clone(&batches),
-                )
+                ))
             })
             .collect();
         let shards = router.shards();
-        MvShardedSnapshot {
+        let state = RouterState {
+            map,
             router,
             inner,
+            gates: (0..shards).map(|_| Arc::new(ShardGate::new())).collect(),
+            heat: (0..shards).map(|_| Arc::new(Counter::new())).collect(),
+        };
+        MvShardedSnapshot {
+            state: AtomicPtr::new(Box::into_raw(Box::new(state))),
             camera,
             batches,
+            reshard_lock: Mutex::new(()),
+            initial,
             stats_cross: Arc::new(Counter::new()),
-            heat: (0..shards).map(|_| Arc::new(Counter::new())).collect(),
+            stats_reshards: Arc::new(Counter::new()),
+            stats_scan_regen: Arc::new(Counter::new()),
             scan_steps: Arc::new(Histogram::new()),
             update_steps: Arc::new(Histogram::new()),
+            m,
             n: max_processes,
         }
     }
 
-    /// The router mapping components to shards.
-    pub fn router(&self) -> &ShardRouter {
-        &self.router
+    /// The live routing state. The returned reference is valid for the
+    /// guard's lifetime: a concurrent reshard retires the state through the
+    /// epoch module, which never frees under an active pin.
+    fn state<'g>(&self, _guard: &'g Guard) -> &'g RouterState<T> {
+        unsafe { &*self.state.load(Ordering::Acquire) }
     }
 
-    /// Number of inner shards.
+    /// The generation currently routing the object. Callers must be pinned
+    /// (any loaded state stays dereferenceable), which every use site is.
+    fn live_generation(&self) -> u64 {
+        unsafe { &*self.state.load(Ordering::Acquire) }
+            .router
+            .generation()
+    }
+
+    /// Number of inner shards in the current generation's id space (some
+    /// may be empty after a merge).
     pub fn shards(&self) -> usize {
-        self.inner.len()
+        let guard = epoch::pin();
+        self.state(&guard).inner.len()
     }
 
-    /// Access to one inner shard (diagnostics and tests).
-    pub fn shard(&self, s: usize) -> &MvSnapshot<T> {
-        &self.inner[s]
+    /// A clone of the current partition map (diagnostics and tests).
+    pub fn partition_map(&self) -> PartitionMap {
+        let guard = epoch::pin();
+        self.state(&guard).map.clone()
+    }
+
+    /// Access to one inner shard of the current generation (diagnostics and
+    /// tests); the `Arc` stays valid across subsequent reshards.
+    pub fn shard(&self, s: usize) -> Arc<MvSnapshot<T>> {
+        let guard = epoch::pin();
+        Arc::clone(&self.state(&guard).inner[s])
     }
 
     /// The shared timestamp camera.
@@ -133,20 +284,42 @@ impl<T: Clone + Send + Sync + 'static> MvShardedSnapshot<T> {
         self.stats_cross.get()
     }
 
-    /// Per-shard operation heat: how many update/batch/scan operations have
-    /// touched each shard since construction.
+    /// Number of reshard operations that changed the layout.
+    pub fn reshards(&self) -> u64 {
+        self.stats_reshards.get()
+    }
+
+    /// Number of scan attempts retried across a generation swap.
+    pub fn scan_generation_retries(&self) -> u64 {
+        self.stats_scan_regen.get()
+    }
+
+    /// Per-shard operation heat for the current generation's shard id
+    /// space: how many update/batch/scan operations have touched each
+    /// shard. Survivors carry their count across reshards; shards appended
+    /// by a split start at zero.
     pub fn heat(&self) -> Vec<u64> {
-        self.heat.iter().map(|c| c.get()).collect()
+        let guard = epoch::pin();
+        self.state(&guard).heat.iter().map(|c| c.get()).collect()
     }
 
     /// Registers this store's live metric handles into `registry` under
-    /// `{prefix}.*`. The multiversioned path has no scan-outcome partition
-    /// to declare — every cross-shard scan is served by the one-shot
-    /// timestamp path.
+    /// `{prefix}.*`. Per-shard heat counters are registered for the
+    /// generation-0 shards (counters of shards appended by later splits are
+    /// reachable through [`shard_heat`](PartialSnapshot::shard_heat), which
+    /// always reflects the live generation).
     pub fn register_obs(&self, registry: &Registry, prefix: &str) {
         registry.register(
             &format!("{prefix}.scan.cross"),
             Metric::Counter(Arc::clone(&self.stats_cross)),
+        );
+        registry.register(
+            &format!("{prefix}.reshards"),
+            Metric::Counter(Arc::clone(&self.stats_reshards)),
+        );
+        registry.register(
+            &format!("{prefix}.scan.regen_retries"),
+            Metric::Counter(Arc::clone(&self.stats_scan_regen)),
         );
         registry.register(
             &format!("{prefix}.scan.steps"),
@@ -156,7 +329,8 @@ impl<T: Clone + Send + Sync + 'static> MvShardedSnapshot<T> {
             &format!("{prefix}.update.steps"),
             Metric::Histogram(Arc::clone(&self.update_steps)),
         );
-        for (i, heat) in self.heat.iter().enumerate() {
+        let guard = epoch::pin();
+        for (i, heat) in self.state(&guard).heat.iter().enumerate() {
             registry.register(
                 &format!("{prefix}.heat.{i}"),
                 Metric::Counter(Arc::clone(heat)),
@@ -165,7 +339,6 @@ impl<T: Clone + Send + Sync + 'static> MvShardedSnapshot<T> {
     }
 
     fn validate(&self, pid: ProcessId, components: &[usize]) {
-        let m = self.router.components();
         assert!(
             pid.index() < self.n,
             "process id {pid} out of range: object configured for {} processes",
@@ -173,9 +346,58 @@ impl<T: Clone + Send + Sync + 'static> MvShardedSnapshot<T> {
         );
         for &c in components {
             assert!(
-                c < m,
-                "component {c} out of range: object has {m} components"
+                c < self.m,
+                "component {c} out of range: object has {} components",
+                self.m
             );
+        }
+    }
+
+    /// The one-shot cross-shard read protocol with the post-tick generation
+    /// recheck, shared by `scan` and `scan_stale`. Returns the timestamp
+    /// alongside the assembled values.
+    fn scan_with_stamp(&self, pid: ProcessId, components: &[usize]) -> (u64, Vec<T>) {
+        loop {
+            let guard = epoch::pin();
+            let state = self.state(&guard);
+            let plan = state.router.plan(components);
+            // Announce on every involved shard *before* drawing the
+            // timestamp: each announcement lower-bounds `s`, keeping every
+            // shard's pruners away from the versions this scan may select.
+            for &(shard, _) in &plan.groups {
+                state.inner[shard].announce_scan(pid);
+            }
+            let s = self.camera.tick();
+            // The reshard seam: if the generation moved since planning, a
+            // cutover may have beaten our tick, and post-swap writes could
+            // carry timestamps ≤ s on shard objects this plan never reads.
+            // Retry on the fresh state (bounded by concurrent reshard
+            // events). If the generation is unchanged, any later swap
+            // happens after this tick, so every write the old state misses
+            // is stamped ≥ s and legally ordered after this scan.
+            if self.live_generation() != state.router.generation() {
+                for &(shard, _) in &plan.groups {
+                    state.inner[shard].clear_announcement(pid);
+                }
+                self.stats_scan_regen.inc();
+                continue;
+            }
+            for (shard, _) in &plan.groups {
+                state.heat[*shard].inc();
+            }
+            if plan.is_cross_shard() {
+                self.stats_cross.inc();
+            }
+            trace::emit(TraceKind::ScanAnnounce, s, plan.groups.len() as u64);
+            let results: Vec<Vec<T>> = plan
+                .groups
+                .iter()
+                .map(|(shard, slots)| state.inner[*shard].scan_at(pid, slots, s))
+                .collect();
+            for &(shard, _) in &plan.groups {
+                state.inner[shard].clear_announcement(pid);
+            }
+            return (s, plan.assemble(&results));
         }
     }
 
@@ -185,7 +407,9 @@ impl<T: Clone + Send + Sync + 'static> MvShardedSnapshot<T> {
     /// wait-freedom harness — scans must (and do) stay within their step
     /// budget with the batch parked on every involved shard, returning the
     /// pre-batch cut. The batch serializer is held until commit; dropping
-    /// the guard commits.
+    /// the guard commits. Because the serializer is held, no reshard can
+    /// run while a batch is parked — the routing the batch installed
+    /// against stays live until it commits.
     pub fn begin_parked_update_many(
         &self,
         pid: ProcessId,
@@ -193,21 +417,159 @@ impl<T: Clone + Send + Sync + 'static> MvShardedSnapshot<T> {
     ) -> MvShardedParked<'_, T> {
         self.validate(pid, &writes.iter().map(|(c, _)| *c).collect::<Vec<_>>());
         let guard = self.batches.lock().unwrap_or_else(|e| e.into_inner());
-        let by_shard = self.router.group_last_write_wins(writes);
+        let pin = epoch::pin();
+        let state = self.state(&pin);
+        let by_shard = state.router.group_last_write_wins(writes);
         let stamp = MvStamp::pending_batch();
         for (&shard, sub_batch) in &by_shard {
-            self.inner[shard].install_pending(pid, sub_batch, &stamp);
+            state.inner[shard].install_pending(pid, sub_batch, &stamp);
         }
         let touched = by_shard
             .into_iter()
-            .map(|(shard, sub)| (shard, sub.into_iter().map(|(slot, _)| slot).collect()))
+            .map(|(shard, sub)| {
+                (
+                    Arc::clone(&state.inner[shard]),
+                    sub.into_iter().map(|(slot, _)| slot).collect(),
+                )
+            })
             .collect();
         MvShardedParked {
-            snapshot: self,
+            camera: Arc::clone(&self.camera),
             stamp,
             touched,
             _serial: guard,
         }
+    }
+
+    /// Applies a split or merge to the live object. See the module docs for
+    /// the protocol and its correctness argument. Returns `false` (layout
+    /// unchanged) for degenerate requests: splitting a shard with fewer
+    /// than two components, merging a shard into itself, or out-of-range
+    /// ids.
+    fn reshard_live(&self, op: ReshardOp) -> bool {
+        // Lock order: reshard_lock → batch serializer → gate freeze. Batch
+        // writers take the serializer before routing, so a batch in flight
+        // completes before the freeze and no new one starts until the swap
+        // is published.
+        let _reshard = self.reshard_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let _serial = self.batches.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = epoch::pin();
+        let old_ptr = self.state.load(Ordering::Acquire);
+        let old = unsafe { &*old_ptr };
+        let new_map = match op {
+            ReshardOp::Split { shard } => old.map.split(shard),
+            ReshardOp::Merge { from, into } => old.map.merge(from, into),
+        };
+        let Some(new_map) = new_map else {
+            return false;
+        };
+        let affected: Vec<usize> = match op {
+            ReshardOp::Split { shard } => vec![shard],
+            ReshardOp::Merge { from, into } => vec![from, into],
+        };
+        // Freeze the affected shards and drain their in-flight single
+        // updates (each is a bounded store-and-finalize; writers that
+        // arrive after the freeze back off and retry against the new state
+        // once it is published). Writers to unaffected shards continue
+        // untouched throughout.
+        for &s in &affected {
+            old.gates[s].frozen.store(true, Ordering::SeqCst);
+        }
+        for &s in &affected {
+            while old.gates[s].writers.load(Ordering::SeqCst) != 0 {
+                std::thread::yield_now();
+            }
+        }
+        // The migration boundary: every version finalized before this call
+        // is strictly below it, every post-swap write at or above it. The
+        // affected shards are quiescent from here until the swap, so their
+        // chains are frozen below the boundary.
+        let boundary = self.camera.cutover();
+        let new_router = ShardRouter::from_map(&new_map);
+        let mut inner = Vec::with_capacity(new_map.shards());
+        let mut gates = Vec::with_capacity(new_map.shards());
+        let mut heat = Vec::with_capacity(new_map.shards());
+        for s in 0..new_map.shards() {
+            let is_new = s >= old.inner.len();
+            if !is_new && !affected.contains(&s) {
+                inner.push(Arc::clone(&old.inner[s]));
+                gates.push(Arc::clone(&old.gates[s]));
+                heat.push(Arc::clone(&old.heat[s]));
+                continue;
+            }
+            // Gates are shared by shard id so writer counts survive the
+            // swap; heat likewise, so survivors keep their history while a
+            // freshly appended shard starts cold.
+            gates.push(if is_new {
+                Arc::new(ShardGate::new())
+            } else {
+                Arc::clone(&old.gates[s])
+            });
+            heat.push(if is_new {
+                Arc::new(Counter::new())
+            } else {
+                Arc::clone(&old.heat[s])
+            });
+            let size = new_router.shard_size(s);
+            if size == 0 {
+                // The emptied side of a merge: keep the drained old object
+                // in the slot — no route leads to it, and keeping it spares
+                // a degenerate zero-component construction.
+                inner.push(Arc::clone(&old.inner[s]));
+                continue;
+            }
+            // Rebuilt shard: fresh object on the shared camera/serializer,
+            // then copy each owned component's finalized history with its
+            // original timestamps. All copied stamps sit below the
+            // boundary, so a copy can never shadow a post-swap write; old
+            // -generation scans still in flight keep reading the old
+            // objects, which stay alive until the epoch frees them.
+            let fresh = Arc::new(MvSnapshot::with_shared(
+                size,
+                self.n,
+                self.initial.clone(),
+                Arc::clone(&self.camera),
+                Arc::clone(&self.batches),
+            ));
+            for slot in 0..size {
+                let component = new_router.component_of(s, slot);
+                let (old_shard, old_slot) = old.router.route(component);
+                for (t, v) in old.inner[old_shard].slot_versions(old_slot) {
+                    debug_assert!(
+                        t < boundary,
+                        "version stamped {t} at or above the cutover boundary {boundary}"
+                    );
+                    fresh.install_frozen(slot, t, v);
+                }
+            }
+            inner.push(fresh);
+        }
+        let migrated = (0..self.m)
+            .filter(|&c| old.map.shard_of(c) != new_map.shard_of(c))
+            .count() as u64;
+        let generation = new_map.generation();
+        let new_state = Box::into_raw(Box::new(RouterState {
+            map: new_map,
+            router: new_router,
+            inner,
+            gates,
+            heat,
+        }));
+        self.state.store(new_state, Ordering::Release);
+        // Unfreeze through the shared gate Arcs — backed-off writers
+        // reload the pointer and land on the new state.
+        for &s in &affected {
+            old.gates[s].frozen.store(false, Ordering::SeqCst);
+        }
+        // Safety: `old_ptr` was just unlinked from the only shared
+        // location, nobody can load it anymore, and it is retired once.
+        // Our own pin (and any concurrent reader's) keeps it alive until
+        // every straddling operation is done with it.
+        unsafe { epoch::retire(old_ptr) };
+        drop(guard);
+        self.stats_reshards.inc();
+        trace::emit(TraceKind::Reshard, generation, migrated);
+        true
     }
 }
 
@@ -215,10 +577,13 @@ impl<T: Clone + Send + Sync + 'static> MvShardedSnapshot<T> {
 /// [`MvShardedSnapshot::begin_parked_update_many`].
 #[must_use = "a parked batch holds the batch serializer until committed or dropped"]
 pub struct MvShardedParked<'a, T: Clone + Send + Sync + 'static> {
-    snapshot: &'a MvShardedSnapshot<T>,
+    camera: Arc<TimestampCamera>,
     stamp: MvStamp,
-    /// `(shard, slots)` touched by the batch.
-    touched: Vec<(usize, Vec<usize>)>,
+    /// `(shard object, slots)` touched by the batch. Holding the `Arc`s
+    /// keeps the installs reachable even if the surrounding object is
+    /// dropped mid-park (and documents that the batch belongs to the
+    /// generation it installed against — which the held serializer pins).
+    touched: Vec<(Arc<MvSnapshot<T>>, Vec<usize>)>,
     _serial: MutexGuard<'a, ()>,
 }
 
@@ -230,16 +595,16 @@ impl<T: Clone + Send + Sync + 'static> MvShardedParked<'_, T> {
 
 impl<T: Clone + Send + Sync + 'static> Drop for MvShardedParked<'_, T> {
     fn drop(&mut self) {
-        self.stamp.finalize(&self.snapshot.camera);
+        self.stamp.finalize(&self.camera);
         for (shard, slots) in &self.touched {
-            self.snapshot.inner[*shard].prune_components(slots);
+            shard.prune_components(slots);
         }
     }
 }
 
 impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<T> {
     fn components(&self) -> usize {
-        self.router.components()
+        self.m
     }
 
     fn max_processes(&self) -> usize {
@@ -248,58 +613,81 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<
 
     fn update(&self, pid: ProcessId, component: usize, value: T) {
         self.validate(pid, &[component]);
-        let (shard, slot) = self.router.route(component);
-        self.heat[shard].inc();
-        let scope = psnap_obs::enabled().then(StepScope::start);
-        self.inner[shard].update(pid, slot, value);
-        if let Some(scope) = scope {
-            self.update_steps.record(scope.finish().total());
+        let mut value = Some(value);
+        loop {
+            let guard = epoch::pin();
+            let state = self.state(&guard);
+            let (shard, slot) = state.router.route(component);
+            // The writer gate: counted writers are what a reshard drains
+            // before copying this shard's chains. A frozen gate means a
+            // reshard is mid-migration on this shard — back off and retry
+            // on the state it is about to publish.
+            if !state.enter_writer(shard) {
+                drop(guard);
+                std::thread::yield_now();
+                continue;
+            }
+            // Recheck the pointer *after* raising the count: a reshard that
+            // froze, drained (seeing our count not yet raised), swapped and
+            // unfroze between our load above and the gate entry would leave
+            // `state` pointing at a retired generation — writing there loses
+            // the update, since no route reaches it and the frozen cut was
+            // captured without it. Seeing the old pointer here proves no
+            // swap completed; any reshard still in flight must now drain
+            // our raised count before it captures its cut.
+            if !std::ptr::eq(self.state.load(Ordering::SeqCst), state) {
+                state.exit_writer(shard);
+                drop(guard);
+                std::thread::yield_now();
+                continue;
+            }
+            state.heat[shard].inc();
+            let scope = psnap_obs::enabled().then(StepScope::start);
+            state.inner[shard].update(pid, slot, value.take().expect("moved once"));
+            state.exit_writer(shard);
+            if let Some(scope) = scope {
+                self.update_steps.record(scope.finish().total());
+            }
+            return;
         }
     }
 
     fn update_many(&self, pid: ProcessId, writes: &[(usize, T)]) {
         let components: Vec<usize> = writes.iter().map(|(c, _)| *c).collect();
         self.validate(pid, &components);
-        let by_shard = self.router.group_last_write_wins(writes);
+        if writes.is_empty() {
+            return;
+        }
+        // Batches take the shared serializer *before* routing. A reshard
+        // holds the serializer across its whole migration, so a batch can
+        // never interleave with a generation swap: the state loaded below
+        // stays live until the commit publishes. (This also means batches
+        // need no writer gates.)
+        let serial = self.batches.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = epoch::pin();
+        let state = self.state(&guard);
+        let by_shard = state.router.group_last_write_wins(writes);
         let scope = psnap_obs::enabled().then(StepScope::start);
         for &shard in by_shard.keys() {
-            self.heat[shard].inc();
+            state.heat[shard].inc();
         }
-        match by_shard.len() {
-            0 => return,
-            1 => {
-                // Single-shard batch: the inner object's own batch path is
-                // already atomic and takes the shared serializer itself.
-                let (&shard, sub_batch) = by_shard.iter().next().expect("one shard");
-                self.inner[shard].update_many(pid, sub_batch);
-                trace::emit(TraceKind::BatchCommit, sub_batch.len() as u64, 1);
-                if let Some(scope) = scope {
-                    self.update_steps.record(scope.finish().total());
-                }
-                return;
-            }
-            _ => {}
-        }
-        // Cross-shard batch: all installs under the shared serializer, then
-        // one finalize — the single timestamp every shard's versions share
-        // is the whole commit protocol. No per-shard write phases, no marks
-        // for scans to validate.
-        let serial = self.batches.lock().unwrap_or_else(|e| e.into_inner());
+        // All installs under the serializer, then one finalize — the single
+        // timestamp every shard's versions share is the whole commit
+        // protocol. No per-shard write phases, no marks for scans to
+        // validate; the single-shard case is simply the one-group instance.
         let stamp = MvStamp::pending_batch();
         for (&shard, sub_batch) in &by_shard {
-            self.inner[shard].install_pending(pid, sub_batch, &stamp);
+            state.inner[shard].install_pending(pid, sub_batch, &stamp);
         }
         stamp.finalize(&self.camera);
         for (&shard, sub_batch) in &by_shard {
             let slots: Vec<usize> = sub_batch.iter().map(|(slot, _)| *slot).collect();
-            self.inner[shard].prune_components(&slots);
+            state.inner[shard].prune_components(&slots);
         }
+        let groups = by_shard.len() as u64;
+        let total = by_shard.values().map(Vec::len).sum::<usize>() as u64;
         drop(serial);
-        trace::emit(
-            TraceKind::BatchCommit,
-            by_shard.values().map(Vec::len).sum::<usize>() as u64,
-            by_shard.len() as u64,
-        );
+        trace::emit(TraceKind::BatchCommit, total, groups);
         if let Some(scope) = scope {
             self.update_steps.record(scope.finish().total());
         }
@@ -311,44 +699,11 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<
             return Vec::new();
         }
         let scope = psnap_obs::enabled().then(StepScope::start);
-        let plan = self.router.plan(components);
-        for (shard, _) in &plan.groups {
-            self.heat[*shard].inc();
-        }
-        if !plan.is_cross_shard() {
-            // Locality fast path: one inner scan — which is itself the
-            // one-shot announce/tick/read protocol, no validation needed
-            // against anything (cross-shard batches are a single published
-            // timestamp, so even a one-component scan orders consistently
-            // against them).
-            let (shard, ref slots) = plan.groups[0];
-            let values = self.inner[shard].scan(pid, slots);
-            if let Some(scope) = scope {
-                self.scan_steps.record(scope.finish().total());
-            }
-            return plan.assemble(&[values]);
-        }
-        self.stats_cross.inc();
-        // Announce on every involved shard *before* drawing the timestamp:
-        // each announcement lower-bounds `s`, keeping every shard's pruners
-        // away from the versions this scan may select.
-        for &(shard, _) in &plan.groups {
-            self.inner[shard].announce_scan(pid);
-        }
-        let s = self.camera.tick();
-        trace::emit(TraceKind::ScanAnnounce, s, plan.groups.len() as u64);
-        let results: Vec<Vec<T>> = plan
-            .groups
-            .iter()
-            .map(|(shard, slots)| self.inner[*shard].scan_at(pid, slots, s))
-            .collect();
-        for &(shard, _) in &plan.groups {
-            self.inner[shard].clear_announcement(pid);
-        }
+        let (_, values) = self.scan_with_stamp(pid, components);
         if let Some(scope) = scope {
             self.scan_steps.record(scope.finish().total());
         }
-        plan.assemble(&results)
+        values
     }
 
     fn scan_stale(&self, pid: ProcessId, components: &[usize]) -> Option<(u64, Vec<T>)> {
@@ -356,47 +711,32 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<
         if components.is_empty() {
             return Some((self.camera.timestamp(), Vec::new()));
         }
-        // The cross-shard one-shot protocol, returning its timestamp:
-        // announce on every involved shard, one shared tick, read each
-        // shard's chains at `s`, clear. Touches only the requested
-        // registers; the single published timestamp makes the combined cut
-        // consistent across shards exactly as in `scan`.
+        // The same one-shot protocol, returning its timestamp: it touches
+        // only the requested registers, and the single published timestamp
+        // makes the combined cut consistent across shards exactly as in
+        // `scan`.
         let scope = psnap_obs::enabled().then(StepScope::start);
-        let plan = self.router.plan(components);
-        for (shard, _) in &plan.groups {
-            self.heat[*shard].inc();
-        }
-        if plan.is_cross_shard() {
-            self.stats_cross.inc();
-        }
-        for &(shard, _) in &plan.groups {
-            let _ = self.inner[shard].announce_scan(pid);
-        }
-        let s = self.camera.tick();
-        trace::emit(TraceKind::ScanAnnounce, s, plan.groups.len() as u64);
-        let results: Vec<Vec<T>> = plan
-            .groups
-            .iter()
-            .map(|(shard, slots)| self.inner[*shard].scan_at(pid, slots, s))
-            .collect();
-        for &(shard, _) in &plan.groups {
-            self.inner[shard].clear_announcement(pid);
-        }
+        let (s, values) = self.scan_with_stamp(pid, components);
         if let Some(scope) = scope {
             self.scan_steps.record(scope.finish().total());
         }
-        Some((s, plan.assemble(&results)))
+        Some((s, values))
     }
 
     fn shard_of(&self, component: usize) -> usize {
-        self.router.route(component).0
+        let guard = epoch::pin();
+        self.state(&guard).router.route(component).0
     }
 
     fn is_wait_free(&self) -> bool {
         // The headline property: cross-shard scans are one camera tick plus
         // a bounded chain walk per register — no validation retries, no
         // coordinated drain waiting on straggler updates. Wait-freedom
-        // survives sharding.
+        // survives sharding, and it survives resharding in the operational
+        // sense: a scan retries only when a generation swap lands between
+        // its planning and its tick (bounded by the number of reshard
+        // events, not by other processes' scheduling), and a writer backs
+        // off only while its own shard is mid-migration.
         true
     }
 
@@ -406,6 +746,20 @@ impl<T: Clone + Send + Sync + 'static> PartialSnapshot<T> for MvShardedSnapshot<
 
     fn shard_heat(&self) -> Vec<u64> {
         self.heat()
+    }
+
+    fn shard_sizes(&self) -> Vec<usize> {
+        let guard = epoch::pin();
+        self.state(&guard).map.shard_sizes()
+    }
+
+    fn generation(&self) -> u64 {
+        let _guard = epoch::pin();
+        self.live_generation()
+    }
+
+    fn reshard(&self, op: ReshardOp) -> bool {
+        self.reshard_live(op)
     }
 }
 
@@ -603,5 +957,163 @@ mod tests {
     fn out_of_range_pid_is_rejected() {
         let snap = mv_sharded(8, 1, 2);
         let _ = snap.scan(ProcessId(1), &[0]);
+    }
+
+    #[test]
+    fn split_preserves_values_and_bumps_generation() {
+        let snap = mv_sharded(16, 2, 2);
+        for c in 0..16 {
+            snap.update(ProcessId(0), c, 100 + c as u64);
+        }
+        assert_eq!(snap.generation(), 0);
+        assert!(snap.reshard(ReshardOp::Split { shard: 0 }));
+        assert_eq!(snap.generation(), 1);
+        assert_eq!(snap.shards(), 3);
+        let expected: Vec<u64> = (0..16).map(|c| 100 + c as u64).collect();
+        assert_eq!(snap.scan_all(ProcessId(1)), expected);
+        // Writes keep landing on the right components after the move.
+        snap.update(ProcessId(0), 5, 999);
+        assert_eq!(snap.scan(ProcessId(1), &[5, 6]), vec![999, 106]);
+        assert_eq!(snap.reshards(), 1);
+    }
+
+    #[test]
+    fn merge_preserves_values_and_empties_the_source() {
+        let snap = mv_sharded(12, 2, 3);
+        for c in 0..12 {
+            snap.update(ProcessId(0), c, 7 * c as u64);
+        }
+        assert!(snap.reshard(ReshardOp::Merge { from: 2, into: 0 }));
+        assert_eq!(snap.generation(), 1);
+        let expected: Vec<u64> = (0..12).map(|c| 7 * c as u64).collect();
+        assert_eq!(snap.scan_all(ProcessId(1)), expected);
+        // Every component of the merged pair now reports the target shard.
+        for c in 0..12 {
+            assert_ne!(
+                snap.shard_of(c),
+                2,
+                "component {c} still routed to the emptied shard"
+            );
+        }
+        snap.update_many(ProcessId(0), &[(8, 1), (9, 1), (0, 1)]);
+        assert_eq!(snap.scan(ProcessId(1), &[8, 9, 0]), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn degenerate_reshards_are_refused() {
+        let snap = mv_sharded(4, 1, 4);
+        assert!(
+            !snap.reshard(ReshardOp::Split { shard: 0 }),
+            "singleton split"
+        );
+        assert!(!snap.reshard(ReshardOp::Split { shard: 9 }), "out of range");
+        assert!(
+            !snap.reshard(ReshardOp::Merge { from: 1, into: 1 }),
+            "self merge"
+        );
+        assert_eq!(
+            snap.generation(),
+            0,
+            "refusals must not advance the generation"
+        );
+    }
+
+    #[test]
+    fn repeated_reshards_keep_exact_ownership() {
+        let snap = mv_sharded(32, 2, 2);
+        for c in 0..32 {
+            snap.update(ProcessId(0), c, 1000 + c as u64);
+        }
+        assert!(snap.reshard(ReshardOp::Split { shard: 0 }));
+        assert!(snap.reshard(ReshardOp::Split { shard: 1 }));
+        assert!(snap.reshard(ReshardOp::Merge { from: 2, into: 0 }));
+        assert!(snap.reshard(ReshardOp::Split { shard: 0 }));
+        assert_eq!(snap.generation(), 4);
+        let expected: Vec<u64> = (0..32).map(|c| 1000 + c as u64).collect();
+        assert_eq!(snap.scan_all(ProcessId(1)), expected);
+        // Heat vector tracks the live id space.
+        assert_eq!(snap.shard_heat().len(), snap.shards());
+    }
+
+    #[test]
+    fn scans_and_updates_survive_live_resharding_under_churn() {
+        // The tentpole's crux: a reshard storm under write traffic, with
+        // every scan required to return a consistent (untorn) cut and no
+        // write lost. Components 0 and 6 are always written together with
+        // equal values by a batch, and component 3 is a single-update
+        // counter that must never go backwards.
+        let snap = Arc::new(mv_sharded(8, 3, 2));
+        snap.update_many(ProcessId(0), &[(0, 1), (6, 1)]);
+        let stop = Arc::new(AtomicBool::new(false));
+        let batcher = {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut v = 2u64;
+                while !stop.load(Ordering::Relaxed) {
+                    snap.update_many(ProcessId(0), &[(0, v), (6, v)]);
+                    v += 1;
+                }
+            })
+        };
+        let counter = {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut v = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    snap.update(ProcessId(2), 3, v);
+                    v += 1;
+                }
+            })
+        };
+        let resharder = {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut splits = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    // Alternate splitting the hottest shard and merging the
+                    // newest back, so the generation keeps moving.
+                    let heat = snap.shard_heat();
+                    let hottest = heat
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, h)| **h)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    if snap.reshard(ReshardOp::Split { shard: hottest }) {
+                        splits += 1;
+                        let newest = snap.shards() - 1;
+                        let _ = snap.reshard(ReshardOp::Merge {
+                            from: newest,
+                            into: hottest,
+                        });
+                    }
+                    thread::yield_now();
+                }
+                splits
+            })
+        };
+        let mut last_counter = 0u64;
+        let mut last_batch = 0u64;
+        for _ in 0..4000 {
+            let got = snap.scan(ProcessId(1), &[0, 6, 3]);
+            assert_eq!(got[0], got[1], "torn batch across a reshard: {got:?}");
+            assert!(got[0] >= last_batch, "batch went backwards: {got:?}");
+            assert!(
+                got[2] >= last_counter,
+                "counter went backwards across a reshard: {} < {last_counter}",
+                got[2]
+            );
+            last_batch = got[0];
+            last_counter = got[2];
+        }
+        stop.store(true, Ordering::Relaxed);
+        batcher.join().unwrap();
+        counter.join().unwrap();
+        let splits = resharder.join().unwrap();
+        assert!(splits > 0, "the reshard storm never actually resharded");
+        assert!(snap.reshards() >= splits as u64);
     }
 }

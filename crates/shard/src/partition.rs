@@ -17,15 +17,193 @@ pub enum Partition {
     Hashed,
 }
 
+/// An epoch-versioned component→shard assignment: the *routing state* of a
+/// sharded snapshot object at one generation of its life.
+///
+/// The static [`Partition`] policy only seeds generation 0; every subsequent
+/// generation is produced by [`split`](PartitionMap::split) /
+/// [`merge`](PartitionMap::merge), which reassign components explicitly and
+/// **strictly increase the generation number**. The map itself is immutable —
+/// a live store swaps an `AtomicPtr` to a new map and retires the old one
+/// through the epoch module, so in-flight operations keep a coherent view.
+///
+/// Invariants (the `partition_map` proptest suite holds every op sequence to
+/// these): each component of `0..m` is owned by exactly one shard id below
+/// [`shards`](PartitionMap::shards) — never lost, never doubly owned — and
+/// the generation increases by exactly 1 per op. Shards may become empty
+/// (the `from` side of a merge); empty shards own no routes and are skipped
+/// by every plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionMap {
+    generation: u64,
+    /// `assignment[c]` = owning shard id.
+    assignment: Vec<u32>,
+    /// Shard id space `0..shards` (ids stay stable across ops; splits append,
+    /// merges empty a shard in place).
+    shards: usize,
+    /// The policy that seeded generation 0 (provenance only).
+    partition: Partition,
+}
+
+impl PartitionMap {
+    /// The generation-0 map: places `m` components onto (up to) `shards`
+    /// shards following `partition`. The effective shard count is clamped to
+    /// `1..=m` so that every initial shard owns at least one component.
+    pub fn new(m: usize, shards: usize, partition: Partition) -> PartitionMap {
+        assert!(m > 0, "a partition map needs at least one component");
+        let k = shards.clamp(1, m);
+        let mut assignment = vec![0u32; m];
+        let effective = match partition {
+            Partition::Contiguous => {
+                let base = m / k;
+                let extra = m % k;
+                let mut next = 0usize;
+                for s in 0..k {
+                    let size = base + usize::from(s < extra);
+                    for _ in 0..size {
+                        assignment[next] = s as u32;
+                        next += 1;
+                    }
+                }
+                k
+            }
+            Partition::Hashed => {
+                let mut used = vec![false; k];
+                for (c, slot) in assignment.iter_mut().enumerate() {
+                    let h = (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    // Multiply-shift onto 0..k: unbiased enough and cheap.
+                    let s = (((h >> 32) * k as u64) >> 32) as usize;
+                    *slot = s as u32;
+                    used[s] = true;
+                }
+                // Hashing may leave a shard empty when k is close to m; fold
+                // empty shards away by renumbering over non-empty ones so
+                // generation-0 shards never have zero components.
+                if used.iter().any(|u| !u) {
+                    let mut renumber = vec![0u32; k];
+                    let mut next = 0u32;
+                    for (s, &u) in used.iter().enumerate() {
+                        if u {
+                            renumber[s] = next;
+                            next += 1;
+                        }
+                    }
+                    for slot in assignment.iter_mut() {
+                        *slot = renumber[*slot as usize];
+                    }
+                    next as usize
+                } else {
+                    k
+                }
+            }
+        };
+        PartitionMap {
+            generation: 0,
+            assignment,
+            shards: effective,
+            partition,
+        }
+    }
+
+    /// The map's generation number (0 for a freshly seeded map).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of components `m`.
+    pub fn components(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The shard id space `0..shards` (some shards may be empty after a
+    /// merge).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The policy that seeded generation 0.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// The shard owning `component`.
+    pub fn shard_of(&self, component: usize) -> usize {
+        self.assignment[component] as usize
+    }
+
+    /// The components owned by `shard`, ascending — slot order of the router
+    /// built from this map.
+    pub fn shard_components(&self, shard: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s as usize == shard)
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Number of components owned by each shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.shards];
+        for &s in &self.assignment {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Splits `shard` into two: the first ⌈size/2⌉ of its components (in
+    /// slot order) stay on `shard`, the rest move to a **new shard appended
+    /// at id `shards`**. Keeping a slot-order *prefix* in place is what lets
+    /// a live store reuse the split shard's backing object for the kept half
+    /// — the survivors' slots do not change. Returns `None` if the shard
+    /// owns fewer than two components (nothing to split).
+    pub fn split(&self, shard: usize) -> Option<PartitionMap> {
+        if shard >= self.shards {
+            return None;
+        }
+        let comps = self.shard_components(shard);
+        if comps.len() < 2 {
+            return None;
+        }
+        let keep = comps.len().div_ceil(2);
+        let mut next = self.clone();
+        for &c in &comps[keep..] {
+            next.assignment[c] = self.shards as u32;
+        }
+        next.shards = self.shards + 1;
+        next.generation = self.generation + 1;
+        Some(next)
+    }
+
+    /// Merges `from` into `into`: every component of `from` moves to `into`,
+    /// leaving `from` empty (its id stays allocated — ids are stable for the
+    /// life of the map lineage). Returns `None` if the ids coincide or are
+    /// out of range.
+    pub fn merge(&self, from: usize, into: usize) -> Option<PartitionMap> {
+        if from == into || from >= self.shards || into >= self.shards {
+            return None;
+        }
+        let mut next = self.clone();
+        for slot in next.assignment.iter_mut() {
+            if *slot as usize == from {
+                *slot = into as u32;
+            }
+        }
+        next.generation = self.generation + 1;
+        Some(next)
+    }
+}
+
 /// Maps components to `(shard, slot)` pairs and back, and groups scan
 /// requests by shard.
 ///
-/// The mapping is computed once at construction and stored as a flat table,
-/// so routing is one array read regardless of the partition strategy. The
-/// mapping is a bijection from `0..m` onto `{(s, i) : s < shards, i <
+/// The mapping is computed once from a [`PartitionMap`] and stored as a flat
+/// table, so routing is one array read regardless of how the map came about.
+/// The mapping is a bijection from `0..m` onto `{(s, i) : s < shards, i <
 /// shard_size(s)}` — every component lands in exactly one slot of exactly one
 /// shard, which is what makes the sharded object's per-shard sub-scans cover
-/// exactly the requested components.
+/// exactly the requested components. Slots within a shard are assigned in
+/// ascending component order.
 #[derive(Clone, Debug)]
 pub struct ShardRouter {
     /// `routes[c] = (shard, slot)`.
@@ -35,62 +213,37 @@ pub struct ShardRouter {
     /// `inverse[shard][slot] = component`.
     inverse: Vec<Vec<usize>>,
     partition: Partition,
+    generation: u64,
 }
 
 impl ShardRouter {
-    /// Builds a router over `m` components and (up to) `shards` shards.
-    ///
-    /// The effective shard count is clamped to `1..=m` so that every shard
-    /// owns at least one component.
+    /// Builds a generation-0 router over `m` components and (up to) `shards`
+    /// shards — shorthand for [`ShardRouter::from_map`] over
+    /// [`PartitionMap::new`].
     pub fn new(m: usize, shards: usize, partition: Partition) -> ShardRouter {
-        assert!(m > 0, "a router needs at least one component");
-        let k = shards.clamp(1, m);
+        ShardRouter::from_map(&PartitionMap::new(m, shards, partition))
+    }
+
+    /// Builds the routing tables for one generation of a partition map.
+    /// Slots within each shard follow ascending component order; empty
+    /// shards get zero slots and never appear in a plan.
+    pub fn from_map(map: &PartitionMap) -> ShardRouter {
+        let m = map.components();
         let mut routes = vec![(0u32, 0u32); m];
-        let mut inverse: Vec<Vec<usize>> = vec![Vec::new(); k];
-        match partition {
-            Partition::Contiguous => {
-                let base = m / k;
-                let extra = m % k;
-                let mut next = 0usize;
-                for (s, inv) in inverse.iter_mut().enumerate() {
-                    let size = base + usize::from(s < extra);
-                    for slot in 0..size {
-                        routes[next] = (s as u32, slot as u32);
-                        inv.push(next);
-                        next += 1;
-                    }
-                }
-            }
-            Partition::Hashed => {
-                for (c, route) in routes.iter_mut().enumerate() {
-                    let h = (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                    // Multiply-shift onto 0..k: unbiased enough and cheap.
-                    let s = (((h >> 32) * k as u64) >> 32) as usize;
-                    let slot = inverse[s].len();
-                    *route = (s as u32, slot as u32);
-                    inverse[s].push(c);
-                }
-                // Hashing may leave a shard empty when k is close to m; fold
-                // empty shards away by rebuilding contiguously over non-empty
-                // ones so inner snapshots never have zero components.
-                if inverse.iter().any(Vec::is_empty) {
-                    let filled: Vec<Vec<usize>> =
-                        inverse.into_iter().filter(|v| !v.is_empty()).collect();
-                    inverse = filled;
-                    for (s, inv) in inverse.iter_mut().enumerate() {
-                        for (slot, &c) in inv.iter().enumerate() {
-                            routes[c] = (s as u32, slot as u32);
-                        }
-                    }
-                }
-            }
+        let mut inverse: Vec<Vec<usize>> = vec![Vec::new(); map.shards()];
+        for (c, route) in routes.iter_mut().enumerate() {
+            let s = map.shard_of(c);
+            let slot = inverse[s].len();
+            *route = (s as u32, slot as u32);
+            inverse[s].push(c);
         }
         let sizes = inverse.iter().map(Vec::len).collect();
         ShardRouter {
             routes,
             sizes,
             inverse,
-            partition,
+            partition: map.partition(),
+            generation: map.generation(),
         }
     }
 
@@ -104,9 +257,14 @@ impl ShardRouter {
         self.sizes.len()
     }
 
-    /// The partition strategy in use.
+    /// The partition policy that seeded this router's map lineage.
     pub fn partition(&self) -> Partition {
         self.partition
+    }
+
+    /// The generation of the partition map this router was built from.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of components owned by `shard`.
@@ -462,6 +620,86 @@ mod tests {
             let union = router.plan_union(&[&request]);
             assert_eq!(single.groups, union.groups, "{partition:?}");
             assert_eq!(single.positions, union.positions[0], "{partition:?}");
+        }
+    }
+
+    #[test]
+    fn partition_map_split_keeps_a_slot_prefix_in_place() {
+        let map = PartitionMap::new(10, 2, Partition::Contiguous);
+        // Shard 0 owns 0..5, shard 1 owns 5..10.
+        let split = map.split(0).expect("shard 0 is splittable");
+        assert_eq!(split.generation(), 1);
+        assert_eq!(split.shards(), 3);
+        // The first ⌈5/2⌉ = 3 components stay; the rest move to the new id.
+        assert_eq!(split.shard_components(0), vec![0, 1, 2]);
+        assert_eq!(split.shard_components(2), vec![3, 4]);
+        assert_eq!(split.shard_components(1), vec![5, 6, 7, 8, 9]);
+        // Survivors keep their slots in the router built from the new map.
+        let before = ShardRouter::from_map(&map);
+        let after = ShardRouter::from_map(&split);
+        for c in 0..3 {
+            assert_eq!(
+                before.route(c),
+                after.route(c),
+                "kept component {c} moved slots"
+            );
+        }
+        assert_eq!(after.generation(), 1);
+    }
+
+    #[test]
+    fn partition_map_merge_empties_the_source_shard() {
+        let map = PartitionMap::new(8, 4, Partition::Contiguous);
+        let merged = map.merge(3, 1).expect("distinct in-range shards merge");
+        assert_eq!(merged.generation(), 1);
+        assert_eq!(merged.shards(), 4, "ids stay allocated");
+        assert!(merged.shard_components(3).is_empty());
+        assert_eq!(merged.shard_components(1), vec![2, 3, 6, 7]);
+        // Empty shards route nothing and plans skip them.
+        let router = ShardRouter::from_map(&merged);
+        assert_eq!(router.shard_size(3), 0);
+        let plan = router.plan(&[0, 3, 6]);
+        assert!(plan.groups.iter().all(|(s, _)| *s != 3));
+        assert_eq!(
+            plan.assemble(
+                &plan
+                    .groups
+                    .iter()
+                    .map(|(s, slots)| slots.iter().map(|&i| router.component_of(*s, i)).collect())
+                    .collect::<Vec<Vec<usize>>>()
+            ),
+            vec![0, 3, 6]
+        );
+    }
+
+    #[test]
+    fn partition_map_rejects_degenerate_ops() {
+        let map = PartitionMap::new(4, 4, Partition::Contiguous);
+        assert!(map.split(0).is_none(), "singleton shards cannot split");
+        assert!(map.split(9).is_none(), "out-of-range split");
+        assert!(map.merge(1, 1).is_none(), "self-merge");
+        assert!(map.merge(0, 7).is_none(), "out-of-range merge");
+    }
+
+    #[test]
+    fn routers_from_maps_match_direct_construction() {
+        for partition in [Partition::Contiguous, Partition::Hashed] {
+            for (m, k) in [(1usize, 1usize), (7, 3), (97, 8), (16, 16)] {
+                let direct = ShardRouter::new(m, k, partition);
+                let mapped = ShardRouter::from_map(&PartitionMap::new(m, k, partition));
+                assert_eq!(
+                    direct.shards(),
+                    mapped.shards(),
+                    "{partition:?} m={m} k={k}"
+                );
+                for c in 0..m {
+                    assert_eq!(
+                        direct.route(c),
+                        mapped.route(c),
+                        "{partition:?} m={m} k={k} c={c}"
+                    );
+                }
+            }
         }
     }
 

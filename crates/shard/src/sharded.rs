@@ -70,15 +70,16 @@
 //! two batches could commit in opposite orders on different shards, producing
 //! a final state no serialization explains.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use psnap_core::PartialSnapshot;
+use psnap_core::{PartialSnapshot, ReshardOp};
 use psnap_obs::{trace, Counter, Histogram, Metric, Registry, TraceKind};
+use psnap_shmem::epoch::{self, Guard};
 use psnap_shmem::steps::{self, OpKind};
 use psnap_shmem::{ProcessId, StepScope};
 
-use crate::partition::{Partition, ScanPlan, ShardRouter};
+use crate::partition::{Partition, PartitionMap, ScanPlan, ShardRouter};
 
 /// Which cross-shard scan discipline a sharded deployment uses — the knob
 /// that selects between the two sharded types of this crate.
@@ -214,25 +215,64 @@ impl CoordinationStats {
     }
 }
 
+/// One generation of the coordinated store's routing state. Immutable once
+/// published behind the `AtomicPtr`; unchanged shards share their inner
+/// objects with the previous generation via `Arc`, and the coordination
+/// registers and heat counters are shared **by shard id** across
+/// generations — an old-generation scan still in flight must validate
+/// against the same `(epoch, writers)` counters that new-generation updates
+/// bump, or it could combine a stale affected-shard read with a fresh
+/// sibling read and never notice.
+struct CoordState<S> {
+    map: PartitionMap,
+    router: ShardRouter,
+    inner: Vec<Arc<S>>,
+    epochs: Vec<Arc<ShardEpoch>>,
+    heat: Vec<Arc<Counter>>,
+}
+
 /// A partial snapshot object sharded over `K` inner partial snapshot objects.
 ///
 /// Implements [`PartialSnapshot`] itself, so everything built against the
 /// trait — the scenario runner, the linearizability checkers, the experiment
 /// harness, other `ShardedSnapshot`s — applies unchanged.
+///
+/// # Resharding (drain-and-rebuild)
+///
+/// The component→shard assignment lives in an epoch-versioned
+/// [`CoordState`] behind an `AtomicPtr`, so this store also accepts
+/// [`reshard`](PartialSnapshot::reshard) — but unlike
+/// [`MvShardedSnapshot`](crate::MvShardedSnapshot)'s live migration, the
+/// coordinated store has no version history to copy at a timestamp
+/// boundary, so its reshard is the **naive drain-and-rebuild**: raise the
+/// reshard flag, take the write side of the coordination latch and the
+/// batch lock (quiescing all new mutators), drain in-flight writers, read
+/// the affected components out of the frozen object, build replacement
+/// shards through the stored factory, swap, and retire the old state
+/// epoch-style. Scans arriving during the rebuild wait behind the latch
+/// exactly like updates — the availability gap experiment E15 measures
+/// against the multiversioned live path.
 pub struct ShardedSnapshot<T, S> {
-    router: ShardRouter,
-    inner: Vec<S>,
-    epochs: Vec<ShardEpoch>,
+    /// The live routing state; readers pin the epoch, load, and use.
+    state: AtomicPtr<CoordState<S>>,
+    /// Rebuilds need to construct fresh inner shards.
+    factory: Box<dyn Fn(usize, usize, usize, T) -> S + Send + Sync>,
+    initial: T,
     /// Raised (SeqCst) while some scan wants the coordinated path.
     coord_waiters: AtomicU64,
+    /// Raised (SeqCst) while a reshard is draining and rebuilding: mutators
+    /// and scans hold back on the latch's read side.
+    reshard_waiters: AtomicU64,
     /// The coordination latch: flagged updates enter on the read side, the
-    /// coordinated scan on the write side.
+    /// coordinated scan (and the resharder) on the write side.
     coord_latch: RwLock<()>,
     /// Serializes multi-shard batches against each other: two overlapping
     /// cross-shard batches applied shard by shard could otherwise commit in
     /// opposite orders on different shards, leaving a final state no
     /// serialization produces.
     batch_lock: Mutex<()>,
+    /// Serializes reshard operations against each other.
+    reshard_lock: Mutex<()>,
     stats_clean: Arc<Counter>,
     stats_retried: Arc<Counter>,
     stats_retries: Arc<Counter>,
@@ -240,31 +280,41 @@ pub struct ShardedSnapshot<T, S> {
     /// Total cross-shard scans (the whole the three outcome counters
     /// partition), so the partition is checkable as a registry invariant.
     stats_cross: Arc<Counter>,
-    /// Per-shard operation heat: updates and sub-scans routed to each shard
-    /// (the signal online resharding needs).
-    heat: Vec<Arc<Counter>>,
+    /// Reshard operations that changed the layout.
+    stats_reshards: Arc<Counter>,
     /// Base-object steps per scan / per update family, via [`StepScope`].
     scan_steps: Arc<Histogram>,
     update_steps: Arc<Histogram>,
     max_retries: usize,
+    m: usize,
     n: usize,
-    _values: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T, S> Drop for ShardedSnapshot<T, S> {
+    fn drop(&mut self) {
+        // Retired predecessors belong to the epoch module; the live state
+        // is ours to free.
+        let ptr = self.state.load(Ordering::Acquire);
+        drop(unsafe { Box::from_raw(ptr) });
+    }
 }
 
 impl<T, S> ShardedSnapshot<T, S>
 where
     T: Clone + Send + Sync + 'static,
-    S: PartialSnapshot<T>,
+    S: PartialSnapshot<T> + 'static,
 {
     /// Creates a sharded object over `m` components for `n` processes, all
     /// components initially `initial`. `factory(shard_index, shard_m, n,
-    /// initial)` builds each inner shard; any `PartialSnapshot` factory works.
+    /// initial)` builds each inner shard; any `PartialSnapshot` factory
+    /// works. The factory is retained — reshards use it to build
+    /// replacement shards.
     pub fn with_factory(
         m: usize,
         max_processes: usize,
         initial: T,
         config: ShardConfig,
-        factory: impl Fn(usize, usize, usize, T) -> S,
+        factory: impl Fn(usize, usize, usize, T) -> S + Send + Sync + 'static,
     ) -> Self {
         assert!(m > 0, "a snapshot object needs at least one component");
         assert!(max_processes > 0, "at least one process must be allowed");
@@ -273,8 +323,9 @@ where
             "ShardedSnapshot implements the coordinated cross-shard path; a config \
              requesting CrossShardPath::Multiversioned needs MvShardedSnapshot"
         );
-        let router = ShardRouter::new(m, config.shards, config.partition);
-        let inner: Vec<S> = (0..router.shards())
+        let map = PartitionMap::new(m, config.shards, config.partition);
+        let router = ShardRouter::from_map(&map);
+        let inner: Vec<Arc<S>> = (0..router.shards())
             .map(|s| {
                 let shard = factory(s, router.shard_size(s), max_processes, initial.clone());
                 assert_eq!(
@@ -282,47 +333,78 @@ where
                     router.shard_size(s),
                     "factory built shard {s} with the wrong number of components"
                 );
-                shard
+                Arc::new(shard)
             })
             .collect();
-        let epochs = (0..router.shards()).map(|_| ShardEpoch::new()).collect();
-        let heat = (0..router.shards())
-            .map(|_| Arc::new(Counter::new()))
-            .collect();
-        ShardedSnapshot {
+        let shards = router.shards();
+        let state = CoordState {
+            map,
             router,
             inner,
-            epochs,
+            epochs: (0..shards).map(|_| Arc::new(ShardEpoch::new())).collect(),
+            heat: (0..shards).map(|_| Arc::new(Counter::new())).collect(),
+        };
+        ShardedSnapshot {
+            state: AtomicPtr::new(Box::into_raw(Box::new(state))),
+            factory: Box::new(factory),
+            initial,
             coord_waiters: AtomicU64::new(0),
+            reshard_waiters: AtomicU64::new(0),
             coord_latch: RwLock::new(()),
             batch_lock: Mutex::new(()),
+            reshard_lock: Mutex::new(()),
             stats_clean: Arc::new(Counter::new()),
             stats_retried: Arc::new(Counter::new()),
             stats_retries: Arc::new(Counter::new()),
             stats_coordinated: Arc::new(Counter::new()),
             stats_cross: Arc::new(Counter::new()),
-            heat,
+            stats_reshards: Arc::new(Counter::new()),
             scan_steps: Arc::new(Histogram::new()),
             update_steps: Arc::new(Histogram::new()),
             max_retries: config.max_optimistic_retries,
+            m,
             n: max_processes,
-            _values: std::marker::PhantomData,
         }
     }
 
-    /// The router mapping components to shards.
-    pub fn router(&self) -> &ShardRouter {
-        &self.router
+    /// The live routing state; valid for the guard's lifetime (a concurrent
+    /// reshard retires the old state through the epoch module, which never
+    /// frees under an active pin).
+    fn state<'g>(&self, _guard: &'g Guard) -> &'g CoordState<S> {
+        unsafe { &*self.state.load(Ordering::Acquire) }
     }
 
-    /// Number of inner shards.
+    /// The generation currently routing the object (callers must be
+    /// pinned, which every use site is).
+    fn live_generation(&self) -> u64 {
+        unsafe { &*self.state.load(Ordering::Acquire) }
+            .router
+            .generation()
+    }
+
+    /// Number of inner shards in the current generation's id space (some
+    /// may be empty after a merge).
     pub fn shards(&self) -> usize {
-        self.inner.len()
+        let guard = epoch::pin();
+        self.state(&guard).inner.len()
     }
 
-    /// Access to one inner shard (diagnostics and tests).
-    pub fn shard(&self, s: usize) -> &S {
-        &self.inner[s]
+    /// A clone of the current partition map (diagnostics and tests).
+    pub fn partition_map(&self) -> PartitionMap {
+        let guard = epoch::pin();
+        self.state(&guard).map.clone()
+    }
+
+    /// Access to one inner shard of the current generation (diagnostics and
+    /// tests); the `Arc` stays valid across subsequent reshards.
+    pub fn shard(&self, s: usize) -> Arc<S> {
+        let guard = epoch::pin();
+        Arc::clone(&self.state(&guard).inner[s])
+    }
+
+    /// Number of reshard operations that changed the layout.
+    pub fn reshards(&self) -> u64 {
+        self.stats_reshards.get()
     }
 
     /// Snapshot of the scan-path counters.
@@ -367,7 +449,12 @@ where
             &format!("{prefix}.update.steps"),
             Metric::Histogram(Arc::clone(&self.update_steps)),
         );
-        for (i, heat) in self.heat.iter().enumerate() {
+        registry.register(
+            &format!("{prefix}.reshards"),
+            Metric::Counter(Arc::clone(&self.stats_reshards)),
+        );
+        let guard = epoch::pin();
+        for (i, heat) in self.state(&guard).heat.iter().enumerate() {
             registry.register(
                 &format!("{prefix}.heat.{i}"),
                 Metric::Counter(Arc::clone(heat)),
@@ -384,14 +471,17 @@ where
         );
     }
 
-    /// Per-shard operation heat: how many update/batch/scan operations have
-    /// touched each shard since construction.
+    /// Per-shard operation heat for the current generation's shard id
+    /// space: how many update/batch/scan operations have touched each
+    /// shard. Survivors carry their count across reshards; shards appended
+    /// by a split start at zero.
     pub fn heat(&self) -> Vec<u64> {
-        self.heat.iter().map(|c| c.get()).collect()
+        let guard = epoch::pin();
+        self.state(&guard).heat.iter().map(|c| c.get()).collect()
     }
 
     fn validate(&self, pid: ProcessId, components: &[usize]) {
-        let m = self.router.components();
+        let m = self.m;
         assert!(
             pid.index() < self.n,
             "process id {pid} out of range: object configured for {} processes",
@@ -406,35 +496,44 @@ where
     }
 
     /// Reads the epoch of every involved shard; `None` if a writer is active.
-    fn collect_epochs(&self, plan: &ScanPlan) -> Option<Vec<u64>> {
+    ///
+    /// Per shard, `writers` MUST be read before `epoch`: a mutator ends with
+    /// `epoch += 1; writers -= 1`, so the opposite order lets that tail slip
+    /// between the two loads of the *closing* validation — the epoch load
+    /// returns the pre-write count, the mutator then bumps the epoch and
+    /// drops `writers`, and the writers load sees 0, "validating" a round
+    /// whose sub-scans straddled the write. Writers-first closes the hole: a
+    /// mutator finished before the writers load has already bumped the epoch
+    /// the subsequent load reads, and one still in flight shows a non-zero
+    /// count.
+    fn collect_epochs(state: &CoordState<S>, plan: &ScanPlan) -> Option<Vec<u64>> {
         let mut snapshot = Vec::with_capacity(plan.groups.len());
         for &(shard, _) in &plan.groups {
-            let e = &self.epochs[shard];
-            steps::record(OpKind::Read);
-            let epoch = e.epoch.load(Ordering::SeqCst);
+            let e = &state.epochs[shard];
             steps::record(OpKind::Read);
             if e.writers.load(Ordering::SeqCst) != 0 {
                 return None;
             }
-            snapshot.push(epoch);
+            steps::record(OpKind::Read);
+            snapshot.push(e.epoch.load(Ordering::SeqCst));
         }
         Some(snapshot)
     }
 
     /// Runs the per-shard sub-scans of `plan`.
-    fn run_sub_scans(&self, pid: ProcessId, plan: &ScanPlan) -> Vec<Vec<T>> {
+    fn run_sub_scans(state: &CoordState<S>, pid: ProcessId, plan: &ScanPlan) -> Vec<Vec<T>> {
         plan.groups
             .iter()
-            .map(|(shard, slots)| self.inner[*shard].scan(pid, slots))
+            .map(|(shard, slots)| state.inner[*shard].scan(pid, slots))
             .collect()
     }
 
     /// One optimistic round: validate-scan-revalidate. Returns the assembled
     /// values on success.
-    fn optimistic_round(&self, pid: ProcessId, plan: &ScanPlan) -> Option<Vec<T>> {
-        let before = self.collect_epochs(plan)?;
-        let results = self.run_sub_scans(pid, plan);
-        let after = self.collect_epochs(plan)?;
+    fn optimistic_round(state: &CoordState<S>, pid: ProcessId, plan: &ScanPlan) -> Option<Vec<T>> {
+        let before = Self::collect_epochs(state, plan)?;
+        let results = Self::run_sub_scans(state, pid, plan);
+        let after = Self::collect_epochs(state, plan)?;
         if before == after {
             Some(plan.assemble(&results))
         } else {
@@ -444,16 +543,16 @@ where
 
     /// The coordinated fallback: hold back new updates via the latch, then
     /// keep validating until the bounded set of straggler updates has
-    /// drained.
-    fn coordinated_scan(&self, pid: ProcessId, plan: &ScanPlan) -> Vec<T> {
-        self.stats_coordinated.inc();
+    /// drained. The caller records the scan's outcome counters (after its
+    /// generation recheck, so a discarded attempt counts nothing).
+    fn coordinated_scan(&self, state: &CoordState<S>, pid: ProcessId, plan: &ScanPlan) -> Vec<T> {
         self.coord_waiters.fetch_add(1, Ordering::SeqCst);
         let latch = self.coord_latch.write().unwrap_or_else(|e| e.into_inner());
         let result = loop {
             // Only updates that sampled the flag before it rose can still be
             // in flight; each failed round means one of them completed, so
             // this loop is bounded by the number of processes.
-            if let Some(values) = self.optimistic_round(pid, plan) {
+            if let Some(values) = Self::optimistic_round(state, pid, plan) {
                 break values;
             }
             std::thread::yield_now();
@@ -462,15 +561,131 @@ where
         self.coord_waiters.fetch_sub(1, Ordering::SeqCst);
         result
     }
+
+    /// Drain-and-rebuild resharding: quiesce every mutator, read the
+    /// affected components out of the frozen object, rebuild the affected
+    /// shards through the stored factory, swap, retire. Deliberately
+    /// stop-the-world — the baseline the multiversioned live protocol is
+    /// measured against (E15). Returns `false` (layout unchanged) for
+    /// degenerate requests.
+    fn reshard_rebuild(&self, op: ReshardOp) -> bool {
+        let _reshard = self.reshard_lock.lock().unwrap_or_else(|e| e.into_inner());
+        // Raise the flag first: updates and scans that sample it hold back
+        // on the latch's read side; the write acquisition below then waits
+        // only for operations already past their flag check.
+        self.reshard_waiters.fetch_add(1, Ordering::SeqCst);
+        let latch = self.coord_latch.write().unwrap_or_else(|e| e.into_inner());
+        let serial = self.batch_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = epoch::pin();
+        let old_ptr = self.state.load(Ordering::Acquire);
+        let old = unsafe { &*old_ptr };
+        let new_map = match op {
+            ReshardOp::Split { shard } => old.map.split(shard),
+            ReshardOp::Merge { from, into } => old.map.merge(from, into),
+        };
+        let Some(new_map) = new_map else {
+            drop(serial);
+            drop(latch);
+            self.reshard_waiters.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        };
+        let affected: Vec<usize> = match op {
+            ReshardOp::Split { shard } => vec![shard],
+            ReshardOp::Merge { from, into } => vec![from, into],
+        };
+        // Drain: every mutator past its flag check is bracketed by a raised
+        // counter (SeqCst — either the drain observes the raise, or the
+        // mutator observes the flag / the swapped pointer and backs off).
+        for e in &old.epochs {
+            while e.writers.load(Ordering::SeqCst) != 0
+                || e.batch_writers.load(Ordering::SeqCst) != 0
+            {
+                std::thread::yield_now();
+            }
+        }
+        // The object is frozen: read the moved components, rebuild.
+        let new_router = ShardRouter::from_map(&new_map);
+        let mut inner = Vec::with_capacity(new_map.shards());
+        let mut epochs = Vec::with_capacity(new_map.shards());
+        let mut heat = Vec::with_capacity(new_map.shards());
+        for s in 0..new_map.shards() {
+            let is_new = s >= old.inner.len();
+            if !is_new && !affected.contains(&s) {
+                inner.push(Arc::clone(&old.inner[s]));
+                epochs.push(Arc::clone(&old.epochs[s]));
+                heat.push(Arc::clone(&old.heat[s]));
+                continue;
+            }
+            // Coordination registers and heat are shared by shard id so
+            // operations straddling the swap validate against (and account
+            // to) the same counters; a freshly appended shard starts cold.
+            epochs.push(if is_new {
+                Arc::new(ShardEpoch::new())
+            } else {
+                Arc::clone(&old.epochs[s])
+            });
+            heat.push(if is_new {
+                Arc::new(Counter::new())
+            } else {
+                Arc::clone(&old.heat[s])
+            });
+            let size = new_router.shard_size(s);
+            if size == 0 {
+                // The emptied side of a merge: keep the drained old object
+                // in the slot — no route leads to it.
+                inner.push(Arc::clone(&old.inner[s]));
+                continue;
+            }
+            let shard_obj = (self.factory)(s, size, self.n, self.initial.clone());
+            assert_eq!(
+                shard_obj.components(),
+                size,
+                "factory built shard {s} with the wrong number of components"
+            );
+            for slot in 0..size {
+                let component = new_router.component_of(s, slot);
+                let (old_shard, old_slot) = old.router.route(component);
+                let value = old.inner[old_shard]
+                    .scan(ProcessId(0), &[old_slot])
+                    .pop()
+                    .expect("sub-scan returns one value per requested slot");
+                shard_obj.update(ProcessId(0), slot, value);
+            }
+            inner.push(Arc::new(shard_obj));
+        }
+        let migrated = (0..self.m)
+            .filter(|&c| old.map.shard_of(c) != new_map.shard_of(c))
+            .count() as u64;
+        let generation = new_map.generation();
+        let new_state = Box::into_raw(Box::new(CoordState {
+            map: new_map,
+            router: new_router,
+            inner,
+            epochs,
+            heat,
+        }));
+        self.state.store(new_state, Ordering::Release);
+        // Safety: `old_ptr` was just unlinked from the only shared location
+        // and is retired once; our pin (and any straddling reader's) keeps
+        // it alive until every in-flight operation is done with it.
+        unsafe { epoch::retire(old_ptr) };
+        drop(guard);
+        drop(serial);
+        drop(latch);
+        self.reshard_waiters.fetch_sub(1, Ordering::SeqCst);
+        self.stats_reshards.inc();
+        trace::emit(TraceKind::Reshard, generation, migrated);
+        true
+    }
 }
 
 impl<T, S> PartialSnapshot<T> for ShardedSnapshot<T, S>
 where
     T: Clone + Send + Sync + 'static,
-    S: PartialSnapshot<T>,
+    S: PartialSnapshot<T> + 'static,
 {
     fn components(&self) -> usize {
-        self.router.components()
+        self.m
     }
 
     fn max_processes(&self) -> usize {
@@ -479,26 +694,50 @@ where
 
     fn update(&self, pid: ProcessId, component: usize, value: T) {
         self.validate(pid, &[component]);
-        let (shard, slot) = self.router.route(component);
-        self.heat[shard].inc();
         let scope = psnap_obs::enabled().then(StepScope::start);
-        // Fast path: one flag read. Slow path (a coordinated scan is waiting
-        // or running): enter the read side of the latch so the scan's
-        // straggler set stays bounded.
-        steps::record(OpKind::Read);
-        let _latch = if self.coord_waiters.load(Ordering::SeqCst) != 0 {
-            Some(self.coord_latch.read().unwrap_or_else(|e| e.into_inner()))
-        } else {
-            None
-        };
-        let e = &self.epochs[shard];
-        steps::record(OpKind::FetchInc);
-        e.writers.fetch_add(1, Ordering::SeqCst);
-        self.inner[shard].update(pid, slot, value);
-        steps::record(OpKind::FetchInc);
-        e.epoch.fetch_add(1, Ordering::SeqCst);
-        steps::record(OpKind::FetchInc);
-        e.writers.fetch_sub(1, Ordering::SeqCst);
+        let mut value = Some(value);
+        loop {
+            // Fast path: one flag read. Slow path (a coordinated scan or a
+            // reshard is waiting or running): enter the read side of the
+            // latch so the drain stays bounded.
+            steps::record(OpKind::Read);
+            let _latch = if self.coord_waiters.load(Ordering::SeqCst) != 0
+                || self.reshard_waiters.load(Ordering::SeqCst) != 0
+            {
+                Some(self.coord_latch.read().unwrap_or_else(|e| e.into_inner()))
+            } else {
+                None
+            };
+            let guard = epoch::pin();
+            let ptr = self.state.load(Ordering::Acquire);
+            let state = unsafe { &*ptr };
+            let (shard, slot) = state.router.route(component);
+            let e = &state.epochs[shard];
+            steps::record(OpKind::FetchInc);
+            e.writers.fetch_add(1, Ordering::SeqCst);
+            // Raise-then-recheck against the resharder's flag-then-drain:
+            // either its drain observes our raised counter (and waits for
+            // this write to land before copying), or we observe the flag —
+            // or, if the flag already fell, the swapped pointer — and back
+            // off rather than write to a state that is being (or has been)
+            // replaced.
+            steps::record(OpKind::Read);
+            if self.reshard_waiters.load(Ordering::SeqCst) != 0
+                || self.state.load(Ordering::SeqCst) != ptr
+            {
+                e.writers.fetch_sub(1, Ordering::SeqCst);
+                drop(guard);
+                std::thread::yield_now();
+                continue;
+            }
+            state.heat[shard].inc();
+            state.inner[shard].update(pid, slot, value.take().expect("moved once"));
+            steps::record(OpKind::FetchInc);
+            e.epoch.fetch_add(1, Ordering::SeqCst);
+            steps::record(OpKind::FetchInc);
+            e.writers.fetch_sub(1, Ordering::SeqCst);
+            break;
+        }
         if let Some(scope) = scope {
             self.update_steps.record(scope.finish().total());
         }
@@ -507,83 +746,116 @@ where
     fn update_many(&self, pid: ProcessId, writes: &[(usize, T)]) {
         let components: Vec<usize> = writes.iter().map(|(c, _)| *c).collect();
         self.validate(pid, &components);
-        let scope = psnap_obs::enabled().then(StepScope::start);
-        // Resolve duplicates last-write-wins and group by shard (shared
-        // router helper, so both sharded stores keep identical semantics).
-        let by_shard = self.router.group_last_write_wins(writes);
-        let total: usize = by_shard.values().map(Vec::len).sum();
-        match total {
-            0 => return,
-            1 => {
-                let (&shard, sub) = by_shard.iter().next().expect("one shard");
-                let component = self.router.component_of(shard, sub[0].0);
-                return self.update(pid, component, sub[0].1.clone());
-            }
-            _ => {}
-        }
-        // Same fast/slow latch split as `update`: hold the read side while a
-        // coordinated scan is pending so its straggler set stays bounded.
-        steps::record(OpKind::Read);
-        let _latch = if self.coord_waiters.load(Ordering::SeqCst) != 0 {
-            Some(self.coord_latch.read().unwrap_or_else(|e| e.into_inner()))
-        } else {
-            None
-        };
-        for &shard in by_shard.keys() {
-            self.heat[shard].inc();
-        }
-        if by_shard.len() == 1 {
-            // Single-shard batch: the inner object's own `update_many` makes
-            // it atomic on that shard; bracket it exactly like an update so
-            // cross-shard scans involving this shard revalidate.
-            let (&shard, sub_batch) = by_shard.iter().next().expect("one shard");
-            let e = &self.epochs[shard];
-            steps::record(OpKind::FetchInc);
-            e.writers.fetch_add(1, Ordering::SeqCst);
-            self.inner[shard].update_many(pid, sub_batch);
-            steps::record(OpKind::FetchInc);
-            e.epoch.fetch_add(1, Ordering::SeqCst);
-            steps::record(OpKind::FetchInc);
-            e.writers.fetch_sub(1, Ordering::SeqCst);
-            trace::emit(TraceKind::BatchCommit, total as u64, 1);
-            if let Some(scope) = scope {
-                self.update_steps.record(scope.finish().total());
-            }
+        if writes.is_empty() {
             return;
         }
-        // Cross-shard batch, two-phase. Phase 1 raises `writers` (cross-shard
-        // scan validation) and `batch_writers` (single-shard scan validation)
-        // on every involved shard before any shard mutates, so a concurrent
-        // scan of *either kind* that overlaps any part of the batch
-        // revalidates and sees either the whole batch or none of it. Phase 2
-        // applies the per-shard sub-batches (each atomic on its shard via the
-        // inner `update_many`). Phase 3 bumps the epochs and releases the
-        // marks. The batch lock serializes overlapping multi-shard batches,
-        // which could otherwise commit in opposite per-shard orders.
-        let serial = self.batch_lock.lock().unwrap_or_else(|e| e.into_inner());
-        for &shard in by_shard.keys() {
-            let e = &self.epochs[shard];
-            steps::record(OpKind::FetchInc);
-            e.writers.fetch_add(1, Ordering::SeqCst);
-            steps::record(OpKind::FetchInc);
-            e.batch_writers.fetch_add(1, Ordering::SeqCst);
+        let scope = psnap_obs::enabled().then(StepScope::start);
+        loop {
+            // Same fast/slow latch split as `update`: hold the read side
+            // while a coordinated scan or a reshard is pending so the drain
+            // stays bounded.
+            steps::record(OpKind::Read);
+            let _latch = if self.coord_waiters.load(Ordering::SeqCst) != 0
+                || self.reshard_waiters.load(Ordering::SeqCst) != 0
+            {
+                Some(self.coord_latch.read().unwrap_or_else(|e| e.into_inner()))
+            } else {
+                None
+            };
+            let guard = epoch::pin();
+            let ptr = self.state.load(Ordering::Acquire);
+            let state = unsafe { &*ptr };
+            // Resolve duplicates last-write-wins and group by shard (shared
+            // router helper, so both sharded stores keep identical
+            // semantics). Grouping is generation-specific, hence inside the
+            // retry loop.
+            let by_shard = state.router.group_last_write_wins(writes);
+            let total: usize = by_shard.values().map(Vec::len).sum();
+            if total == 1 {
+                let (&shard, sub) = by_shard.iter().next().expect("one shard");
+                let component = state.router.component_of(shard, sub[0].0);
+                let value = sub[0].1.clone();
+                drop(guard);
+                return self.update(pid, component, value);
+            }
+            if by_shard.len() == 1 {
+                // Single-shard batch: the inner object's own `update_many`
+                // makes it atomic on that shard; bracket it exactly like an
+                // update (including the reshard recheck) so cross-shard
+                // scans involving this shard revalidate.
+                let (&shard, sub_batch) = by_shard.iter().next().expect("one shard");
+                let e = &state.epochs[shard];
+                steps::record(OpKind::FetchInc);
+                e.writers.fetch_add(1, Ordering::SeqCst);
+                steps::record(OpKind::Read);
+                if self.reshard_waiters.load(Ordering::SeqCst) != 0
+                    || self.state.load(Ordering::SeqCst) != ptr
+                {
+                    e.writers.fetch_sub(1, Ordering::SeqCst);
+                    drop(guard);
+                    std::thread::yield_now();
+                    continue;
+                }
+                state.heat[shard].inc();
+                state.inner[shard].update_many(pid, sub_batch);
+                steps::record(OpKind::FetchInc);
+                e.epoch.fetch_add(1, Ordering::SeqCst);
+                steps::record(OpKind::FetchInc);
+                e.writers.fetch_sub(1, Ordering::SeqCst);
+                trace::emit(TraceKind::BatchCommit, total as u64, 1);
+                break;
+            }
+            // Cross-shard batch, two-phase. Phase 1 raises `writers`
+            // (cross-shard scan validation) and `batch_writers`
+            // (single-shard scan validation) on every involved shard before
+            // any shard mutates, so a concurrent scan of *either kind* that
+            // overlaps any part of the batch revalidates and sees either
+            // the whole batch or none of it. Phase 2 applies the per-shard
+            // sub-batches (each atomic on its shard via the inner
+            // `update_many`). Phase 3 bumps the epochs and releases the
+            // marks. The batch lock serializes overlapping multi-shard
+            // batches, which could otherwise commit in opposite per-shard
+            // orders — and a resharder holds it across its whole rebuild,
+            // so after acquiring it the batch re-checks that the state it
+            // planned against is still live (it may have blocked through an
+            // entire rebuild). Once the recheck passes, the held batch lock
+            // itself excludes any new resharder until the batch commits.
+            let serial = self.batch_lock.lock().unwrap_or_else(|e| e.into_inner());
+            steps::record(OpKind::Read);
+            if self.reshard_waiters.load(Ordering::SeqCst) != 0
+                || self.state.load(Ordering::SeqCst) != ptr
+            {
+                drop(serial);
+                drop(guard);
+                std::thread::yield_now();
+                continue;
+            }
+            for &shard in by_shard.keys() {
+                state.heat[shard].inc();
+                let e = &state.epochs[shard];
+                steps::record(OpKind::FetchInc);
+                e.writers.fetch_add(1, Ordering::SeqCst);
+                steps::record(OpKind::FetchInc);
+                e.batch_writers.fetch_add(1, Ordering::SeqCst);
+            }
+            for (&shard, sub_batch) in &by_shard {
+                state.inner[shard].update_many(pid, sub_batch);
+            }
+            for &shard in by_shard.keys() {
+                let e = &state.epochs[shard];
+                steps::record(OpKind::FetchInc);
+                e.epoch.fetch_add(1, Ordering::SeqCst);
+                steps::record(OpKind::FetchInc);
+                e.batch_epoch.fetch_add(1, Ordering::SeqCst);
+                steps::record(OpKind::FetchInc);
+                e.writers.fetch_sub(1, Ordering::SeqCst);
+                steps::record(OpKind::FetchInc);
+                e.batch_writers.fetch_sub(1, Ordering::SeqCst);
+            }
+            drop(serial);
+            trace::emit(TraceKind::BatchCommit, total as u64, by_shard.len() as u64);
+            break;
         }
-        for (&shard, sub_batch) in &by_shard {
-            self.inner[shard].update_many(pid, sub_batch);
-        }
-        for &shard in by_shard.keys() {
-            let e = &self.epochs[shard];
-            steps::record(OpKind::FetchInc);
-            e.epoch.fetch_add(1, Ordering::SeqCst);
-            steps::record(OpKind::FetchInc);
-            e.batch_epoch.fetch_add(1, Ordering::SeqCst);
-            steps::record(OpKind::FetchInc);
-            e.writers.fetch_sub(1, Ordering::SeqCst);
-            steps::record(OpKind::FetchInc);
-            e.batch_writers.fetch_sub(1, Ordering::SeqCst);
-        }
-        drop(serial);
-        trace::emit(TraceKind::BatchCommit, total as u64, by_shard.len() as u64);
         if let Some(scope) = scope {
             self.update_steps.record(scope.finish().total());
         }
@@ -595,72 +867,126 @@ where
             return Vec::new();
         }
         let scope = psnap_obs::enabled().then(StepScope::start);
-        let plan = self.router.plan(components);
-        for (shard, _) in &plan.groups {
-            self.heat[*shard].inc();
-        }
-        if !plan.is_cross_shard() {
-            // Locality fast path: the inner object's linearizability covers a
-            // single-shard scan against updates and same-shard batches, so no
-            // `(epoch, writers)` validation is needed — but a *cross-shard*
-            // batch applies this shard's sub-batch before or after its
-            // siblings', and even a one-component scan must not observe that
-            // half-committed state (it would order the batch before itself
-            // while a later scan of a sibling shard orders it after). The
-            // `batch_*` pair is raised only across cross-shard batch windows,
-            // so this validation costs four reads and never retries under
-            // plain update churn — locality stays wait-free in the paper's
-            // workload, and blocks only while a cross-shard batch covers the
-            // scanned shard.
-            let (shard, ref slots) = plan.groups[0];
-            let e = &self.epochs[shard];
-            loop {
-                steps::record(OpKind::Read);
-                let before = e.batch_epoch.load(Ordering::SeqCst);
-                steps::record(OpKind::Read);
-                if e.batch_writers.load(Ordering::SeqCst) != 0 {
-                    std::thread::yield_now();
-                    continue;
+        'attempt: loop {
+            // While a reshard is rebuilding, scans wait behind the latch
+            // exactly like updates — drain-and-rebuild quiesces *all*
+            // traffic, which is precisely the availability gap E15 measures
+            // against the multiversioned live-reshard path.
+            steps::record(OpKind::Read);
+            let _latch = if self.reshard_waiters.load(Ordering::SeqCst) != 0 {
+                Some(self.coord_latch.read().unwrap_or_else(|e| e.into_inner()))
+            } else {
+                None
+            };
+            let guard = epoch::pin();
+            let state = self.state(&guard);
+            let generation = state.router.generation();
+            let plan = state.router.plan(components);
+            for (shard, _) in &plan.groups {
+                state.heat[*shard].inc();
+            }
+            if !plan.is_cross_shard() {
+                // Locality fast path: the inner object's linearizability
+                // covers a single-shard scan against updates and same-shard
+                // batches, so no `(epoch, writers)` validation is needed —
+                // but a *cross-shard* batch applies this shard's sub-batch
+                // before or after its siblings', and even a one-component
+                // scan must not observe that half-committed state (it would
+                // order the batch before itself while a later scan of a
+                // sibling shard orders it after). The `batch_*` pair is
+                // raised only across cross-shard batch windows, so this
+                // validation costs four reads and never retries under plain
+                // update churn — locality stays wait-free in the paper's
+                // workload, and blocks only while a cross-shard batch
+                // covers the scanned shard.
+                let (shard, ref slots) = plan.groups[0];
+                let e = &state.epochs[shard];
+                loop {
+                    // `batch_writers` before `batch_epoch`, both ends of the
+                    // window: a batch ends with `batch_epoch += 1;
+                    // batch_writers -= 1`, so the opposite order on the
+                    // closing read lets that tail land between the two loads
+                    // and "validate" a scan that observed the batch
+                    // half-committed (see `collect_epochs`).
+                    steps::record(OpKind::Read);
+                    if e.batch_writers.load(Ordering::SeqCst) != 0 {
+                        if self.reshard_waiters.load(Ordering::SeqCst) != 0 {
+                            continue 'attempt;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    steps::record(OpKind::Read);
+                    let before = e.batch_epoch.load(Ordering::SeqCst);
+                    let values = state.inner[shard].scan(pid, slots);
+                    steps::record(OpKind::Read);
+                    let clean = if e.batch_writers.load(Ordering::SeqCst) != 0 {
+                        false
+                    } else {
+                        steps::record(OpKind::Read);
+                        e.batch_epoch.load(Ordering::SeqCst) == before
+                    };
+                    if clean {
+                        // A swapped generation means the values may have
+                        // come from a retired shard object that misses
+                        // post-swap writes to its shared epoch registers'
+                        // new counterpart; discard and replan.
+                        if self.live_generation() != generation {
+                            continue 'attempt;
+                        }
+                        if let Some(scope) = scope {
+                            self.scan_steps.record(scope.finish().total());
+                        }
+                        return plan.assemble(&[values]);
+                    }
                 }
-                let values = self.inner[shard].scan(pid, slots);
-                steps::record(OpKind::Read);
-                let after = e.batch_epoch.load(Ordering::SeqCst);
-                steps::record(OpKind::Read);
-                if e.batch_writers.load(Ordering::SeqCst) == 0 && before == after {
+            }
+            // Every *counted* cross-shard scan increments exactly one of
+            // the clean / retried / coordinated counters; `stats_retries`
+            // separately counts the failed rounds themselves (diagnostics,
+            // not a scan count). Outcomes are recorded only after the
+            // generation recheck passes, so an attempt discarded across a
+            // reshard counts nothing and the partition invariant holds.
+            for round in 0..=self.max_retries {
+                if let Some(values) = Self::optimistic_round(state, pid, &plan) {
+                    if self.live_generation() != generation {
+                        continue 'attempt;
+                    }
+                    self.stats_cross.inc();
+                    if round == 0 {
+                        self.stats_clean.inc();
+                    } else {
+                        self.stats_retried.inc();
+                        self.stats_retries.add(round as u64);
+                    }
                     if let Some(scope) = scope {
                         self.scan_steps.record(scope.finish().total());
                     }
-                    return plan.assemble(&[values]);
+                    return values;
                 }
+                trace::emit(TraceKind::ScanRetry, round as u64, 0);
             }
-        }
-        // Every cross-shard scan increments exactly one of the clean /
-        // retried / coordinated counters; `stats_retries` separately counts
-        // the failed rounds themselves (diagnostics, not a scan count).
-        self.stats_cross.inc();
-        for round in 0..=self.max_retries {
-            if let Some(values) = self.optimistic_round(pid, &plan) {
-                if round == 0 {
-                    self.stats_clean.inc();
-                } else {
-                    self.stats_retried.inc();
-                    self.stats_retries.add(round as u64);
-                }
-                if let Some(scope) = scope {
-                    self.scan_steps.record(scope.finish().total());
-                }
-                return values;
+            // All max_retries + 1 optimistic rounds failed. Release the
+            // entry latch before escalating: `coordinated_scan` acquires the
+            // write side of the same lock, and std's RwLock is not
+            // upgradable — holding the read guard here would self-deadlock
+            // (and wedge every op queued behind a waiting resharder). The
+            // generation recheck below already covers any reshard that
+            // slips in between the release and the coordinated round.
+            drop(_latch);
+            self.stats_retries.add(self.max_retries as u64 + 1);
+            trace::emit(TraceKind::ScanFallback, self.max_retries as u64 + 1, 0);
+            let values = self.coordinated_scan(state, pid, &plan);
+            if self.live_generation() != generation {
+                continue 'attempt;
             }
-            trace::emit(TraceKind::ScanRetry, round as u64, 0);
+            self.stats_cross.inc();
+            self.stats_coordinated.inc();
+            if let Some(scope) = scope {
+                self.scan_steps.record(scope.finish().total());
+            }
+            return values;
         }
-        // All max_retries + 1 optimistic rounds failed.
-        self.stats_retries.add(self.max_retries as u64 + 1);
-        trace::emit(TraceKind::ScanFallback, self.max_retries as u64 + 1, 0);
-        let values = self.coordinated_scan(pid, &plan);
-        if let Some(scope) = scope {
-            self.scan_steps.record(scope.finish().total());
-        }
-        values
     }
 
     fn is_wait_free(&self) -> bool {
@@ -672,9 +998,10 @@ where
         // delay it indefinitely, which is blocking by the model's definition
         // (same verdict the repo gives `LockSnapshot`). Update operations and
         // single-shard scans remain step-bounded regardless. Full cross-shard
-        // wait-freedom needs multiversioned registers (the Wei et al.
-        // constant-time snapshot direction) — the planned next layer.
-        self.inner.len() == 1 && self.inner.iter().all(|s| s.is_wait_free())
+        // wait-freedom needs multiversioned registers — `MvShardedSnapshot`.
+        let guard = epoch::pin();
+        let state = self.state(&guard);
+        state.inner.len() == 1 && state.inner.iter().all(|s| s.is_wait_free())
     }
 
     fn name(&self) -> &'static str {
@@ -685,8 +1012,23 @@ where
         self.heat()
     }
 
+    fn shard_sizes(&self) -> Vec<usize> {
+        let guard = epoch::pin();
+        self.state(&guard).map.shard_sizes()
+    }
+
     fn shard_of(&self, component: usize) -> usize {
-        self.router.route(component).0
+        let guard = epoch::pin();
+        self.state(&guard).router.route(component).0
+    }
+
+    fn generation(&self) -> u64 {
+        let _guard = epoch::pin();
+        self.live_generation()
+    }
+
+    fn reshard(&self, op: ReshardOp) -> bool {
+        self.reshard_rebuild(op)
     }
 }
 
@@ -1006,5 +1348,88 @@ mod tests {
         // Degenerate single-shard placement inherits the inner guarantee.
         let single = cas_sharded(8, 3, ShardConfig::contiguous(1));
         assert!(single.is_wait_free());
+    }
+
+    #[test]
+    fn drain_and_rebuild_split_and_merge_preserve_values() {
+        let snap = cas_sharded(16, 2, ShardConfig::contiguous(2));
+        for c in 0..16 {
+            snap.update(ProcessId(0), c, 200 + c as u64);
+        }
+        assert_eq!(snap.generation(), 0);
+        assert!(snap.reshard(psnap_core::ReshardOp::Split { shard: 0 }));
+        assert_eq!(snap.generation(), 1);
+        assert_eq!(snap.shards(), 3);
+        let expected: Vec<u64> = (0..16).map(|c| 200 + c as u64).collect();
+        assert_eq!(snap.scan_all(ProcessId(1)), expected);
+        snap.update(ProcessId(0), 2, 999);
+        assert_eq!(snap.scan(ProcessId(1), &[2, 3]), vec![999, 203]);
+        assert!(snap.reshard(psnap_core::ReshardOp::Merge { from: 2, into: 0 }));
+        assert_eq!(snap.generation(), 2);
+        assert_eq!(snap.scan(ProcessId(1), &[2, 8, 15]), vec![999, 208, 215]);
+        assert_eq!(snap.reshards(), 2);
+        // Degenerate requests are refused without touching the layout.
+        assert!(!snap.reshard(psnap_core::ReshardOp::Split { shard: 42 }));
+        assert!(!snap.reshard(psnap_core::ReshardOp::Merge { from: 1, into: 1 }));
+        assert_eq!(snap.generation(), 2);
+    }
+
+    #[test]
+    fn drain_and_rebuild_keeps_scans_consistent_under_churn() {
+        // Batches keep two cross-shard components equal while a reshard
+        // storm splits and merges; every scan must see an untorn pair and
+        // no write may be lost across a rebuild.
+        let snap = Arc::new(cas_sharded(8, 3, ShardConfig::contiguous(2)));
+        snap.update_many(ProcessId(0), &[(0, 1), (6, 1)]);
+        let stop = Arc::new(AtomicBool::new(false));
+        let updater = {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut v = 2u64;
+                while !stop.load(Ordering::Relaxed) {
+                    snap.update_many(ProcessId(0), &[(0, v), (6, v)]);
+                    snap.update(ProcessId(0), 3, v);
+                    v += 1;
+                }
+            })
+        };
+        let resharder = {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut reshards = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if snap.reshard(psnap_core::ReshardOp::Split { shard: 0 }) {
+                        reshards += 1;
+                        let newest = snap.shards() - 1;
+                        let _ = snap.reshard(psnap_core::ReshardOp::Merge {
+                            from: newest,
+                            into: 0,
+                        });
+                    }
+                    thread::yield_now();
+                }
+                reshards
+            })
+        };
+        let mut last_pair = 0u64;
+        let mut last_counter = 0u64;
+        for _ in 0..2000 {
+            let got = snap.scan(ProcessId(1), &[0, 6, 3]);
+            assert_eq!(got[0], got[1], "torn batch across a rebuild: {got:?}");
+            assert!(got[0] >= last_pair, "batch went backwards: {got:?}");
+            assert!(
+                got[2] >= last_counter,
+                "update lost across a rebuild: {} < {last_counter}",
+                got[2]
+            );
+            last_pair = got[0];
+            last_counter = got[2];
+        }
+        stop.store(true, Ordering::Relaxed);
+        updater.join().unwrap();
+        let reshards = resharder.join().unwrap();
+        assert!(reshards > 0, "the reshard storm never resharded");
     }
 }

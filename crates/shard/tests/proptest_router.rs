@@ -13,8 +13,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use psnap_core::{CasPartialSnapshot, PartialSnapshot};
-use psnap_shard::{Partition, ShardConfig, ShardRouter, ShardedSnapshot};
+use psnap_core::{CasPartialSnapshot, PartialSnapshot, ReshardOp};
+use psnap_shard::{
+    MvShardedSnapshot, Partition, PartitionMap, ShardConfig, ShardRouter, ShardedSnapshot,
+};
 use psnap_shmem::{chaos, ProcessId};
 
 fn partition_strategy() -> impl Strategy<Value = Partition> {
@@ -192,5 +194,106 @@ fn epoch_validation_survives_chaos_schedules() {
         }
         stop.store(true, Ordering::Relaxed);
         updater.join().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any sequence of split/merge operations on a [`PartitionMap`]
+    /// preserves *exact* ownership: every component is owned by exactly one
+    /// shard (none lost, none doubly owned), accepted operations bump the
+    /// generation by exactly one, and a router rebuilt from the evolved map
+    /// still round-trips `route`/`component_of` perfectly.
+    #[test]
+    fn split_merge_sequences_preserve_exact_ownership(
+        m in 1usize..200,
+        k in 1usize..8,
+        partition in partition_strategy(),
+        ops in proptest::collection::vec(
+            (0usize..16, 0usize..16, 0u8..2),
+            0..24,
+        ),
+    ) {
+        let mut map = PartitionMap::new(m, k, partition);
+        for (a, b, split_flag) in ops {
+            let is_split = split_flag == 1;
+            let generation = map.generation();
+            let shards = map.shards();
+            let next = if is_split {
+                map.split(a % shards)
+            } else {
+                map.merge(a % shards, b % shards)
+            };
+            match next {
+                Some(next) => {
+                    prop_assert_eq!(
+                        next.generation(),
+                        generation + 1,
+                        "accepted ops bump the generation by exactly one"
+                    );
+                    map = next;
+                }
+                // Refused (single-slot split, self-merge, ...): the map is
+                // untouched, so the invariants below re-check the old one.
+                None => prop_assert_eq!(map.generation(), generation),
+            }
+            let mut owners = vec![0usize; m];
+            let mut total = 0usize;
+            for s in 0..map.shards() {
+                for c in map.shard_components(s) {
+                    prop_assert_eq!(map.shard_of(c), s);
+                    owners[c] += 1;
+                    total += 1;
+                }
+            }
+            prop_assert_eq!(total, m, "components lost or invented");
+            prop_assert!(owners.iter().all(|&n| n == 1), "double ownership");
+            let router = ShardRouter::from_map(&map);
+            prop_assert_eq!(router.generation(), map.generation());
+            for c in 0..m {
+                let (s, i) = router.route(c);
+                prop_assert_eq!(s, map.shard_of(c));
+                prop_assert_eq!(router.component_of(s, i), c);
+            }
+        }
+    }
+
+    /// The live multiversioned store under the same arbitrary reshard
+    /// sequences: every component keeps its value across every accepted
+    /// migration, and the store's generation tracks the map's.
+    #[test]
+    fn live_reshard_sequences_preserve_values(
+        m in 1usize..48,
+        k in 1usize..6,
+        ops in proptest::collection::vec(
+            (0usize..8, 0usize..8, 0u8..2),
+            0..10,
+        ),
+    ) {
+        let snap = MvShardedSnapshot::new(m, 2, 0u64, ShardConfig::multiversioned(k));
+        for c in 0..m {
+            snap.update(ProcessId(0), c, c as u64 + 100);
+        }
+        let all: Vec<usize> = (0..m).collect();
+        for (a, b, split_flag) in ops {
+            let is_split = split_flag == 1;
+            let shards = snap.shards();
+            let op = if is_split {
+                ReshardOp::Split { shard: a % shards }
+            } else {
+                ReshardOp::Merge { from: a % shards, into: b % shards }
+            };
+            let before = snap.generation();
+            if snap.reshard(op) {
+                prop_assert_eq!(snap.generation(), before + 1);
+            } else {
+                prop_assert_eq!(snap.generation(), before);
+            }
+            let values = snap.scan(ProcessId(1), &all);
+            for (c, v) in values.iter().enumerate() {
+                prop_assert_eq!(*v, c as u64 + 100, "component {} lost its value", c);
+            }
+        }
     }
 }

@@ -112,6 +112,20 @@ impl TimestampCamera {
         steps::record(OpKind::FetchInc);
         self.clock.fetch_add(1, Ordering::SeqCst)
     }
+
+    /// Publishes a **cutover boundary**: one tick, returning the smallest
+    /// timestamp any *subsequent* finalize can receive. This is the single
+    /// shared timestamp a reshard migration hides behind — every version
+    /// finalized before the call sits strictly below the returned value,
+    /// every finalize that starts after it lands at or above, so copying
+    /// pre-cutover versions (with their original timestamps frozen via
+    /// [`MvStamp::finalized`]) into new registers can never collide with a
+    /// post-cutover write's timestamp. One fetch&increment step, counted in
+    /// `shmem.mv.cutovers`.
+    pub fn cutover(&self) -> u64 {
+        crate::metrics::mv_cutovers().inc();
+        self.tick() + 1
+    }
 }
 
 /// Stamp-slot encoding. Bit 0 distinguishes a finalized timestamp from a
@@ -433,6 +447,15 @@ impl<T: Send + Sync + 'static> MvRegister<T> {
     /// protocol of the callers guarantees one (pruning never unlinks the
     /// winner at or below a live announcement).
     pub fn read_at(&self, s: u64, camera: &TimestampCamera) -> Arc<T> {
+        self.read_at_stamped(s, camera).1
+    }
+
+    /// Like [`read_at`](Self::read_at), but also returns the winning
+    /// version's finalized timestamp — what a reshard migration's
+    /// merge-read needs to arbitrate between a component's old and new
+    /// register (larger timestamp wins). Same step costs, same panic
+    /// condition, same pending-version resolution.
+    pub fn read_at_stamped(&self, s: u64, camera: &TimestampCamera) -> (u64, Arc<T>) {
         let _guard = epoch::pin();
         steps::record(OpKind::Read);
         let mut cur = self.head.load(Ordering::Acquire);
@@ -457,7 +480,30 @@ impl<T: Send + Sync + 'static> MvRegister<T> {
                  the chain was pruned below a live announcement"
             )
         })
-        .1
+    }
+
+    /// Every **finalized** version currently in the chain, oldest-first:
+    /// `(timestamp, value)` pairs in the order a migration must re-install
+    /// them into a fresh register so that chain-position tie-breaks are
+    /// preserved (install pushes to the head, so installing oldest-first
+    /// leaves the newest at the head, exactly as here). Pending versions are
+    /// skipped — the caller (a reshard migration) runs after the source
+    /// register is frozen, when none can exist. Diagnostics-priced: no steps
+    /// recorded.
+    pub fn finalized_versions(&self) -> Vec<(u64, Arc<T>)> {
+        let _guard = epoch::pin();
+        let mut out: Vec<(u64, Arc<T>)> = Vec::new();
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // Safety: protected by the epoch pin.
+            let node = unsafe { &*cur };
+            if let Some(t) = node.stamp.peek() {
+                out.push((t, Arc::clone(&node.value)));
+            }
+            cur = node.next.load(Ordering::Acquire);
+        }
+        out.reverse();
+        out
     }
 
     /// The newest version's value and finalized timestamp, if finalized
@@ -845,6 +891,64 @@ mod tests {
         let t = parked.finalize(&camera);
         assert!(t > s1);
         assert_eq!(*reg.read_at(camera.tick(), &camera), 99);
+    }
+
+    #[test]
+    fn cutover_bounds_every_later_finalize_from_below() {
+        let camera = TimestampCamera::new();
+        let reg = MvRegister::new(0u64);
+        let t_before = finalized_install(&reg, &camera, 1);
+        let boundary = camera.cutover();
+        assert!(
+            t_before < boundary,
+            "pre-cutover version above the boundary"
+        );
+        let t_after = finalized_install(&reg, &camera, 2);
+        assert!(
+            t_after >= boundary,
+            "post-cutover finalize {t_after} below the boundary {boundary}"
+        );
+    }
+
+    #[test]
+    fn stamped_reads_report_the_winning_timestamp() {
+        let camera = TimestampCamera::new();
+        let reg = MvRegister::new(0u64);
+        let t1 = finalized_install(&reg, &camera, 10);
+        let s = camera.tick();
+        let (t, v) = reg.read_at_stamped(s, &camera);
+        assert_eq!((t, *v), (t1, 10));
+        let (t0, v0) = reg.read_at_stamped(0, &camera);
+        assert_eq!((t0, *v0), (0, 0), "initial version carries timestamp 0");
+    }
+
+    #[test]
+    fn finalized_versions_come_out_oldest_first_and_reinstall_faithfully() {
+        let camera = TimestampCamera::new();
+        let reg = MvRegister::new(0u64);
+        let mut expected = vec![(0u64, 0u64)];
+        for v in [7u64, 8, 9] {
+            camera.tick();
+            expected.push((finalized_install(&reg, &camera, v), v));
+        }
+        // A parked batch must be skipped: its timestamp is undecided.
+        reg.install(Arc::new(99), MvStamp::pending_batch());
+        let versions = reg.finalized_versions();
+        let got: Vec<(u64, u64)> = versions.iter().map(|(t, v)| (*t, **v)).collect();
+        assert_eq!(got, expected);
+        // Re-installing oldest-first into a fresh register reproduces every
+        // read the source could answer (the migration copy's contract).
+        let copy = MvRegister::new(0u64);
+        for (t, v) in &versions {
+            copy.install(Arc::clone(v), MvStamp::finalized(*t));
+        }
+        for s in 0..=camera.timestamp() {
+            assert_eq!(
+                *copy.read_at(s, &camera),
+                *reg.read_at(s, &camera),
+                "copy diverges at timestamp {s}"
+            );
+        }
     }
 
     #[test]

@@ -129,6 +129,17 @@ fn run_role<S: PartialSnapshot<u64> + ?Sized>(
                 });
             }
         }
+        Role::Resharder { ops } => {
+            // Environment reconfiguration: migrate the layout under the
+            // other roles' feet and record nothing — any tear it causes is
+            // charged to the operations that observed it. Yielding between
+            // ops lets real traffic interleave with each migration.
+            for &op in ops {
+                std::thread::yield_now();
+                let _ = snapshot.reshard(op);
+                std::thread::yield_now();
+            }
+        }
     }
     log
 }
@@ -181,6 +192,38 @@ mod tests {
         assert_eq!(batches, 60, "every updater op must be a batch");
         history.validate_well_formed().unwrap();
         assert_eq!(check_monotone_history(&history), Ok(()));
+    }
+
+    #[test]
+    fn resharder_roles_record_nothing_and_preserve_the_checkers() {
+        use psnap_core::ReshardOp;
+        use psnap_shard::{MvShardedSnapshot, ShardConfig};
+        let mut scenario = Scenario::stress(16, 2, 2, 60, 30, 5, 11);
+        scenario.roles.push(Role::Resharder {
+            ops: vec![
+                ReshardOp::Split { shard: 0 },
+                ReshardOp::Split { shard: 1 },
+                ReshardOp::Merge { from: 2, into: 0 },
+            ],
+        });
+        let snapshot = Arc::new(MvShardedSnapshot::new(
+            16,
+            scenario.processes(),
+            0u64,
+            ShardConfig::multiversioned(2),
+        ));
+        let history = run_scenario(&snapshot, &scenario);
+        assert_eq!(
+            history.len(),
+            scenario.total_ops(),
+            "reshard ops must not appear in the history"
+        );
+        history.validate_well_formed().unwrap();
+        assert_eq!(check_monotone_history(&history), Ok(()));
+        assert!(
+            snapshot.reshards() >= 1,
+            "at least the first split must be accepted"
+        );
     }
 
     #[test]

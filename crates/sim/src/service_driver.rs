@@ -110,6 +110,10 @@ where
             .map(|c| (c.seed ^ 0x5E44_1CE0, c.config.clone())),
         ..ExecutorConfig::default()
     });
+    // Resharder roles bypass the client API: resharding is operator-plane
+    // reconfiguration of the backing object (the serve layer's own driver
+    // does the same), so they keep a direct handle.
+    let backing = Arc::clone(&snapshot);
     let service = SnapshotService::start(
         snapshot,
         ServiceConfig {
@@ -133,6 +137,7 @@ where
             .enumerate()
             .map(|(pid, role)| {
                 let client = service.client();
+                let backing = Arc::clone(&backing);
                 let clock = clock.clone();
                 let barrier = Arc::clone(&barrier);
                 let chaos_cfg = scenario.chaos.clone();
@@ -141,7 +146,7 @@ where
                     let _chaos_guard =
                         chaos_cfg.map(|c| chaos::enable(c.seed.wrapping_add(pid as u64), c.config));
                     barrier.wait();
-                    run_client_role(&client, pid, n, &role, &clock, freshness)
+                    run_client_role(&client, &backing, pid, n, &role, &clock, freshness)
                 })
             })
             .collect();
@@ -154,8 +159,10 @@ where
     History::from_logs(scenario.components, scenario.initial, logs)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_client_role<S>(
     client: &psnap_serve::ClientHandle<u64, S>,
+    backing: &S,
     pid: usize,
     processes: usize,
     role: &Role,
@@ -234,6 +241,15 @@ where
                     invoked_at,
                     returned_at,
                 });
+            }
+        }
+        Role::Resharder { ops } => {
+            // Operator-plane reconfiguration against the backing object
+            // while the clients keep the service busy; records nothing.
+            for &op in ops {
+                std::thread::yield_now();
+                let _ = backing.reshard(op);
+                std::thread::yield_now();
             }
         }
     }
