@@ -3144,6 +3144,697 @@ pub fn e15_reshard_table(data: &E15Data) -> Table {
     }
 }
 
+/// One Part-A grid point of experiment E16: the batched E10 workload with
+/// every `update_many` wrapped in an `Apply` span, measured with the span
+/// layer off and on.
+#[derive(Clone, Debug)]
+pub struct E16Point {
+    /// Implementation label (`ImplKind::label`).
+    pub impl_label: &'static str,
+    /// Shard count of the measured object.
+    pub shards: usize,
+    /// `"uniform"` or `"zipf"`.
+    pub dist: &'static str,
+    /// Components written per batch.
+    pub batch: usize,
+    /// Component writes per second, spans **disabled** (inert spans).
+    pub off_comps_per_sec: f64,
+    /// Component writes per second, spans **enabled** at full sampling
+    /// (trace + span + flight collection live on every batch).
+    pub on_comps_per_sec: f64,
+    /// Component writes per second, spans enabled at 1-in-8 root sampling.
+    pub sampled_comps_per_sec: f64,
+    /// Wall-clock overhead of full-sampling span collection, percent.
+    pub wall_overhead_pct: f64,
+    /// Wall-clock overhead at 1-in-8 root sampling, percent.
+    pub sampled_overhead_pct: f64,
+    /// Fraction of batch triples this point discarded because a scheduler
+    /// preemption quantum (~1000x the span signal) landed inside one of
+    /// the three timed windows; the trim is symmetric across arms.
+    pub trimmed_fraction: f64,
+    /// Step-count overhead. Spans never call `steps::record`, so the
+    /// paper's cost metric is unperturbed by construction (the e16 smoke
+    /// test verifies exact equality scanner-free); under live scanners this
+    /// delta only carries helping-interleaving noise.
+    pub step_overhead_pct: f64,
+}
+
+/// One per-stage latency-attribution row of experiment E16, computed from
+/// real span trees of a live service run (not from flat histograms).
+#[derive(Clone, Debug)]
+pub struct E16Stage {
+    /// Stage name (`SpanKind::as_str`, plus `"total"` for whole requests).
+    pub stage: &'static str,
+    /// Spans of this stage across the captured scan trees.
+    pub count: u64,
+    /// Median stage duration (nanoseconds).
+    pub p50_ns: f64,
+    /// 99th-percentile stage duration (nanoseconds).
+    pub p99_ns: f64,
+}
+
+/// The raw data behind experiment E16 (also serialized to `BENCH_E16.json`).
+#[derive(Clone, Debug)]
+pub struct E16Data {
+    /// Number of components of each measured object.
+    pub m: usize,
+    /// Batches measured per point and span state (Part A), and operations
+    /// per client in the attribution run (Part B).
+    pub ops: usize,
+    /// Continuously scanning background processes per Part-A point.
+    pub scanners: usize,
+    /// Part A: one entry per (implementation × distribution × batch size).
+    pub points: Vec<E16Point>,
+    /// Part A grid-aggregate wall-clock overhead at full sampling,
+    /// percent: the honest price of spanning **every** sub-microsecond
+    /// batch — reported, not bounded.
+    pub aggregate_wall_overhead_pct: f64,
+    /// Part A grid-aggregate wall-clock overhead at 1-in-8 root sampling,
+    /// percent (the < 3% acceptance number — the divisor exists exactly so
+    /// high-frequency instrumentation sites stay under the budget).
+    pub aggregate_sampled_overhead_pct: f64,
+    /// Part A grid-aggregate step overhead, percent (structurally 0; the
+    /// residual is scanner-helping interleaving noise).
+    pub aggregate_step_overhead_pct: f64,
+    /// Part B: per-stage p99 attribution from the captured span trees.
+    pub stages: Vec<E16Stage>,
+    /// Part B: completed scan trees the attribution was computed from.
+    pub trees_captured: usize,
+    /// Part C: the scan SLO handed to the service (nanoseconds).
+    pub slo_ns: u64,
+    /// Part C: the induced anomaly's reason (`AnomalyKind::as_str`).
+    pub anomaly_reason: String,
+    /// Part C: span trees frozen into the induced dump.
+    pub anomaly_dump_trees: usize,
+    /// Part C: whether the dump contains the triggering request's own tree
+    /// (a `ScanRequest` root whose recorded latency breaches the SLO).
+    pub triggering_tree_present: bool,
+    /// Part C: whether the dump round-trips through `psnap-json` exactly.
+    pub dump_round_trips: bool,
+}
+
+impl E16Data {
+    /// The experiment description used by the table and the JSON document.
+    pub fn description(&self) -> String {
+        format!(
+            "cost and yield of causal span tracing (psnap-obs span + flight \
+             layers). Part A prices the layer on the E10 grid (shard count \
+             × distribution × batch size, m = {}, {} scanners): every \
+             batched apply wrapped in an `apply` root span, three arms \
+             interleaved per batch in one scanner session — spans off \
+             (inert), spans on at full sampling, spans on at 1-in-8 root \
+             sampling — with trace rings live in all arms so each delta is \
+             the span increment alone (E13 already prices the flat layer). \
+             Batch triples holding a scheduler preemption quantum (~1000x \
+             the signal, unavoidable on a shared box) are discarded \
+             symmetrically across arms and the discarded fraction is \
+             reported. Full sampling is the honest price list: ~100-250ns \
+             per span is real money against sub-microsecond batches, which \
+             is exactly why the root sampling divisor exists — the 1-in-8 \
+             aggregate is the deployment answer for high-frequency sites \
+             and must stay under 3% wall; request-scale sites (the serve \
+             pipeline, Part B) afford full sampling outright. Spans never \
+             call steps::record (verified exactly, scanner-free, by the \
+             e16 smoke test; the grid's step delta only carries \
+             scanner-helping interleaving noise). Part B is the yield: a \
+             live service run (mv-sharded-k4, 4 clients, 100µs coalescing \
+             window, every 8th op an update) with spans on, per-stage \
+             p50/p99 attributed from the **real span trees** the flight \
+             recorder assembled — queue wait vs coalescing window vs \
+             backing scan vs merge fan-out, stages a flat histogram cannot \
+             separate per request. Part C induces an anomaly: a 1ns scan \
+             SLO forces a latency_slo trigger on a live service, and the \
+             frozen dump must contain the triggering request's own tree \
+             and round-trip through psnap-json.",
+            self.m, self.scanners
+        )
+    }
+
+    /// Serializes the data for `BENCH_E16.json`.
+    pub fn to_json(&self) -> psnap_json::Json {
+        use psnap_json::Json;
+        Json::obj([
+            ("experiment", Json::Str("E16".into())),
+            ("description", Json::Str(self.description())),
+            ("m", Json::Num(self.m as f64)),
+            ("ops", Json::Num(self.ops as f64)),
+            ("scanners", Json::Num(self.scanners as f64)),
+            (
+                "aggregate_wall_overhead_pct",
+                Json::Num(self.aggregate_wall_overhead_pct),
+            ),
+            (
+                "aggregate_sampled_overhead_pct",
+                Json::Num(self.aggregate_sampled_overhead_pct),
+            ),
+            (
+                "aggregate_step_overhead_pct",
+                Json::Num(self.aggregate_step_overhead_pct),
+            ),
+            (
+                "points",
+                Json::arr(self.points.iter().map(|p| {
+                    Json::obj([
+                        ("impl", Json::Str(p.impl_label.into())),
+                        ("shards", Json::Num(p.shards as f64)),
+                        ("dist", Json::Str(p.dist.into())),
+                        ("batch", Json::Num(p.batch as f64)),
+                        ("off_comps_per_sec", Json::Num(p.off_comps_per_sec)),
+                        ("on_comps_per_sec", Json::Num(p.on_comps_per_sec)),
+                        ("sampled_comps_per_sec", Json::Num(p.sampled_comps_per_sec)),
+                        ("wall_overhead_pct", Json::Num(p.wall_overhead_pct)),
+                        ("sampled_overhead_pct", Json::Num(p.sampled_overhead_pct)),
+                        ("trimmed_fraction", Json::Num(p.trimmed_fraction)),
+                        ("step_overhead_pct", Json::Num(p.step_overhead_pct)),
+                    ])
+                })),
+            ),
+            (
+                "stages",
+                Json::arr(self.stages.iter().map(|s| {
+                    Json::obj([
+                        ("stage", Json::Str(s.stage.into())),
+                        ("count", Json::Num(s.count as f64)),
+                        ("p50_ns", Json::Num(s.p50_ns)),
+                        ("p99_ns", Json::Num(s.p99_ns)),
+                    ])
+                })),
+            ),
+            ("trees_captured", Json::Num(self.trees_captured as f64)),
+            ("slo_ns", Json::Num(self.slo_ns as f64)),
+            ("anomaly_reason", Json::Str(self.anomaly_reason.clone())),
+            (
+                "anomaly_dump_trees",
+                Json::Num(self.anomaly_dump_trees as f64),
+            ),
+            (
+                "triggering_tree_present",
+                Json::Bool(self.triggering_tree_present),
+            ),
+            ("dump_round_trips", Json::Bool(self.dump_round_trips)),
+        ])
+    }
+}
+
+/// Root sampling divisor used by the E16 grid's third arm.
+const E16_SAMPLE_EVERY: u64 = 8;
+
+/// A timed batch window is discarded (with its whole triple) when it
+/// exceeds this multiple of the point's median spans-off window — that is
+/// a scheduler preemption quantum (milliseconds, three orders of magnitude
+/// above the span signal) landing inside the window, not instrumentation
+/// cost.
+const E16_TRIM_FACTOR: u64 = 8;
+
+/// All three arms of one E16 Part-A point, measured in one scanner session.
+#[derive(Clone, Copy, Debug)]
+struct E16PointMeasured {
+    off_steps_per_component: f64,
+    on_steps_per_component: f64,
+    off_comps_per_sec: f64,
+    on_comps_per_sec: f64,
+    sampled_comps_per_sec: f64,
+    /// Fraction of batch triples discarded as preemption-contaminated.
+    trimmed_fraction: f64,
+}
+
+/// One E16 Part-A point: the batched half of [`e10_point`]'s workload with
+/// an `Apply` root span (entered around the call, ended after) wrapping
+/// every `update_many`. Three arms — spans off, spans on at full sampling,
+/// spans on at 1-in-[`E16_SAMPLE_EVERY`] root sampling — are interleaved
+/// **per batch** under one continuous scanner session: each component set
+/// is applied by all three arms back to back (order rotating every
+/// repetition), so scheduler preemption, scanner phase, and thermal drift
+/// land on every arm symmetrically. The code path is identical in all
+/// arms (the global span switch and sampling divisor decide whether the
+/// spans are live), so the arm deltas are exactly the collection cost.
+/// Triples containing a preemption quantum are discarded symmetrically
+/// (see [`E16_TRIM_FACTOR`]).
+fn e16_point(
+    kind: ImplKind,
+    m: usize,
+    batch: usize,
+    ops: usize,
+    reps: usize,
+    scanners: usize,
+    zipf_s: Option<f64>,
+) -> E16PointMeasured {
+    use psnap_workloads::IndexDist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let snapshot = kind.build(m, 1 + scanners, 0);
+    let dist = match zipf_s {
+        Some(s) => IndexDist::zipf(m, s),
+        None => IndexDist::uniform(m),
+    };
+    let mut rng = StdRng::seed_from_u64(0xE16 ^ (batch as u64) << 8);
+    let sets: Vec<Vec<usize>> = (0..ops).map(|_| dist.sample_set(&mut rng, batch)).collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for s in 0..scanners {
+            let snapshot = Arc::clone(&snapshot);
+            let dist = dist.clone();
+            let stop = Arc::clone(&stop);
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xE16AB ^ ((s as u64) << 13));
+                while !stop.load(Ordering::Relaxed) {
+                    let comps = dist.sample_set(&mut rng, 8);
+                    let _ = snapshot.scan(ProcessId(1 + s), &comps);
+                }
+            }));
+        }
+        // Arm 0: spans off. Arm 1: spans on, every root recorded.
+        // Arm 2: spans on, 1-in-E16_SAMPLE_EVERY roots recorded.
+        let mut steps = [0u64; 3];
+        let mut triples: Vec<[u64; 3]> = Vec::with_capacity(ops * reps);
+        let mut value = 1u64;
+        for rep in 0..reps {
+            for set in &sets {
+                let mut triple = [0u64; 3];
+                for slot in 0..3usize {
+                    // Rotate which arm goes first so the cache-warming
+                    // advantage of going later cycles over all arms.
+                    let arm = (slot + rep) % 3;
+                    psnap_obs::set_span_enabled(arm > 0);
+                    psnap_obs::set_span_sample_every(if arm == 2 { E16_SAMPLE_EVERY } else { 1 });
+                    let writes: Vec<(usize, u64)> = set.iter().map(|&c| (c, value)).collect();
+                    value += 1;
+                    let scope_steps = StepScope::start();
+                    let t0 = std::time::Instant::now();
+                    let mut apply = psnap_obs::Span::root(psnap_obs::SpanKind::Apply);
+                    {
+                        let _in_span = psnap_obs::span::enter(apply.context());
+                        snapshot.update_many(ProcessId(0), &writes);
+                    }
+                    apply.set_args(writes.len() as u64, 0);
+                    drop(apply);
+                    triple[arm] = t0.elapsed().as_nanos() as u64;
+                    steps[arm] += scope_steps.finish().total();
+                }
+                triples.push(triple);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        psnap_obs::set_span_enabled(false);
+        psnap_obs::set_span_sample_every(1);
+        for h in handles {
+            h.join().expect("E16 scanner panicked");
+        }
+        // Symmetric preemption trim: a window holding a scheduler quantum
+        // is ~1000x the span signal; drop the whole triple when any arm's
+        // window blows past the off-arm median.
+        let mut off_sorted: Vec<u64> = triples.iter().map(|t| t[0]).collect();
+        off_sorted.sort_unstable();
+        let cutoff = off_sorted[off_sorted.len() / 2].saturating_mul(E16_TRIM_FACTOR);
+        let retained: Vec<&[u64; 3]> = triples
+            .iter()
+            .filter(|t| t.iter().all(|&w| w <= cutoff))
+            .collect();
+        // Degenerate fallback (cutoff 0 or everything contaminated): use
+        // the untrimmed totals rather than divide by zero.
+        let used: Vec<&[u64; 3]> = if retained.is_empty() {
+            triples.iter().collect()
+        } else {
+            retained
+        };
+        let trimmed_fraction = 1.0 - used.len() as f64 / triples.len().max(1) as f64;
+        let retained_components = (used.len() * batch) as f64;
+        let tput = |arm: usize| {
+            let ns: u64 = used.iter().map(|t| t[arm]).sum();
+            if ns == 0 {
+                0.0
+            } else {
+                retained_components / (ns as f64 / 1e9)
+            }
+        };
+        let components = (ops * reps * batch) as f64;
+        E16PointMeasured {
+            off_steps_per_component: steps[0] as f64 / components,
+            on_steps_per_component: steps[1] as f64 / components,
+            off_comps_per_sec: tput(0),
+            on_comps_per_sec: tput(1),
+            sampled_comps_per_sec: tput(2),
+            trimmed_fraction,
+        }
+    })
+}
+
+/// E16 Part B: a live service run with spans on; returns the per-stage
+/// attribution rows computed from the flight recorder's completed scan
+/// trees, and how many trees they came from. Caller enables the span layer.
+fn e16_stage_attribution(m: usize, ops: usize) -> (Vec<E16Stage>, usize) {
+    use psnap_obs::SpanKind;
+    use psnap_serve::{
+        Coalescing, Executor, Freshness, ServiceConfig, SnapshotService, SubmitError,
+    };
+    use psnap_workloads::IndexDist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    psnap_obs::flight::reset();
+    psnap_obs::flight::set_tree_capacity(4096);
+    let r = 16;
+    let clients = 4usize;
+    let scan_pids = 2usize;
+    let snapshot = ImplKind::MV_SHARDED_4.build(m, 1 + scan_pids, 0);
+    let executor = Executor::new(1 + scan_pids);
+    let service = SnapshotService::start(
+        Arc::clone(&snapshot),
+        ServiceConfig {
+            coalescing: Coalescing::Window(std::time::Duration::from_micros(100)),
+            ingest_capacity: 64,
+            scan_capacity: 1024,
+            scan_pids,
+            ..ServiceConfig::default()
+        },
+        &executor,
+    );
+    let dist = IndexDist::zipf(m, 0.9);
+    let queries: Vec<Vec<usize>> = {
+        let mut rng = StdRng::seed_from_u64(0xE16B);
+        (0..12).map(|_| dist.sample_set(&mut rng, r)).collect()
+    };
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let client = service.client();
+            let dist = dist.clone();
+            let queries = &queries;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xE16C ^ ((c as u64) << 11));
+                for k in 0..ops {
+                    if k % 8 == 0 {
+                        let component = dist.sample(&mut rng);
+                        loop {
+                            match client.submit(component, (k as u64) << 8 | c as u64) {
+                                Ok(ticket) => {
+                                    ticket.wait();
+                                    break;
+                                }
+                                Err(SubmitError::Busy) => std::thread::yield_now(),
+                                Err(SubmitError::Closed) => panic!("service closed mid-run"),
+                            }
+                        }
+                    } else {
+                        let components = queries[k % queries.len()].clone();
+                        loop {
+                            match client.scan(components.clone(), Freshness::Fresh) {
+                                Ok(ticket) => {
+                                    ticket.wait();
+                                    break;
+                                }
+                                Err(SubmitError::Busy) => std::thread::yield_now(),
+                                Err(SubmitError::Closed) => panic!("service closed mid-run"),
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    service.shutdown();
+
+    let trees = psnap_obs::flight::recent_trees();
+    let scan_trees: Vec<_> = trees
+        .iter()
+        .filter(|t| t.root().kind == SpanKind::ScanRequest && t.root().b > 0)
+        .collect();
+    let mut stages = Vec::new();
+    for kind in [
+        SpanKind::QueueWait,
+        SpanKind::Window,
+        SpanKind::BackingScan,
+        SpanKind::Merge,
+    ] {
+        let durations: Vec<f64> = scan_trees
+            .iter()
+            .flat_map(|t| t.spans_of(kind).map(|s| s.duration_ns() as f64))
+            .collect();
+        let summary = Summary::of(&durations);
+        stages.push(E16Stage {
+            stage: kind.as_str(),
+            count: durations.len() as u64,
+            p50_ns: summary.p50,
+            p99_ns: summary.p99,
+        });
+    }
+    let totals: Vec<f64> = scan_trees.iter().map(|t| t.duration_ns() as f64).collect();
+    let summary = Summary::of(&totals);
+    stages.push(E16Stage {
+        stage: "total",
+        count: totals.len() as u64,
+        p50_ns: summary.p50,
+        p99_ns: summary.p99,
+    });
+    (stages, scan_trees.len())
+}
+
+/// E16 Part C: induces a latency-SLO anomaly on a live service (a 1ns SLO
+/// no real scan can meet, triggers armed) and inspects the frozen dump.
+/// Returns `(slo_ns, reason, dump_trees, triggering_tree_present,
+/// dump_round_trips)`. Caller enables the span layer.
+fn e16_induced_anomaly() -> (u64, String, usize, bool, bool) {
+    use psnap_obs::SpanKind;
+    use psnap_serve::{Executor, Freshness, ServiceConfig, SnapshotService};
+
+    psnap_obs::flight::reset();
+    psnap_obs::flight::set_armed(true);
+    let slo = std::time::Duration::from_nanos(1);
+    let m = 16;
+    let snapshot = ImplKind::Cas.build(m, 2, 0);
+    let executor = Executor::new(2);
+    let service = SnapshotService::start(
+        Arc::clone(&snapshot),
+        ServiceConfig {
+            scan_slo: Some(slo),
+            ..ServiceConfig::default()
+        },
+        &executor,
+    );
+    let client = service.client();
+    for component in 0..m {
+        assert!(client.submit_blocking(component, component as u64 + 1));
+    }
+    let all: Vec<usize> = (0..m).collect();
+    client
+        .scan_blocking(&all, Freshness::Fresh)
+        .expect("service closed during the induced-anomaly scan");
+    service.shutdown();
+    psnap_obs::flight::set_armed(false);
+
+    let dumps = psnap_obs::flight::take_dumps();
+    // Other triggers (reshard, torn-scan) may fire while armed if unrelated
+    // traffic runs in the same process; the induced anomaly is the SLO one.
+    let Some(dump) = dumps
+        .iter()
+        .find(|d| d.reason == psnap_obs::AnomalyKind::LatencySlo)
+    else {
+        return (slo.as_nanos() as u64, "none".into(), 0, false, false);
+    };
+    let triggering_tree_present = dump
+        .trees
+        .iter()
+        .any(|t| t.root().kind == SpanKind::ScanRequest && t.root().b as u128 > slo.as_nanos());
+    let text = dump.to_json().to_string_pretty();
+    let round_trips = match psnap_json::Json::parse(&text) {
+        Ok(json) => psnap_obs::FlightDump::from_json(&json).as_ref() == Some(dump),
+        Err(_) => false,
+    };
+    (
+        slo.as_nanos() as u64,
+        dump.reason.as_str().to_string(),
+        dump.trees.len(),
+        triggering_tree_present,
+        round_trips,
+    )
+}
+
+/// Runs the E16 measurement: span-layer overhead on the E10 grid, per-stage
+/// attribution from real trees, and one induced anomaly dump.
+pub fn e16_span_tracing_data(effort: Effort) -> E16Data {
+    let m = 256;
+    let scanners = 2;
+    let ops = effort.ops;
+    let was_trace = psnap_obs::trace_enabled();
+    let was_span = psnap_obs::span_enabled();
+    let mut points = Vec::new();
+    let mut total_off_steps = 0.0f64;
+    let mut total_on_steps = 0.0f64;
+    let mut total_off_secs = 0.0f64;
+    let mut total_on_secs = 0.0f64;
+    let mut total_sampled_secs = 0.0f64;
+    for shards in [1usize, 2, 4, 8] {
+        let kind = if shards == 1 {
+            ImplKind::Cas
+        } else {
+            ImplKind::sharded_cas(shards, psnap_shard::Partition::Contiguous)
+        };
+        for (dist, zipf_s) in [("uniform", None), ("zipf", Some(0.9f64))] {
+            for batch in [2usize, 4, 8, 16] {
+                // All three arms interleave per batch inside e16_point, so
+                // each point's deltas are drift-cancelled and
+                // preemption-trimmed symmetrically. The trace rings are
+                // live in every arm — E13 already prices the flat layer;
+                // these deltas isolate the span increment (begin/end
+                // events + flight collection) on its own. The headline
+                // aggregates are time-weighted over the whole grid (E13's
+                // method).
+                const REPS: usize = 5;
+                psnap_obs::set_trace_enabled(true);
+                let p = e16_point(kind, m, batch, ops, REPS, scanners, zipf_s);
+                let components = (ops * REPS * batch) as f64;
+                total_off_steps += p.off_steps_per_component * components;
+                total_on_steps += p.on_steps_per_component * components;
+                if p.off_comps_per_sec > 0.0 {
+                    total_off_secs += components / p.off_comps_per_sec;
+                }
+                if p.on_comps_per_sec > 0.0 {
+                    total_on_secs += components / p.on_comps_per_sec;
+                }
+                if p.sampled_comps_per_sec > 0.0 {
+                    total_sampled_secs += components / p.sampled_comps_per_sec;
+                }
+                let pct = |on: f64, off: f64| {
+                    if on > 0.0 && off > 0.0 {
+                        overhead_pct(1.0 / on, 1.0 / off)
+                    } else {
+                        0.0
+                    }
+                };
+                points.push(E16Point {
+                    impl_label: kind.label(),
+                    shards,
+                    dist,
+                    batch,
+                    off_comps_per_sec: p.off_comps_per_sec,
+                    on_comps_per_sec: p.on_comps_per_sec,
+                    sampled_comps_per_sec: p.sampled_comps_per_sec,
+                    wall_overhead_pct: pct(p.on_comps_per_sec, p.off_comps_per_sec),
+                    sampled_overhead_pct: pct(p.sampled_comps_per_sec, p.off_comps_per_sec),
+                    trimmed_fraction: p.trimmed_fraction,
+                    step_overhead_pct: overhead_pct(
+                        p.on_steps_per_component,
+                        p.off_steps_per_component,
+                    ),
+                });
+            }
+        }
+    }
+
+    // Parts B and C run with the span layer live at full sampling —
+    // request-scale spans afford recording every root.
+    psnap_obs::set_trace_enabled(true);
+    psnap_obs::set_span_enabled(true);
+    psnap_obs::set_span_sample_every(1);
+    let (stages, trees_captured) = e16_stage_attribution(m, ops.max(64));
+    let (slo_ns, anomaly_reason, anomaly_dump_trees, triggering_tree_present, dump_round_trips) =
+        e16_induced_anomaly();
+    psnap_obs::set_trace_enabled(was_trace);
+    psnap_obs::set_span_enabled(was_span);
+    psnap_obs::flight::set_tree_capacity(psnap_obs::flight::DEFAULT_TREE_CAPACITY);
+    psnap_obs::flight::reset();
+
+    E16Data {
+        m,
+        ops,
+        scanners,
+        points,
+        aggregate_wall_overhead_pct: overhead_pct(total_on_secs, total_off_secs),
+        aggregate_sampled_overhead_pct: overhead_pct(total_sampled_secs, total_off_secs),
+        aggregate_step_overhead_pct: overhead_pct(total_on_steps, total_off_steps),
+        stages,
+        trees_captured,
+        slo_ns,
+        anomaly_reason,
+        anomaly_dump_trees,
+        triggering_tree_present,
+        dump_round_trips,
+    }
+}
+
+/// E16 — causal span tracing: overhead, attribution, anomaly dumps.
+pub fn e16_span_tracing(effort: Effort) -> Table {
+    e16_span_tracing_table(&e16_span_tracing_data(effort))
+}
+
+/// Renders already-measured E16 data as a table (lets the harness emit the
+/// markdown table and `BENCH_E16.json` from one measurement run). The table
+/// is the attribution-and-acceptance summary; the full Part-A grid lives in
+/// the JSON document.
+pub fn e16_span_tracing_table(data: &E16Data) -> Table {
+    let mut rows: Vec<Vec<String>> = data
+        .stages
+        .iter()
+        .map(|s| {
+            vec![
+                format!("stage: {}", s.stage),
+                s.count.to_string(),
+                format!("{:.1}", s.p50_ns / 1000.0),
+                format!("{:.1}", s.p99_ns / 1000.0),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        format!("scan trees captured ({} clients)", 4),
+        data.trees_captured.to_string(),
+        "—".into(),
+        "—".into(),
+    ]);
+    rows.push(vec![
+        "span wall overhead, full sampling (E10 grid aggregate)".into(),
+        "—".into(),
+        "—".into(),
+        format!("{:+.2}%", data.aggregate_wall_overhead_pct),
+    ]);
+    rows.push(vec![
+        "span wall overhead, 1-in-8 root sampling (E10 grid aggregate)".into(),
+        "—".into(),
+        "—".into(),
+        format!("{:+.2}%", data.aggregate_sampled_overhead_pct),
+    ]);
+    rows.push(vec![
+        "span step overhead (structurally 0; residual is helping noise)".into(),
+        "—".into(),
+        "—".into(),
+        format!("{:+.2}%", data.aggregate_step_overhead_pct),
+    ]);
+    rows.push(vec![
+        format!(
+            "induced anomaly ({}, {}ns SLO)",
+            data.anomaly_reason, data.slo_ns
+        ),
+        data.anomaly_dump_trees.to_string(),
+        "—".into(),
+        if data.triggering_tree_present {
+            "triggering tree present".into()
+        } else {
+            "triggering tree MISSING".into()
+        },
+    ]);
+    rows.push(vec![
+        "dump psnap-json round-trip".into(),
+        "—".into(),
+        "—".into(),
+        if data.dump_round_trips {
+            "exact".into()
+        } else {
+            "FAILED".into()
+        },
+    ]);
+    Table {
+        id: "E16".into(),
+        title: data.description(),
+        headers: vec![
+            "metric".into(),
+            "count".into(),
+            "p50 µs".into(),
+            "p99 µs / value".into(),
+        ],
+        rows,
+    }
+}
+
 /// Runs an experiment by id. Returns `None` for an unknown id.
 pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -3162,13 +3853,15 @@ pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
         "E13" => Some(e13_obs_overhead(effort)),
         "E14" => Some(e14_fastpath(effort)),
         "E15" => Some(e15_reshard(effort)),
+        "E16" => Some(e16_span_tracing(effort)),
         _ => None,
     }
 }
 
 /// All experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
+    "E16",
 ];
 
 #[cfg(test)]
@@ -3514,6 +4207,67 @@ mod tests {
             .and_then(psnap_json::Json::as_array)
             .unwrap();
         assert_eq!(points.len(), 4);
+        let text = json.to_string_pretty();
+        assert_eq!(psnap_json::Json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn e16_smoke_spans_attribute_stages_and_dump_the_induced_anomaly() {
+        // Structural half of the step claim, checked deterministically: with
+        // no concurrent scanners the updater's step count is a pure function
+        // of the workload, so off-vs-on must be *exactly* equal (spans never
+        // call steps::record). The grid's aggregate runs under scanners,
+        // where helping makes step counts noisy — that one is reported, not
+        // asserted.
+        psnap_obs::set_trace_enabled(true);
+        let measured = e16_point(ImplKind::Cas, 64, 4, 16, 2, 0, None);
+        psnap_obs::set_trace_enabled(false);
+        psnap_obs::set_span_enabled(false);
+        assert_eq!(
+            measured.off_steps_per_component, measured.on_steps_per_component,
+            "span collection perturbed the paper's step metric"
+        );
+
+        let data = e16_span_tracing_data(Effort { ops: 8 });
+        // 4 shard counts × 2 distributions × 4 batch sizes.
+        assert_eq!(data.points.len(), 32);
+        for p in &data.points {
+            assert!(p.off_comps_per_sec > 0.0, "{p:?}");
+            assert!(p.on_comps_per_sec > 0.0, "{p:?}");
+            assert!(p.sampled_comps_per_sec > 0.0, "{p:?}");
+            assert!((0.0..=1.0).contains(&p.trimmed_fraction), "{p:?}");
+        }
+        // Part B read real trees and produced the full stage breakdown.
+        assert_eq!(data.stages.len(), 5);
+        assert!(data.trees_captured > 0);
+        let total = data.stages.last().unwrap();
+        assert_eq!(total.stage, "total");
+        assert!(total.count > 0);
+        for s in &data.stages {
+            if s.count > 0 {
+                assert!(s.p99_ns >= s.p50_ns, "{s:?}");
+            }
+        }
+        let queue = &data.stages[0];
+        assert_eq!(queue.stage, "queue_wait");
+        assert!(queue.count > 0, "served scans always have a queue-wait leg");
+        // Part C: the 1ns SLO fired, and the frozen dump carries the
+        // triggering request's own tree and survives psnap-json exactly.
+        assert_eq!(data.anomaly_reason, "latency_slo");
+        assert!(data.anomaly_dump_trees >= 1);
+        assert!(data.triggering_tree_present);
+        assert!(data.dump_round_trips);
+
+        let json = data.to_json();
+        assert_eq!(
+            json.get("experiment").and_then(psnap_json::Json::as_str),
+            Some("E16")
+        );
+        let points = json
+            .get("points")
+            .and_then(psnap_json::Json::as_array)
+            .unwrap();
+        assert_eq!(points.len(), 32);
         let text = json.to_string_pretty();
         assert_eq!(psnap_json::Json::parse(&text).unwrap(), json);
     }

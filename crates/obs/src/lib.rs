@@ -23,21 +23,39 @@
 //! * [`Registry`] names metrics into process-wide families, carries
 //!   declarative **partition invariants** over its counters (e.g. every
 //!   accepted scan is served by exactly one path), and exposes everything
-//!   as text or [`psnap_json`] for scraping.
+//!   as text or [`psnap_json`] for scraping;
+//! * [`span`] adds *causality* on top of the flat event stream: a
+//!   [`Span`] is a (id, parent, kind) triple whose begin/end ride the
+//!   existing trace rings, and a [`SpanContext`] crosses threads with a
+//!   request so one client scan yields a tree spanning submitter, scan
+//!   server, and executor workers. Span collection is opt-in
+//!   ([`set_span_enabled`]) on top of the trace switch;
+//! * [`flight`] is the flight recorder: a bounded process-wide ring of
+//!   recently completed span trees plus a registry snapshot, frozen into a
+//!   [`FlightDump`] (exportable as Chrome trace-event JSON) when an
+//!   [anomaly trigger](flight::trigger) fires.
 //!
 //! The whole layer sits behind one global switch ([`set_enabled`]): when
 //! disabled, every record path is a single relaxed load and an early
-//! return, which is what experiment E13 measures the enabled layer against.
+//! return, which is what experiment E13 measures the enabled layer against
+//! (and E16 for the span layer).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod flight;
 pub mod metric;
 pub mod registry;
+pub mod span;
 pub mod trace;
 
+pub use flight::{AnomalyKind, FlightDump, SpanRecord, SpanTree};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, RateTracker};
 pub use registry::{Metric, MetricSnapshot, Registry};
+pub use span::{
+    set_span_enabled, set_span_sample_every, span_enabled, span_sample_every, Span, SpanContext,
+    SpanKind,
+};
 pub use trace::{set_trace_enabled, trace_enabled, Timeline, TraceEvent, TraceKind};
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

@@ -56,9 +56,42 @@ pub enum TraceKind {
     /// A live reshard retired one partition-map generation for the next
     /// (`a` = new generation, `b` = components migrated).
     Reshard,
+    /// A causal span began (`span` = its id, `a` = parent span id,
+    /// `b` = [`SpanKind`](crate::span::SpanKind) code).
+    SpanBegin,
+    /// A causal span ended (same arguments as [`SpanBegin`]).
+    ///
+    /// [`SpanBegin`]: TraceKind::SpanBegin
+    SpanEnd,
 }
 
 impl TraceKind {
+    /// Every kind, in [`index`](TraceKind::index) order.
+    pub const ALL: [TraceKind; TraceKind::COUNT] = [
+        TraceKind::ScanAnnounce,
+        TraceKind::ScanRetry,
+        TraceKind::ScanFallback,
+        TraceKind::HelpFinalize,
+        TraceKind::BatchCommit,
+        TraceKind::EpochAdvance,
+        TraceKind::QueuePush,
+        TraceKind::QueueDrain,
+        TraceKind::Coalesce,
+        TraceKind::ScanServe,
+        TraceKind::Prune,
+        TraceKind::Reshard,
+        TraceKind::SpanBegin,
+        TraceKind::SpanEnd,
+    ];
+
+    /// Number of kinds (the width of per-kind drop accounting).
+    pub const COUNT: usize = 14;
+
+    /// Dense index of this kind (indexes [`Timeline::dropped_by_kind`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Stable lowercase name used in exposition.
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -74,6 +107,8 @@ impl TraceKind {
             TraceKind::ScanServe => "scan_serve",
             TraceKind::Prune => "prune",
             TraceKind::Reshard => "reshard",
+            TraceKind::SpanBegin => "span_begin",
+            TraceKind::SpanEnd => "span_end",
         }
     }
 }
@@ -94,6 +129,11 @@ pub struct TraceEvent {
     pub thread: usize,
     /// What happened.
     pub kind: TraceKind,
+    /// The causal span this event belongs to (0 = none): the id of the
+    /// span [entered](crate::span::enter) on the emitting thread, or —
+    /// for [`SpanBegin`](TraceKind::SpanBegin) /
+    /// [`SpanEnd`](TraceKind::SpanEnd) — the span the event is about.
+    pub span: u64,
     /// First argument (see [`TraceKind`]).
     pub a: u64,
     /// Second argument (see [`TraceKind`]).
@@ -104,8 +144,8 @@ impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:>12}ns t{:<3} {:<13} a={} b={}",
-            self.at_ns, self.thread, self.kind, self.a, self.b
+            "{:>12}ns t{:<3} {:<13} span={} a={} b={}",
+            self.at_ns, self.thread, self.kind, self.span, self.a, self.b
         )
     }
 }
@@ -114,6 +154,9 @@ struct Ring {
     events: VecDeque<TraceEvent>,
     capacity: usize,
     dropped: u64,
+    /// Overflow drops broken down by the dropped event's kind, so a
+    /// flooded ring still tells you *what* it lost.
+    dropped_by_kind: [u64; TraceKind::COUNT],
 }
 
 /// All rings ever created, so a drain reaches threads that have exited.
@@ -145,12 +188,20 @@ fn clock() -> &'static Instant {
     START.get_or_init(Instant::now)
 }
 
+/// Nanoseconds on the process trace clock (comparable across threads,
+/// meaningless across processes). Shared by the span and flight layers so
+/// every timestamp in a dump lives on one axis.
+pub fn now_ns() -> u64 {
+    clock().elapsed().as_nanos() as u64
+}
+
 thread_local! {
     static MY_RING: Arc<Mutex<Ring>> = {
         let ring = Arc::new(Mutex::new(Ring {
             events: VecDeque::new(),
             capacity: RING_CAPACITY.load(Ordering::Relaxed).max(1),
             dropped: 0,
+            dropped_by_kind: [0; TraceKind::COUNT],
         }));
         RINGS.lock().unwrap_or_else(|e| e.into_inner()).push(Arc::clone(&ring));
         ring
@@ -169,10 +220,28 @@ pub fn set_ring_capacity(capacity: usize) {
 /// and accounted.
 #[inline]
 pub fn emit(kind: TraceKind, a: u64, b: u64) {
+    emit_spanned(kind, crate::span::current(), a, b);
+}
+
+/// Like [`emit`], with an explicit span id instead of the thread's
+/// [current](crate::span::current) one (used by the span layer for its own
+/// begin/end events, whose subject span is not the entered one).
+#[inline]
+pub fn emit_spanned(kind: TraceKind, span: u64, a: u64, b: u64) {
     if !trace_enabled() || !crate::enabled() {
         return;
     }
-    let at_ns = clock().elapsed().as_nanos() as u64;
+    emit_spanned_at(kind, span, a, b, now_ns());
+}
+
+/// Like [`emit_spanned`] with the timestamp already in hand: the span layer
+/// reads the clock once per edge and shares it between the interval
+/// bookkeeping and the ring event, instead of paying two reads.
+#[inline]
+pub(crate) fn emit_spanned_at(kind: TraceKind, span: u64, a: u64, b: u64, at_ns: u64) {
+    if !trace_enabled() || !crate::enabled() {
+        return;
+    }
     let thread = crate::thread_index();
     // `try_with`: an emit from inside a thread-local destructor (epoch
     // reclamation during thread exit) finds the ring already destroyed;
@@ -180,13 +249,16 @@ pub fn emit(kind: TraceKind, a: u64, b: u64) {
     let _ = MY_RING.try_with(|ring| {
         let mut ring = ring.lock().unwrap_or_else(|e| e.into_inner());
         if ring.events.len() == ring.capacity {
-            ring.events.pop_front();
-            ring.dropped += 1;
+            if let Some(oldest) = ring.events.pop_front() {
+                ring.dropped += 1;
+                ring.dropped_by_kind[oldest.kind.index()] += 1;
+            }
         }
         ring.events.push_back(TraceEvent {
             at_ns,
             thread,
             kind,
+            span,
             a,
             b,
         });
@@ -194,12 +266,25 @@ pub fn emit(kind: TraceKind, a: u64, b: u64) {
 }
 
 /// The merged timeline of every thread's drained events.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Timeline {
     /// Events sorted by timestamp (ties in emit order per thread).
     pub events: Vec<TraceEvent>,
     /// Events lost to ring overflow since the last drain.
     pub dropped: u64,
+    /// [`dropped`](Timeline::dropped) broken down by the dropped event's
+    /// kind, indexed by [`TraceKind::index`].
+    pub dropped_by_kind: [u64; TraceKind::COUNT],
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline {
+            events: Vec::new(),
+            dropped: 0,
+            dropped_by_kind: [0; TraceKind::COUNT],
+        }
+    }
 }
 
 impl Timeline {
@@ -213,12 +298,20 @@ impl Timeline {
                         ("at_ns", Json::Num(e.at_ns as f64)),
                         ("thread", Json::Num(e.thread as f64)),
                         ("kind", Json::Str(e.kind.as_str().to_string())),
+                        ("span", Json::Num(e.span as f64)),
                         ("a", Json::Num(e.a as f64)),
                         ("b", Json::Num(e.b as f64)),
                     ])
                 })),
             ),
             ("dropped", Json::Num(self.dropped as f64)),
+            (
+                "dropped_by_kind",
+                Json::obj(TraceKind::ALL.iter().filter_map(|kind| {
+                    let n = self.dropped_by_kind[kind.index()];
+                    (n > 0).then(|| (kind.as_str(), Json::Num(n as f64)))
+                })),
+            ),
         ])
     }
 }
@@ -233,7 +326,14 @@ impl fmt::Display for Timeline {
             "({} events, {} dropped)",
             self.events.len(),
             self.dropped
-        )
+        )?;
+        for kind in TraceKind::ALL {
+            let n = self.dropped_by_kind[kind.index()];
+            if n > 0 {
+                write!(f, "\n  dropped {kind}: {n}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -253,6 +353,14 @@ pub fn drain_timeline() -> Timeline {
         timeline.events.extend(ring.events.drain(..));
         timeline.dropped += ring.dropped;
         ring.dropped = 0;
+        for (total, per_ring) in timeline
+            .dropped_by_kind
+            .iter_mut()
+            .zip(ring.dropped_by_kind.iter_mut())
+        {
+            *total += *per_ring;
+            *per_ring = 0;
+        }
     }
     timeline.events.sort_by_key(|e| e.at_ns);
     timeline
@@ -297,6 +405,11 @@ mod tests {
         // A dedicated thread gets a fresh ring with a small capacity.
         set_ring_capacity(8);
         std::thread::spawn(|| {
+            // Two kinds flood the ring; the drop accounting must say which
+            // kinds the overflow discarded, not just how many events.
+            for i in 0..6u64 {
+                emit(TraceKind::Coalesce, 0xF00D, i);
+            }
             for i in 0..20u64 {
                 emit(TraceKind::QueuePush, 0xF00D, i);
             }
@@ -304,8 +417,18 @@ mod tests {
             let mine: Vec<&TraceEvent> = timeline.events.iter().filter(|e| e.a == 0xF00D).collect();
             // Exactly the capacity survived, and they are the newest.
             assert_eq!(mine.len(), 8);
-            assert!(mine.iter().all(|e| e.b >= 12));
-            assert!(timeline.dropped >= 12);
+            assert!(mine
+                .iter()
+                .all(|e| e.kind == TraceKind::QueuePush && e.b >= 12));
+            assert!(timeline.dropped >= 18);
+            assert_eq!(timeline.dropped_by_kind[TraceKind::Coalesce.index()], 6);
+            assert!(timeline.dropped_by_kind[TraceKind::QueuePush.index()] >= 12);
+            assert_eq!(timeline.dropped_by_kind[TraceKind::Reshard.index()], 0);
+            let json = timeline.to_json();
+            let drops = json.get("dropped_by_kind").unwrap();
+            assert_eq!(drops.get("coalesce").and_then(Json::as_u64), Some(6));
+            assert!(drops.get("reshard").is_none());
+            assert!(timeline.to_string().contains("dropped coalesce: 6"));
         })
         .join()
         .unwrap();

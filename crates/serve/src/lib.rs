@@ -54,6 +54,6 @@ pub mod testing;
 pub use executor::{block_on, block_on_timeout, Executor, ExecutorConfig, Handle, Sleep};
 pub use queue::{BoundedQueue, Notify, OpCell, SubmitError, Ticket};
 pub use service::{
-    ClientHandle, Coalescing, Freshness, ReshardDriver, ScanTicket, ServiceConfig, ServiceObs,
-    ServiceStats, SnapshotService, StatsReporter, UpdateTicket,
+    ClientHandle, Coalescing, FlightAuditor, Freshness, ReshardDriver, ScanTicket, ServiceConfig,
+    ServiceObs, ServiceStats, SnapshotService, StatsReporter, UpdateTicket,
 };

@@ -50,13 +50,14 @@
 //! entering the cache as its own atomic view.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use psnap_core::{PartialSnapshot, ProcessId};
 use psnap_obs::{
-    trace, Counter, Gauge, Histogram, HistogramSnapshot, Metric, RateTracker, Registry, TraceKind,
+    flight, span, trace, AnomalyKind, Counter, Gauge, Histogram, HistogramSnapshot, Metric,
+    RateTracker, Registry, Span, SpanKind, TraceKind,
 };
 use psnap_shard::{Partition, ReshardPolicy, ReshardPolicyConfig, ShardRouter};
 
@@ -135,6 +136,17 @@ pub struct ServiceConfig {
     /// executor). The backing object must have been built for at least
     /// `scan_pid + scan_pids` processes. Clamped to ≥ 1.
     pub scan_pids: usize,
+    /// Per-request scan latency SLO: a served scan whose request-to-answer
+    /// latency exceeds this fires the flight recorder's
+    /// [`LatencySlo`](psnap_obs::AnomalyKind::LatencySlo) trigger (no-op
+    /// unless triggers are [armed](psnap_obs::flight::set_armed)).
+    /// `None` (the default) disables the check entirely.
+    pub scan_slo: Option<Duration>,
+    /// Consecutive [`SubmitError::Busy`] rejections (across submits and
+    /// scans) that fire the flight recorder's
+    /// [`BusyBurst`](psnap_obs::AnomalyKind::BusyBurst) trigger, once per
+    /// streak. `0` (the default) disables the check.
+    pub busy_burst_threshold: u64,
 }
 
 impl Default for ServiceConfig {
@@ -147,6 +159,8 @@ impl Default for ServiceConfig {
             drain_pid: ProcessId(0),
             scan_pid: ProcessId(1),
             scan_pids: 1,
+            scan_slo: None,
+            busy_burst_threshold: 0,
         }
     }
 }
@@ -162,6 +176,14 @@ struct Submission<T> {
     writes: Vec<(usize, T)>,
     cell: Arc<OpCell<()>>,
     submitted: Instant,
+    /// Child span covering the queue dwell; taken and ended at drain time.
+    /// Declared before the root so that a rejected submission (dropped
+    /// whole by `try_push`) ends the child first and its stunted tree
+    /// still assembles.
+    queue_wait: Option<Span>,
+    /// Root of the request's span tree (kind `Ingest`); taken and ended
+    /// when the submission resolves. Inert unless spans are enabled.
+    span: Option<Span>,
 }
 
 struct ScanRequest<T> {
@@ -169,6 +191,17 @@ struct ScanRequest<T> {
     freshness: Freshness,
     cell: Arc<OpCell<Vec<T>>>,
     submitted: Instant,
+    /// Child span covering the queue dwell; taken and ended at drain time.
+    /// Declared before the root so that a rejected request (dropped whole
+    /// by `try_push`) ends the child first and its stunted tree still
+    /// assembles.
+    queue_wait: Option<Span>,
+    /// Root of the request's span tree (kind `ScanRequest`): begun on the
+    /// submitting thread, carried through the queue and any executor worker
+    /// with the request, ended when the answer is completed — so its drop
+    /// is the moment the flight recorder assembles the whole tree. Inert
+    /// unless spans are enabled.
+    span: Span,
 }
 
 /// One backing scan's union view, for freshness-bounded requests. The
@@ -179,6 +212,13 @@ struct ScanRequest<T> {
 struct ScanCache<T> {
     values: BTreeMap<usize, T>,
     taken_at: Instant,
+    /// Partition-map generation the entry was taken under, with each
+    /// component's shard at that time. On a later generation, only
+    /// components whose shard assignment actually moved are dropped
+    /// (a projection of an atomic cut is still atomic); unmigrated
+    /// components keep serving.
+    generation: u64,
+    shard_at_insert: BTreeMap<usize, usize>,
 }
 
 /// Cache entries kept (newest first). Parallel union jobs and mv-served
@@ -214,6 +254,10 @@ struct Counters {
     backing_scans: Arc<Counter>,
     backing_components: Arc<Counter>,
     requested_components: Arc<Counter>,
+    /// Cache entries lazily revalidated after a reshard (generation moved).
+    cache_revalidated: Arc<Counter>,
+    /// Cached components dropped by revalidation (their shard migrated).
+    cache_invalidated_components: Arc<Counter>,
     /// Submit-to-applied latency per resolved submission (nanoseconds).
     submit_latency: Arc<Histogram>,
     /// Request-to-answer latency per served scan (nanoseconds).
@@ -251,6 +295,8 @@ impl Default for Counters {
             backing_scans: Arc::new(Counter::new()),
             backing_components: Arc::new(Counter::new()),
             requested_components: Arc::new(Counter::new()),
+            cache_revalidated: Arc::new(Counter::new()),
+            cache_invalidated_components: Arc::new(Counter::new()),
             submit_latency: Arc::new(Histogram::new()),
             scan_latency: Arc::new(Histogram::new()),
             backing_latency: Arc::new(Histogram::new()),
@@ -314,6 +360,12 @@ pub struct ServiceStats {
     pub backing_components: u64,
     /// Components requested by scans served via the backing path.
     pub requested_components: u64,
+    /// Cache entries lazily revalidated after a reshard moved the
+    /// partition-map generation past the entry's.
+    pub cache_revalidated: u64,
+    /// Cached components dropped by revalidation because their shard
+    /// migrated (unmigrated components of the same entry keep serving).
+    pub cache_invalidated_components: u64,
     /// Request-to-answer latency distribution (nanoseconds) over served
     /// scans — count, sum, exact max, and log2-resolution p50/p99.
     pub scan_latency: HistogramSnapshot,
@@ -397,6 +449,9 @@ pub struct ServiceObs {
     /// Process-wide chain-length-at-prune distribution
     /// ([`psnap_shmem::metrics::mv_chain_len`]).
     pub mv_chain_len: HistogramSnapshot,
+    /// Process-wide flight-recorder dumps frozen so far
+    /// ([`psnap_obs::flight::dump_count`]) — a dashboard's anomaly pulse.
+    pub flight_dumps: u64,
 }
 
 impl ServiceObs {
@@ -460,6 +515,15 @@ impl ServiceObs {
             ("generation", Json::Num(self.generation as f64)),
             ("mv_live_versions", Json::Num(self.mv_live_versions as f64)),
             ("mv_chain_len", hist(&self.mv_chain_len)),
+            (
+                "cache_revalidated",
+                Json::Num(self.stats.cache_revalidated as f64),
+            ),
+            (
+                "cache_invalidated_components",
+                Json::Num(self.stats.cache_invalidated_components as f64),
+            ),
+            ("flight_dumps", Json::Num(self.flight_dumps as f64)),
         ])
     }
 }
@@ -482,6 +546,10 @@ struct ServiceCore<T, S> {
     /// [`ServiceObs::shard_heat_rate`]).
     heat_rates: Mutex<RateTracker>,
     counters: Counters,
+    /// Consecutive `Busy` rejections (submits and scans), reset by any
+    /// acceptance; fires the flight recorder's busy-burst trigger at
+    /// [`ServiceConfig::busy_burst_threshold`].
+    busy_streak: AtomicU64,
     drain_done: Arc<OpCell<()>>,
     scan_done: Arc<OpCell<()>>,
 }
@@ -492,7 +560,33 @@ where
     S: PartialSnapshot<T>,
 {
     fn try_cache(&self, components: &[usize], bound: Duration) -> Option<Vec<T>> {
-        let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let current_generation = self.snapshot.generation();
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        // Lazy per-shard revalidation: a reshard does not wipe the cache —
+        // an entry taken under an older generation drops only the
+        // components whose shard assignment actually moved (a projection
+        // of an atomic cut is still atomic at the same point), and keeps
+        // serving the rest. Entries drained of every component disappear.
+        for entry in cache.iter_mut() {
+            if entry.generation == current_generation {
+                continue;
+            }
+            let before = entry.values.len();
+            let shard_at_insert = std::mem::take(&mut entry.shard_at_insert);
+            entry.values.retain(|component, _| {
+                shard_at_insert.get(component) == Some(&self.snapshot.shard_of(*component))
+            });
+            entry.shard_at_insert = shard_at_insert
+                .into_iter()
+                .filter(|(component, _)| entry.values.contains_key(component))
+                .collect();
+            entry.generation = current_generation;
+            self.counters.cache_revalidated.inc();
+            self.counters
+                .cache_invalidated_components
+                .add((before - entry.values.len()) as u64);
+        }
+        cache.retain(|entry| !entry.values.is_empty());
         // Newest-first insertion order is only approximate under parallel
         // jobs, so every entry is checked for both age and coverage.
         cache.iter().find_map(|entry| {
@@ -506,25 +600,75 @@ where
         })
     }
 
-    /// Publishes one scan's atomic union as the newest cache entry.
+    /// Publishes one scan's atomic union as the newest cache entry, tagged
+    /// with the current partition generation and each component's shard
+    /// (the inputs of lazy revalidation — see [`try_cache`]).
+    ///
+    /// [`try_cache`]: ServiceCore::try_cache
     fn push_cache(&self, values: BTreeMap<usize, T>, taken_at: Instant) {
+        let generation = self.snapshot.generation();
+        let shard_at_insert = values
+            .keys()
+            .map(|&component| (component, self.snapshot.shard_of(component)))
+            .collect();
         let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-        cache.insert(0, ScanCache { values, taken_at });
+        cache.insert(
+            0,
+            ScanCache {
+                values,
+                taken_at,
+                generation,
+                shard_at_insert,
+            },
+        );
         cache.truncate(CACHE_ENTRIES);
+    }
+
+    /// Resolves one scan request: records its latency, emits the
+    /// [`ScanServe`](TraceKind::ScanServe) event attributed to the
+    /// request's span, stamps the root span's end arguments (serving tier,
+    /// latency), completes the ticket, and — because the request struct
+    /// owns the root [`Span`] — ends the tree, which is the moment the
+    /// flight recorder assembles it. Breaching [`ServiceConfig::scan_slo`]
+    /// fires the latency trigger *after* the tree is collected, so the
+    /// dump always contains the offending request.
+    fn complete_scan(&self, mut request: ScanRequest<T>, tier: u64, tier_b: u64, values: Vec<T>) {
+        let latency_ns = request.submitted.elapsed().as_nanos() as u64;
+        self.counters.scan_latency.record(latency_ns);
+        {
+            let _in_span = span::enter(request.span.context());
+            trace::emit(TraceKind::ScanServe, tier, tier_b);
+        }
+        request.span.set_args(tier, latency_ns);
+        request.queue_wait.take();
+        request.cell.complete(values);
+        drop(request);
+        if let Some(slo) = self.config.scan_slo {
+            let slo_ns = slo.as_nanos() as u64;
+            if latency_ns > slo_ns && flight::armed() {
+                flight::trigger(
+                    AnomalyKind::LatencySlo,
+                    format!(
+                        "scan answered in {latency_ns}ns against a {slo_ns}ns SLO (tier {tier})"
+                    ),
+                    Some(Registry::global()),
+                );
+            }
+        }
     }
 
     /// Answers a batch of scan requests: empty ones inline, freshness-
     /// relaxed ones from the cache or the backing object's version chains,
     /// the rest via union backing scans — run concurrently when the
     /// requests split into shard-disjoint groups and the pid pool allows.
-    /// Returns `(backing_scans, total_backing_ns)` for the caller's
-    /// latency estimate (measured locally, so the adaptive controller
-    /// keeps working even with the obs layer disabled).
+    /// Returns `(backing_requests, backing_scans, total_backing_ns)` for
+    /// the caller's latency and overlap estimates (measured locally, so the
+    /// adaptive controller keeps working even with the obs layer disabled).
     async fn serve_scans(
         self: &Arc<Self>,
         requests: Vec<ScanRequest<T>>,
         handle: &Handle,
-    ) -> (u64, u64)
+    ) -> (u64, u64, u64)
     where
         S: 'static,
     {
@@ -536,11 +680,7 @@ where
             // with an empty union.
             if request.components.is_empty() {
                 self.counters.scans_served_empty.inc();
-                self.counters
-                    .scan_latency
-                    .record(request.submitted.elapsed().as_nanos() as u64);
-                trace::emit(TraceKind::ScanServe, 2, 0);
-                request.cell.complete(Vec::new());
+                self.complete_scan(request, 2, 0, Vec::new());
                 continue;
             }
             if let Freshness::AtMostStale(bound) = request.freshness {
@@ -550,18 +690,17 @@ where
                 // pipeline untouched.
                 if let Some(values) = self.try_cache(&request.components, bound) {
                     self.counters.scans_served_cache.inc();
-                    self.counters
-                        .scan_latency
-                        .record(request.submitted.elapsed().as_nanos() as u64);
-                    trace::emit(TraceKind::ScanServe, 1, 0);
-                    request.cell.complete(values);
+                    self.complete_scan(request, 1, 0, values);
                     continue;
                 }
                 let taken_at = Instant::now();
-                if let Some((ts, values)) = self
-                    .snapshot
-                    .scan_stale(self.config.scan_pid, &request.components)
-                {
+                let mut stale_span = Span::child(request.span.context(), SpanKind::StaleRead);
+                let stale = {
+                    let _in_span = span::enter(stale_span.context());
+                    self.snapshot
+                        .scan_stale(self.config.scan_pid, &request.components)
+                };
+                if let Some((ts, values)) = stale {
                     // The cut linearizes inside this call, so it is fresher
                     // than any bound; publish it for the next stale reader.
                     let map: BTreeMap<usize, T> = request
@@ -571,20 +710,20 @@ where
                         .zip(values.iter().cloned())
                         .collect();
                     self.push_cache(map, taken_at);
+                    stale_span.set_args(ts, values.len() as u64);
+                    drop(stale_span);
                     self.counters.scans_served_mv.inc();
-                    self.counters
-                        .scan_latency
-                        .record(request.submitted.elapsed().as_nanos() as u64);
-                    trace::emit(TraceKind::ScanServe, 3, ts);
-                    request.cell.complete(values);
+                    self.complete_scan(request, 3, ts, values);
                     continue;
                 }
+                drop(stale_span);
             }
             live.push(request);
         }
         if live.is_empty() {
-            return (0, 0);
+            return (0, 0, 0);
         }
+        let backing_requests = live.len() as u64;
         let pool = self.config.scan_pids.max(1);
         let jobs = if pool == 1 {
             vec![live]
@@ -613,7 +752,7 @@ where
                 total_ns += self.run_union_job(job, self.config.scan_pid);
                 count += 1;
             }
-            return (count, total_ns);
+            return (backing_requests, count, total_ns);
         }
         // Fan shard-disjoint union jobs out on the executor: worker `w`
         // owns pid `scan_pid + w` and runs its bucket of jobs
@@ -682,7 +821,7 @@ where
             count += n;
             total_ns += ns;
         }
-        (count, total_ns)
+        (backing_requests, count, total_ns)
     }
 
     /// Runs one union backing scan for `requests` on `pid`: plans the
@@ -692,6 +831,8 @@ where
     fn run_union_job(&self, requests: Vec<ScanRequest<T>>, pid: ProcessId) -> u64 {
         let sets: Vec<&[usize]> = requests.iter().map(|r| r.components.as_slice()).collect();
         let plan = self.router.plan_union(&sets);
+        let requested_total: u64 = sets.iter().map(|s| s.len() as u64).sum();
+        drop(sets);
         // One group per shard of the trivial router — i.e. exactly one
         // backing scan of the deduplicated union. The cache timestamp is
         // taken *before* the scan starts: the scan's linearization point is
@@ -700,24 +841,39 @@ where
         // takes under contention.
         let taken_at = Instant::now();
         let group_components = plan.group_components(&self.router);
-        let results: Vec<Vec<T>> = group_components
+        // One `BackingScan` child per request in the job: each request's
+        // tree carries the union-scan interval it waited on, wherever the
+        // job ran (this may be an executor worker, not the scan server).
+        // Entering the first one attributes the backing object's own
+        // events (scan retries, fallbacks) to this job's trees.
+        let mut backing_spans: Vec<Span> = requests
             .iter()
-            .map(|components| self.snapshot.scan(pid, components))
+            .map(|r| Span::child(r.span.context(), SpanKind::BackingScan))
             .collect();
+        let results: Vec<Vec<T>> = {
+            let _in_span =
+                span::enter(backing_spans.first().map(Span::context).unwrap_or_default());
+            group_components
+                .iter()
+                .map(|components| self.snapshot.scan(pid, components))
+                .collect()
+        };
         let elapsed_ns = taken_at.elapsed().as_nanos() as u64;
         self.counters.backing_scans.inc();
         self.counters.backing_latency.record(elapsed_ns);
         self.counters
             .backing_components
             .add(plan.forwarded_slots() as u64);
-        self.counters
-            .requested_components
-            .add(sets.iter().map(|s| s.len() as u64).sum());
+        self.counters.requested_components.add(requested_total);
         trace::emit(
             TraceKind::Coalesce,
             requests.len() as u64,
             plan.forwarded_slots() as u64,
         );
+        for backing_span in &mut backing_spans {
+            backing_span.set_args(requests.len() as u64, plan.forwarded_slots() as u64);
+        }
+        drop(backing_spans);
         {
             let mut values = BTreeMap::new();
             for (components, result) in group_components.iter().zip(&results) {
@@ -727,14 +883,13 @@ where
             }
             self.push_cache(values, taken_at);
         }
-        for (k, request) in requests.iter().enumerate() {
+        for (k, request) in requests.into_iter().enumerate() {
+            let mut merge_span = Span::child(request.span.context(), SpanKind::Merge);
             let values = plan.assemble(k, &results);
+            merge_span.set_args(values.len() as u64, 0);
+            drop(merge_span);
             self.counters.scans_served_backing.inc();
-            self.counters
-                .scan_latency
-                .record(request.submitted.elapsed().as_nanos() as u64);
-            trace::emit(TraceKind::ScanServe, 0, 0);
-            request.cell.complete(values);
+            self.complete_scan(request, 0, 0, values);
         }
         elapsed_ns
     }
@@ -754,19 +909,38 @@ where
             }
             let chunk = &pending[start..end];
             let writes = coalesce_last_write_wins(chunk);
-            self.snapshot.update_many(self.config.drain_pid, &writes);
+            // The `Apply` span is parented under the chunk's first
+            // submission (inert when spans are off); entering it attributes
+            // the backing object's `BatchCommit` event to that tree.
+            let mut apply_span = Span::child(
+                pending[start]
+                    .span
+                    .as_ref()
+                    .map(Span::context)
+                    .unwrap_or_default(),
+                SpanKind::Apply,
+            );
+            {
+                let _in_span = span::enter(apply_span.context());
+                self.snapshot.update_many(self.config.drain_pid, &writes);
+            }
+            apply_span.set_args(writes.len() as u64, (width - writes.len()) as u64);
+            drop(apply_span);
             self.counters.batches_applied.inc();
             self.counters.writes_applied.add(writes.len() as u64);
             self.counters
                 .writes_coalesced_away
                 .add((width - writes.len()) as u64);
             let now = Instant::now();
-            for submission in chunk {
-                self.counters.submit_latency.record(
-                    now.saturating_duration_since(submission.submitted)
-                        .as_nanos() as u64,
-                );
+            for submission in &mut pending[start..end] {
+                let latency_ns = now
+                    .saturating_duration_since(submission.submitted)
+                    .as_nanos() as u64;
+                self.counters.submit_latency.record(latency_ns);
                 self.counters.submits_resolved.inc();
+                if let Some(mut root) = submission.span.take() {
+                    root.set_args(submission.writes.len() as u64, latency_ns);
+                }
                 submission.cell.complete(());
             }
             start = end;
@@ -886,6 +1060,9 @@ where
         if drained > 0 {
             core.counters.ingest_depth.sub(drained as i64);
             trace::emit(TraceKind::QueueDrain, 0, drained);
+            for submission in &mut pending[before..] {
+                submission.queue_wait.take();
+            }
         }
         // Prune queues of dropped clients: closed means no further push can
         // succeed, and empty (checked after the drain above) means nothing
@@ -909,10 +1086,31 @@ where
     core.drain_done.complete(());
 }
 
-fn track_scan_drain(counters: &Counters, drained: usize) {
-    if drained > 0 {
-        counters.scan_depth.sub(drained as i64);
-        trace::emit(TraceKind::QueueDrain, 1, drained as u64);
+/// One `Window` child per request about to wait through a coalescing
+/// window, carrying the chosen width; dropped (ended) by the caller once
+/// the window closes. Requests arriving *during* the window get none —
+/// they did not wait through it. Empty (free) when spans are disabled.
+fn open_window_spans<T>(requests: &[ScanRequest<T>], window: Duration) -> Vec<Span> {
+    if !psnap_obs::span_enabled() {
+        return Vec::new();
+    }
+    requests
+        .iter()
+        .map(|request| {
+            let mut window_span = Span::child(request.span.context(), SpanKind::Window);
+            window_span.set_args(window.as_nanos() as u64, 0);
+            window_span
+        })
+        .collect()
+}
+
+fn track_scan_drain<T>(counters: &Counters, drained: &mut [ScanRequest<T>]) {
+    if !drained.is_empty() {
+        counters.scan_depth.sub(drained.len() as i64);
+        trace::emit(TraceKind::QueueDrain, 1, drained.len() as u64);
+        for request in drained {
+            request.queue_wait.take();
+        }
     }
 }
 
@@ -926,6 +1124,12 @@ struct WindowController {
     /// Nanoseconds per backing scan (EWMA; 0 until the first measurement,
     /// which keeps the window closed on a cold start).
     backing_ns: f64,
+    /// Requests answered per backing scan (EWMA; 0 until the first
+    /// backing round primes it). This is the obs layer's coalescing ratio
+    /// fed back into the control loop: when unions stop deduping (overlap
+    /// hovers at 1), a window buys batching but no fewer backing scans,
+    /// so it stays closed no matter what the break-even arithmetic says.
+    overlap: f64,
     last_drain: Instant,
 }
 
@@ -933,11 +1137,18 @@ struct WindowController {
 /// backing-scan latency closes the window within a few serve rounds.
 const EWMA_ALPHA: f64 = 0.5;
 
+/// Minimum observed overlap (requests per backing scan) for the adaptive
+/// controller to open a window. Just above 1: a round where every merged
+/// request still needed its own backing scan means coalescing is buying
+/// nothing, and the window is pure added latency.
+const OVERLAP_MIN: f64 = 1.05;
+
 impl WindowController {
     fn new() -> WindowController {
         WindowController {
             arrival_rate: 0.0,
             backing_ns: 0.0,
+            overlap: 0.0,
             last_drain: Instant::now(),
         }
     }
@@ -955,8 +1166,9 @@ impl WindowController {
         self.arrival_rate = (1.0 - EWMA_ALPHA) * self.arrival_rate + EWMA_ALPHA * instant_rate;
     }
 
-    /// Folds served backing scans into the latency estimate.
-    fn observe_backing(&mut self, scans: u64, total_ns: u64) {
+    /// Folds served backing scans into the latency estimate, and the
+    /// requests-per-scan ratio of the round into the overlap estimate.
+    fn observe_backing(&mut self, requests: u64, scans: u64, total_ns: u64) {
         if scans == 0 {
             return;
         }
@@ -966,16 +1178,30 @@ impl WindowController {
         } else {
             (1.0 - EWMA_ALPHA) * self.backing_ns + EWMA_ALPHA * mean
         };
+        let ratio = requests as f64 / scans as f64;
+        self.overlap = if self.overlap == 0.0 {
+            ratio
+        } else {
+            (1.0 - EWMA_ALPHA) * self.overlap + EWMA_ALPHA * ratio
+        };
     }
 
     /// The window to open this round: about one backing scan's width,
     /// clamped to `max`, but only past break-even — when at least one more
     /// request is expected to arrive while a backing scan runs, waiting
     /// merges requests that would otherwise each pay for their own scan.
-    /// Below break-even the window costs latency and buys nothing.
+    /// Below break-even the window costs latency and buys nothing. The
+    /// overlap gate is on top: once primed, an observed requests-per-scan
+    /// ratio stuck at ~1 (unions never dedupe — e.g. shard-disjoint
+    /// requests each getting their own parallel scan) also keeps the
+    /// window closed. Unprimed (no backing round yet) it does not gate, so
+    /// a cold start can still open its first window and prime it.
     fn window(&self, max: Duration) -> Duration {
         let expected_arrivals = self.arrival_rate * self.backing_ns;
         if expected_arrivals < 1.0 {
+            return Duration::ZERO;
+        }
+        if self.overlap > 0.0 && self.overlap < OVERLAP_MIN {
             return Duration::ZERO;
         }
         Duration::from_nanos(self.backing_ns as u64).min(max)
@@ -1005,7 +1231,7 @@ where
         let before = requests.len();
         core.scan_queue.drain_into(&mut requests);
         let drained = requests.len() - before;
-        track_scan_drain(&core.counters, drained);
+        track_scan_drain(&core.counters, &mut requests[before..]);
         controller.observe_drain(drained);
         if requests.is_empty() {
             if closing {
@@ -1026,8 +1252,8 @@ where
             Coalescing::Disabled => {
                 // Baseline: one backing scan per request, in arrival order.
                 for request in requests.drain(..) {
-                    let (scans, ns) = core.serve_scans(vec![request], &handle).await;
-                    controller.observe_backing(scans, ns);
+                    let (reqs, scans, ns) = core.serve_scans(vec![request], &handle).await;
+                    controller.observe_backing(reqs, scans, ns);
                 }
                 last_dispatch = Some(Instant::now());
             }
@@ -1039,17 +1265,19 @@ where
                 };
                 core.counters.window_ns.record(window.as_nanos() as u64);
                 if !window.is_zero() {
+                    let window_spans = open_window_spans(&requests, window);
                     handle.sleep(window).await;
                     let before = requests.len();
                     core.scan_queue.drain_into(&mut requests);
                     let drained = requests.len() - before;
-                    track_scan_drain(&core.counters, drained);
+                    track_scan_drain(&core.counters, &mut requests[before..]);
                     controller.observe_drain(drained);
+                    drop(window_spans);
                 }
-                let (scans, ns) = core
+                let (reqs, scans, ns) = core
                     .serve_scans(std::mem::take(&mut requests), &handle)
                     .await;
-                controller.observe_backing(scans, ns);
+                controller.observe_backing(reqs, scans, ns);
                 last_dispatch = Some(Instant::now());
             }
             Coalescing::Adaptive { max } => {
@@ -1061,17 +1289,19 @@ where
                 };
                 core.counters.window_ns.record(window.as_nanos() as u64);
                 if !window.is_zero() {
+                    let window_spans = open_window_spans(&requests, window);
                     handle.sleep(window).await;
                     let before = requests.len();
                     core.scan_queue.drain_into(&mut requests);
                     let drained = requests.len() - before;
-                    track_scan_drain(&core.counters, drained);
+                    track_scan_drain(&core.counters, &mut requests[before..]);
                     controller.observe_drain(drained);
+                    drop(window_spans);
                 }
-                let (scans, ns) = core
+                let (reqs, scans, ns) = core
                     .serve_scans(std::mem::take(&mut requests), &handle)
                     .await;
-                controller.observe_backing(scans, ns);
+                controller.observe_backing(reqs, scans, ns);
                 last_dispatch = Some(Instant::now());
             }
         }
@@ -1128,6 +1358,7 @@ where
             cache: Mutex::new(Vec::new()),
             heat_rates: Mutex::new(RateTracker::new(HEAT_EWMA_ALPHA)),
             counters: Counters::default(),
+            busy_streak: AtomicU64::new(0),
             drain_done: OpCell::new(),
             scan_done: OpCell::new(),
         });
@@ -1206,13 +1437,76 @@ where
                     // already-empty shard, racing driver); only an accepted
                     // op starts the cooldown, so a refused proposal is
                     // retried against fresher rates next tick.
-                    if core.snapshot.reshard(op) {
+                    let mut reshard_span = Span::root(SpanKind::Reshard);
+                    let accepted = {
+                        let _in_span = span::enter(reshard_span.context());
+                        core.snapshot.reshard(op)
+                    };
+                    if accepted {
                         policy.note_applied();
+                        let generation = core.snapshot.generation();
+                        reshard_span.set_args(generation, 1);
+                        drop(reshard_span);
+                        // A live migration is the moment cached cuts and
+                        // in-flight plans are most at risk — snapshot the
+                        // recent past while it is still on hand.
+                        if flight::armed() {
+                            flight::trigger(
+                                AnomalyKind::Reshard,
+                                format!("accepted {op:?}, now generation {generation}"),
+                                Some(Registry::global()),
+                            );
+                        }
                     }
                 }
             }
         });
         ReshardDriver { stop }
+    }
+
+    /// Spawns the flight-recorder auditor on `executor`: every `every`, it
+    /// opens an `Audit` span and checks `registry`'s partition invariants
+    /// ([`Registry::check_invariants`]). A violation seen under live
+    /// traffic is usually a transient — a scan counted as accepted but not
+    /// yet served — so the auditor only fires the
+    /// [`InvariantViolation`](psnap_obs::AnomalyKind::InvariantViolation)
+    /// trigger when the *same* violation messages (they embed the leg
+    /// sums) come back on two consecutive ticks: identical sums under
+    /// traffic means stuck, not in flight. Dumps only happen while
+    /// triggers are [armed](psnap_obs::flight::set_armed). The task exits
+    /// when [`FlightAuditor::stop`] is called or the service shuts down.
+    pub fn spawn_flight_auditor(
+        &self,
+        executor: &Executor,
+        every: Duration,
+        registry: Arc<Registry>,
+    ) -> FlightAuditor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let core = Arc::clone(&self.core);
+        let handle = executor.handle();
+        let flag = Arc::clone(&stop);
+        executor.spawn(async move {
+            let mut previous: Vec<String> = Vec::new();
+            loop {
+                handle.sleep(every).await;
+                if flag.load(Ordering::Acquire) || core.closed.load(Ordering::Acquire) {
+                    break;
+                }
+                let mut audit_span = Span::root(SpanKind::Audit);
+                let violations = registry.check_invariants();
+                audit_span.set_args(violations.len() as u64, 0);
+                drop(audit_span);
+                if !violations.is_empty() && violations == previous && flight::armed() {
+                    flight::trigger(
+                        AnomalyKind::InvariantViolation,
+                        violations.join("; "),
+                        Some(&registry),
+                    );
+                }
+                previous = violations;
+            }
+        });
+        FlightAuditor { stop }
     }
 }
 
@@ -1242,6 +1536,8 @@ fn stats_of(c: &Counters) -> ServiceStats {
         scan_latency: c.scan_latency.snapshot(),
         backing_latency: c.backing_latency.snapshot(),
         window_ns: c.window_ns.snapshot(),
+        cache_revalidated: c.cache_revalidated.get(),
+        cache_invalidated_components: c.cache_invalidated_components.get(),
     }
 }
 
@@ -1272,6 +1568,7 @@ where
         generation: core.snapshot.generation(),
         mv_live_versions: psnap_shmem::metrics::mv_live_versions().get(),
         mv_chain_len: psnap_shmem::metrics::mv_chain_len().snapshot(),
+        flight_dumps: flight::dump_count(),
         stats,
     }
 }
@@ -1298,6 +1595,19 @@ pub struct ReshardDriver {
 impl ReshardDriver {
     /// Asks the driver task to exit at its next tick; in-flight reshards
     /// complete (they run synchronously inside the tick).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// Stop handle of an auditor spawned by
+/// [`SnapshotService::spawn_flight_auditor`].
+pub struct FlightAuditor {
+    stop: Arc<AtomicBool>,
+}
+
+impl FlightAuditor {
+    /// Asks the auditor task to exit at its next tick.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::Release);
     }
@@ -1386,7 +1696,7 @@ where
     ///   scan.served_cache + scan.served_mv + scan.served_empty`).
     pub fn register_obs(&self, registry: &Registry, prefix: &str) {
         let c = &self.core.counters;
-        let counters: [(&str, &Arc<Counter>); 18] = [
+        let counters: [(&str, &Arc<Counter>); 20] = [
             ("ingest.ok", &c.submits_ok),
             ("ingest.busy", &c.submits_busy),
             ("ingest.closed", &c.submits_closed),
@@ -1405,6 +1715,11 @@ where
             ("scan.backing", &c.backing_scans),
             ("scan.backing_components", &c.backing_components),
             ("scan.requested_components", &c.requested_components),
+            ("scan.cache_revalidated", &c.cache_revalidated),
+            (
+                "scan.cache_invalidated_components",
+                &c.cache_invalidated_components,
+            ),
         ];
         for (name, counter) in counters {
             registry.register(
@@ -1547,13 +1862,24 @@ where
     fn push_submission(&self, writes: Vec<(usize, T)>) -> Result<UpdateTicket, SubmitError> {
         let cell = OpCell::new();
         let width = writes.len() as u64;
-        let result = self.queue.try_push(Submission {
-            writes,
-            cell: Arc::clone(&cell),
-            submitted: Instant::now(),
-        });
+        // The root span travels with the submission and ends in the apply
+        // loop; if the push is rejected, the submission (span included) is
+        // consumed and the stunted tree still records the rejected request.
+        let root = Span::root(SpanKind::Ingest);
+        let queue_wait = Span::child(root.context(), SpanKind::QueueWait);
+        let result = {
+            let _in_span = span::enter(root.context());
+            self.queue.try_push(Submission {
+                writes,
+                cell: Arc::clone(&cell),
+                submitted: Instant::now(),
+                span: Some(root),
+                queue_wait: Some(queue_wait),
+            })
+        };
         match result {
             Ok(()) => {
+                self.core.busy_streak.store(0, Ordering::Relaxed);
                 self.core.counters.submits_ok.inc();
                 self.core.counters.writes_submitted.add(width);
                 self.core.counters.ingest_depth.inc();
@@ -1566,8 +1892,32 @@ where
                     SubmitError::Closed => &self.core.counters.submits_closed,
                 };
                 counter.inc();
+                if matches!(e, SubmitError::Busy) {
+                    self.note_busy();
+                }
                 Err(e)
             }
+        }
+    }
+
+    /// Counts a `Busy` rejection toward the busy-burst anomaly trigger:
+    /// when [`ServiceConfig::busy_burst_threshold`] consecutive rejections
+    /// accumulate with no acceptance in between, one
+    /// [`BusyBurst`](AnomalyKind::BusyBurst) dump fires (the streak keeps
+    /// counting but triggers only at the exact threshold, so a sustained
+    /// overload yields one dump, not a dump per rejection).
+    fn note_busy(&self) {
+        let threshold = self.core.config.busy_burst_threshold;
+        if threshold == 0 {
+            return;
+        }
+        let streak = self.core.busy_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak == threshold && flight::armed() {
+            flight::trigger(
+                AnomalyKind::BusyBurst,
+                format!("{streak} consecutive Busy rejections with no acceptance in between"),
+                Some(Registry::global()),
+            );
         }
     }
 
@@ -1601,14 +1951,26 @@ where
     ) -> Result<ScanTicket<T>, SubmitError> {
         self.validate_components(components.iter());
         let cell = OpCell::new();
-        let result = self.core.scan_queue.try_push(ScanRequest {
-            components,
-            freshness,
-            cell: Arc::clone(&cell),
-            submitted: Instant::now(),
-        });
+        // Root of the whole request tree: every downstream span (queue
+        // wait, window, backing scan, merge) parents back to it, and its
+        // end — in `complete_scan`, after the ticket resolves — is the
+        // moment the flight recorder assembles the tree.
+        let root = Span::root(SpanKind::ScanRequest);
+        let queue_wait = Span::child(root.context(), SpanKind::QueueWait);
+        let result = {
+            let _in_span = span::enter(root.context());
+            self.core.scan_queue.try_push(ScanRequest {
+                components,
+                freshness,
+                cell: Arc::clone(&cell),
+                submitted: Instant::now(),
+                span: root,
+                queue_wait: Some(queue_wait),
+            })
+        };
         match result {
             Ok(()) => {
+                self.core.busy_streak.store(0, Ordering::Relaxed);
                 self.core.counters.scans_ok.inc();
                 self.core.counters.scan_depth.inc();
                 trace::emit(TraceKind::QueuePush, 1, self.core.scan_queue.len() as u64);
@@ -1620,6 +1982,9 @@ where
                     SubmitError::Closed => &self.core.counters.scans_closed,
                 };
                 counter.inc();
+                if matches!(e, SubmitError::Busy) {
+                    self.note_busy();
+                }
                 Err(e)
             }
         }

@@ -1,0 +1,243 @@
+//! Causal span trees over a live, chaos-perturbed service: every scan the
+//! service answers must come back to the flight recorder as one complete
+//! tree rooted at the client's submit — no orphaned stage spans even while
+//! the request hops executor workers and the backing object reshards
+//! underneath it — and a frozen dump must round-trip through `psnap-json`.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use psnap_core::{PartialSnapshot, ReshardOp};
+use psnap_json::Json;
+use psnap_obs::{flight, AnomalyKind, FlightDump, Registry, SpanKind};
+use psnap_serve::{
+    Coalescing, Executor, ExecutorConfig, Freshness, ServiceConfig, SnapshotService,
+};
+use psnap_shard::{MvShardedSnapshot, ShardConfig};
+use psnap_shmem::chaos::ChaosConfig;
+
+const M: usize = 16;
+const SCANNERS: usize = 2;
+const SCANS_EACH: usize = 30;
+const UPDATERS: usize = 3;
+const SUBMITS_EACH: usize = 60;
+
+/// The span collector, tree ring, and dump store are process-global; the
+/// tests of this binary serialize and reset around their traffic.
+static SPAN_LOCK: Mutex<()> = Mutex::new(());
+
+fn chaotic_executor(seed: u64) -> Executor {
+    Executor::with_config(ExecutorConfig {
+        workers: 2,
+        chaos: Some((
+            seed,
+            ChaosConfig {
+                perturb_probability: 0.3,
+                sleep_probability: 0.3,
+                max_sleep_us: 200,
+                max_spin: 64,
+                ..ChaosConfig::default()
+            },
+        )),
+        ..ExecutorConfig::default()
+    })
+}
+
+/// Runs chaos-perturbed traffic (updaters, fresh scanners, and a reshard
+/// storm against the backing object) through a service with spans on, and
+/// returns the completed trees.
+fn run_traffic() -> Vec<psnap_obs::SpanTree> {
+    let backing = Arc::new(MvShardedSnapshot::new(
+        M,
+        8,
+        0u64,
+        ShardConfig::multiversioned(2),
+    ));
+    let executor = chaotic_executor(0x5FA2);
+    let service = SnapshotService::start(
+        Arc::clone(&backing),
+        ServiceConfig {
+            ingest_capacity: 8,
+            coalescing: Coalescing::Window(Duration::from_micros(200)),
+            scan_pids: 2,
+            ..ServiceConfig::default()
+        },
+        &executor,
+    );
+
+    std::thread::scope(|scope| {
+        for updater in 0..UPDATERS {
+            let client = service.client();
+            scope.spawn(move || {
+                for op in 0..SUBMITS_EACH {
+                    let component = (5 * updater + op) % M;
+                    assert!(client.submit_blocking(component, op as u64 + 1));
+                }
+            });
+        }
+        for _ in 0..SCANNERS {
+            let client = service.client();
+            scope.spawn(move || {
+                let all: Vec<usize> = (0..M).collect();
+                for _ in 0..SCANS_EACH {
+                    let values = client
+                        .scan_blocking(&all, Freshness::Fresh)
+                        .expect("service closed under a live scanner");
+                    assert_eq!(values.len(), M);
+                }
+            });
+        }
+        // The reshard storm: operator-plane splits and merges against the
+        // live backing object, so scans keep crossing generation cutovers
+        // while their spans are in flight. Rejected ops are fine — the
+        // storm only needs some accepted migrations.
+        let storm = Arc::clone(&backing);
+        scope.spawn(move || {
+            for round in 0..24 {
+                let op = if round % 2 == 0 {
+                    ReshardOp::Split { shard: 0 }
+                } else {
+                    ReshardOp::Merge { from: 1, into: 0 }
+                };
+                let _ = storm.reshard(op);
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        });
+    });
+    service.shutdown();
+    flight::recent_trees()
+}
+
+#[test]
+fn every_scan_tree_is_rooted_at_its_submit_with_no_orphans() {
+    let _serial = SPAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    psnap_obs::set_enabled(true);
+    psnap_obs::set_trace_enabled(true);
+    psnap_obs::set_span_enabled(true);
+    flight::reset();
+    flight::set_tree_capacity(8192);
+
+    let trees = run_traffic();
+
+    psnap_obs::set_span_enabled(false);
+    psnap_obs::set_trace_enabled(false);
+
+    // Structural integrity of every tree, whatever its kind: the root is
+    // first and parentless, every span belongs to the root's tree, and
+    // every non-root span's parent is present — a span that ended on a
+    // worker thread the request merely passed through must still have
+    // found its way home.
+    let mut all_ids = Vec::new();
+    for tree in &trees {
+        let root = tree.root();
+        assert_eq!(root.parent, 0, "tree root has a parent: {root:?}");
+        assert_eq!(root.id, root.root, "root id != tree id: {root:?}");
+        let ids: Vec<u64> = tree.spans.iter().map(|s| s.id).collect();
+        for span in &tree.spans {
+            assert_eq!(span.root, root.id, "span strayed into the wrong tree");
+            assert!(
+                span.parent == 0 || ids.contains(&span.parent),
+                "orphaned span {span:?} in tree rooted at {root:?}"
+            );
+            assert!(
+                span.begin_ns >= root.begin_ns && span.end_ns <= root.end_ns,
+                "stage span outlived its request: {span:?} vs root {root:?}"
+            );
+        }
+        all_ids.extend(ids);
+    }
+    let total = all_ids.len();
+    all_ids.sort_unstable();
+    all_ids.dedup();
+    assert_eq!(all_ids.len(), total, "span ids must be globally unique");
+
+    // Every served scan (root end args carry tier and a nonzero latency)
+    // is one tree rooted at the submit, with exactly one queue-wait leg;
+    // Busy-rejected attempts may add stunted trees but never served ones.
+    let served: Vec<_> = trees
+        .iter()
+        .filter(|t| t.root().kind == SpanKind::ScanRequest && t.root().b > 0)
+        .collect();
+    assert_eq!(
+        served.len(),
+        SCANNERS * SCANS_EACH,
+        "one completed tree per served scan"
+    );
+    for tree in &served {
+        assert_eq!(tree.spans_of(SpanKind::QueueWait).count(), 1);
+        let tier = tree.root().a;
+        assert!(tier <= 3, "unknown serving tier {tier}");
+        if tier == 0 {
+            // Backing-served scans carry their union fan-out stages.
+            assert!(tree.spans_of(SpanKind::Merge).count() >= 1);
+        }
+    }
+    // The union path actually ran somewhere in the run, and its backing
+    // intervals attribute to scan trees (per-stage attribution is what E16
+    // reads off these).
+    assert!(served
+        .iter()
+        .any(|t| t.spans_of(SpanKind::BackingScan).count() >= 1));
+
+    // Ingest trees: every applied submission roots its own tree too.
+    let ingests = trees
+        .iter()
+        .filter(|t| t.root().kind == SpanKind::Ingest)
+        .count();
+    assert!(
+        ingests >= UPDATERS * SUBMITS_EACH,
+        "expected at least {} ingest trees, got {ingests}",
+        UPDATERS * SUBMITS_EACH
+    );
+
+    flight::reset();
+}
+
+#[test]
+fn flight_dump_of_live_traffic_round_trips_through_json() {
+    let _serial = SPAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    psnap_obs::set_enabled(true);
+    psnap_obs::set_trace_enabled(true);
+    psnap_obs::set_span_enabled(true);
+    flight::reset();
+    flight::set_tree_capacity(8192);
+
+    let trees = run_traffic();
+    assert!(!trees.is_empty());
+
+    // Freeze a dump over the real traffic's trees and a live registry
+    // snapshot, exactly as an anomaly trigger would.
+    let registry = Registry::new();
+    registry.counter("t.requests").add(trees.len() as u64);
+    flight::set_armed(true);
+    let dump = flight::trigger(
+        AnomalyKind::TornScan,
+        "synthetic trigger over real chaos traffic".to_string(),
+        Some(&registry),
+    )
+    .expect("armed trigger freezes a dump");
+    flight::set_armed(false);
+    psnap_obs::set_span_enabled(false);
+    psnap_obs::set_trace_enabled(false);
+
+    assert_eq!(dump.trees.len(), trees.len());
+    let text = dump.to_json().to_string_pretty();
+    let restored = FlightDump::from_json(&Json::parse(&text).expect("dump JSON parses"))
+        .expect("dump deserializes");
+    assert_eq!(restored, dump);
+
+    // The Chrome trace export carries one complete event per span.
+    let chrome = dump.to_chrome_trace();
+    let events = chrome
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    let spans: usize = dump.trees.iter().map(|t| t.spans.len()).sum();
+    assert_eq!(events.len(), spans);
+    assert!(events
+        .iter()
+        .all(|e| e.get("ph").and_then(Json::as_str) == Some("X")));
+
+    flight::reset();
+}

@@ -1067,9 +1067,11 @@ mod tests {
                 }
             })
         };
+        let splits_seen = Arc::new(AtomicU64::new(0));
         let resharder = {
             let snap = Arc::clone(&snap);
             let stop = Arc::clone(&stop);
+            let splits_seen = Arc::clone(&splits_seen);
             thread::spawn(move || {
                 let mut splits = 0usize;
                 while !stop.load(Ordering::Relaxed) {
@@ -1084,6 +1086,7 @@ mod tests {
                         .unwrap_or(0);
                     if snap.reshard(ReshardOp::Split { shard: hottest }) {
                         splits += 1;
+                        splits_seen.fetch_add(1, Ordering::Relaxed);
                         let newest = snap.shards() - 1;
                         let _ = snap.reshard(ReshardOp::Merge {
                             from: newest,
@@ -1097,7 +1100,14 @@ mod tests {
         };
         let mut last_counter = 0u64;
         let mut last_batch = 0u64;
-        for _ in 0..4000 {
+        // At least 4000 scans, and keep scanning until the storm has landed
+        // a split: on a loaded single-core box the scan loop can otherwise
+        // finish inside one scheduler quantum, before the resharder thread
+        // ever runs. The iteration cap keeps a genuinely wedged resharder
+        // from hanging the test (the final assert then reports it).
+        let mut iters = 0u64;
+        loop {
+            iters += 1;
             let got = snap.scan(ProcessId(1), &[0, 6, 3]);
             assert_eq!(got[0], got[1], "torn batch across a reshard: {got:?}");
             assert!(got[0] >= last_batch, "batch went backwards: {got:?}");
@@ -1108,6 +1118,9 @@ mod tests {
             );
             last_batch = got[0];
             last_counter = got[2];
+            if (iters >= 4000 && splits_seen.load(Ordering::Relaxed) > 0) || iters >= 4_000_000 {
+                break;
+            }
         }
         stop.store(true, Ordering::Relaxed);
         batcher.join().unwrap();

@@ -976,6 +976,20 @@ where
             drop(_latch);
             self.stats_retries.add(self.max_retries as u64 + 1);
             trace::emit(TraceKind::ScanFallback, self.max_retries as u64 + 1, 0);
+            // Every optimistic round tore its validation — the flight
+            // recorder's torn-scan trigger. The armed check keeps the
+            // disarmed cost to one relaxed load (no detail formatting).
+            if psnap_obs::flight::armed() {
+                psnap_obs::flight::trigger(
+                    psnap_obs::AnomalyKind::TornScan,
+                    format!(
+                        "scan by p{} burned {} optimistic rounds, escalating to coordinated",
+                        pid.0,
+                        self.max_retries as u64 + 1
+                    ),
+                    Some(Registry::global()),
+                );
+            }
             let values = self.coordinated_scan(state, pid, &plan);
             if self.live_generation() != generation {
                 continue 'attempt;

@@ -57,6 +57,11 @@ pub struct ServiceDriverConfig {
     /// Also enable the scenario's chaos configuration on the executor
     /// workers, so the service pipelines themselves are perturbed.
     pub chaos_in_service: bool,
+    /// Scan-latency SLO forwarded to [`ServiceConfig::scan_slo`]: a scan
+    /// answered later than this fires the service's latency anomaly
+    /// trigger when the flight recorder is armed. `None` (the default)
+    /// disables the trigger.
+    pub scan_slo: Option<std::time::Duration>,
 }
 
 impl Default for ServiceDriverConfig {
@@ -69,6 +74,7 @@ impl Default for ServiceDriverConfig {
             scan_pids: 1,
             scanner_freshness: Freshness::Fresh,
             chaos_in_service: true,
+            scan_slo: None,
         }
     }
 }
@@ -121,6 +127,7 @@ where
             scan_capacity: driver.scan_capacity,
             coalescing: driver.coalescing,
             scan_pids: driver.scan_pids.max(1),
+            scan_slo: driver.scan_slo,
             ..ServiceConfig::default()
         },
         &executor,
@@ -293,6 +300,43 @@ mod tests {
                 "seed {seed}: coalesced service history not linearizable"
             );
         }
+    }
+
+    #[test]
+    fn scan_slo_passthrough_fires_latency_dumps_under_chaos() {
+        // A zero SLO makes every served scan a violation: the driver's
+        // passthrough must reach the service, and each dump must carry the
+        // offending request's span tree ending in a ScanRequest root.
+        psnap_obs::set_trace_enabled(true);
+        psnap_obs::set_span_enabled(true);
+        psnap_obs::flight::reset();
+        psnap_obs::flight::set_armed(true);
+        let scenario = Scenario::random_small(0xF11);
+        let snapshot = Arc::new(CasPartialSnapshot::new(scenario.components, 2, 0u64));
+        let history = run_scenario_via_service(
+            snapshot,
+            &scenario,
+            &ServiceDriverConfig {
+                scan_slo: Some(std::time::Duration::ZERO),
+                ..ServiceDriverConfig::default()
+            },
+        );
+        psnap_obs::flight::set_armed(false);
+        psnap_obs::set_span_enabled(false);
+        psnap_obs::set_trace_enabled(false);
+        assert!(check_history(&history).is_linearizable());
+        let dumps = psnap_obs::flight::take_dumps();
+        // random_small always has at least one scanner, so the zero SLO
+        // must have tripped.
+        assert!(!dumps.is_empty(), "zero SLO produced no latency dumps");
+        assert!(dumps
+            .iter()
+            .all(|d| d.reason == psnap_obs::AnomalyKind::LatencySlo));
+        assert!(dumps.iter().any(|d| {
+            d.trees
+                .iter()
+                .any(|t| t.spans[0].kind == psnap_obs::SpanKind::ScanRequest)
+        }));
     }
 
     #[test]

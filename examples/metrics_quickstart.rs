@@ -8,7 +8,11 @@
 //! ...) are checked at the end. Trace collection — off by default, it is a
 //! debugging tool, not a production tax — is switched on so the merged
 //! timeline shows one coalesced scan end to end: queue pushes, the drain,
-//! the coalesce, and the per-request serves.
+//! the coalesce, and the per-request serves. Span collection is switched
+//! on too, so the flight recorder assembles one causal tree per request;
+//! the example dumps a served scan's tree (queue wait → window → backing
+//! scan → merge, with the time each stage ate) and shows the dump's
+//! Chrome trace-event export.
 //!
 //! Run with:
 //!
@@ -32,8 +36,11 @@ const READERS: usize = 4;
 const OPS: usize = 200;
 
 fn main() {
-    // Tracing is opt-in; turn it on before the traffic of interest.
+    // Tracing is opt-in; turn it on before the traffic of interest. Spans
+    // are a second opt-in on top: begin/end events ride the same rings,
+    // and completed trees land in the flight recorder.
     obs::set_trace_enabled(true);
+    obs::set_span_enabled(true);
 
     let backing = Arc::new(ShardedSnapshot::with_factory(
         M,
@@ -133,6 +140,69 @@ fn main() {
         }
         None => println!("(no multi-request coalesce this run — try more readers)"),
     }
+
+    // The span-tree dump: one served scan, as the flight recorder saw it —
+    // the whole causal story of a single request, not a flat histogram.
+    let trees = obs::flight::recent_trees();
+    let served = trees
+        .iter()
+        .filter(|t| t.root().kind == obs::SpanKind::ScanRequest && t.root().b > 0)
+        .max_by_key(|t| t.spans.len());
+    println!(
+        "\n=== span tree: one served scan ({} trees recorded) ===",
+        trees.len()
+    );
+    match served {
+        Some(tree) => {
+            let root = tree.root();
+            for span in &tree.spans {
+                // Indent by causal depth (walk the parent chain).
+                let mut depth = 0usize;
+                let mut parent = span.parent;
+                while parent != 0 {
+                    depth += 1;
+                    parent = tree
+                        .spans
+                        .iter()
+                        .find(|s| s.id == parent)
+                        .map_or(0, |s| s.parent);
+                }
+                println!(
+                    "  {:indent$}{} {}µs (thread {}, +{}µs into the request)",
+                    "",
+                    span.kind.as_str(),
+                    span.duration_ns() / 1000,
+                    span.thread,
+                    span.begin_ns.saturating_sub(root.begin_ns) / 1000,
+                    indent = depth * 2,
+                );
+            }
+            // Freeze the ring into a dump, exactly as an anomaly trigger
+            // would, and show the Chrome trace export it carries.
+            obs::flight::set_armed(true);
+            let dump = obs::flight::trigger(
+                obs::AnomalyKind::LatencySlo,
+                "quickstart: manual freeze, no real anomaly".to_string(),
+                Some(registry),
+            )
+            .expect("armed trigger returns a dump");
+            obs::flight::set_armed(false);
+            let chrome = dump.to_chrome_trace();
+            let events = chrome
+                .get("traceEvents")
+                .and_then(|e| e.as_array())
+                .unwrap();
+            println!(
+                "flight dump: {} trees, {} Chrome trace events — pipe \
+                 `dump.to_chrome_trace().to_string_pretty()` into a file and \
+                 load it in chrome://tracing or Perfetto",
+                dump.trees.len(),
+                events.len(),
+            );
+        }
+        None => println!("(no served scan tree captured this run)"),
+    }
+    obs::set_span_enabled(false);
 
     let obs_snapshot = service.obs();
     println!(
