@@ -13,7 +13,7 @@
 //! `BENCH_E8.json`, E9 → `BENCH_E9.json`, E10 → `BENCH_E10.json`, E11 →
 //! `BENCH_E11.json`, E12 → `BENCH_E12.json`, E13 → `BENCH_E13.json` plus a
 //! `BENCH_E13_REGISTRY.json` scrape of the live metric registry, E14 →
-//! `BENCH_E14.json`, E15 → `BENCH_E15.json`, E16 → `BENCH_E16.json`), so the
+//! `BENCH_E14.json`, E15 → `BENCH_E15.json`, E16 → `BENCH_E16.json`, E17 → `BENCH_E17.json`), so the
 //! performance trajectory of the sharded store, the lock-free cell, the
 //! batched-update path, the service frontend, the multiversioned scan path,
 //! the observability layer itself, the fast-path serving tiers, the
@@ -24,7 +24,7 @@
 
 use psnap_bench::{
     e10_batched_updates_data, e11_service_data, e12_multiversion_data, e13_obs_overhead_data,
-    e14_fastpath_data, e15_reshard_data, e16_span_tracing_data, e8_sharding_data,
+    e14_fastpath_data, e15_reshard_data, e16_span_tracing_data, e17_wire_data, e8_sharding_data,
     e9_cell_contention_data, run_experiment, Effort, ALL_EXPERIMENTS,
 };
 
@@ -54,7 +54,7 @@ fn main() {
         _ => true,
     });
     if args.is_empty() {
-        eprintln!("usage: harness [--quick] [--json] <E1..E16 | all> [more ids...]");
+        eprintln!("usage: harness [--quick] [--json] <E1..E17 | all> [more ids...]");
         std::process::exit(2);
     }
     let ids: Vec<String> = if args.iter().any(|a| a.eq_ignore_ascii_case("all")) {
@@ -147,6 +147,14 @@ fn main() {
                     "BENCH_E16.json",
                     data.to_json(),
                     psnap_bench::experiments::e16_span_tracing_table(&data),
+                ))
+            }
+            "E17" if json => {
+                let data = e17_wire_data(effort);
+                Some((
+                    "BENCH_E17.json",
+                    data.to_json(),
+                    psnap_bench::experiments::e17_wire_table(&data),
                 ))
             }
             _ => None,

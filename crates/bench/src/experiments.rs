@@ -3835,6 +3835,674 @@ pub fn e16_span_tracing_table(data: &E16Data) -> Table {
     }
 }
 
+/// One measured row of experiment E17: one (transport × connection count)
+/// point of the mixed submit/scan workload.
+#[derive(Clone, Debug)]
+pub struct E17Point {
+    /// `"inproc"` (service `ClientHandle`s) or `"tcp"` (remote clients over
+    /// loopback through `psnap-wire`).
+    pub transport: &'static str,
+    /// Concurrent clients (one connection each for the wire rows).
+    pub connections: usize,
+    /// Aggregate client operations per second (submits + scans, wall clock
+    /// of the slowest client).
+    pub ops_per_sec: f64,
+    /// Client-observed scan latency, 50th percentile (nanoseconds).
+    pub scan_p50_ns: f64,
+    /// Client-observed scan latency, 99th percentile (nanoseconds).
+    pub scan_p99_ns: f64,
+    /// Client-observed submit latency, 50th percentile (nanoseconds).
+    pub submit_p50_ns: f64,
+    /// Client-observed submit latency, 99th percentile (nanoseconds).
+    pub submit_p99_ns: f64,
+    /// Busy rejections absorbed by retry loops (backpressure events).
+    pub busy_rejections: f64,
+    /// This point's `ops_per_sec` over the inproc point at the same
+    /// connection count (1.0 for the inproc rows) — what the wire hop
+    /// costs end to end.
+    pub throughput_vs_inproc: f64,
+}
+
+/// The chaos half of E17: connections killed mid-request, with the
+/// response-accounting invariants the wire layer must uphold.
+#[derive(Clone, Debug)]
+pub struct E17Chaos {
+    /// Connections in the storm.
+    pub connections: usize,
+    /// Connections killed mid-stream.
+    pub kills: usize,
+    /// Tickets that resolved with an applied acknowledgement.
+    pub tickets_ok: f64,
+    /// Tickets that resolved with `ConnectionLost` (their connection died
+    /// with the request outstanding — resolved, not hung).
+    pub tickets_connection_lost: f64,
+    /// Tickets that resolved with the wire `busy` backpressure reply —
+    /// resolved responses, counted separately from applied ones.
+    pub tickets_busy: f64,
+    /// Tickets that never resolved within the wait bound. A lost response;
+    /// must be 0.
+    pub tickets_hung: f64,
+    /// Replies that matched no outstanding request across all clients. A
+    /// duplicated or misattributed response; must be 0.
+    pub duplicate_replies: f64,
+    /// Server-side submissions accepted into ingestion queues.
+    pub accepted: f64,
+    /// Server-side submissions whose ticket resolved.
+    pub resolved: f64,
+    /// Whether `accepted == resolved` held after the storm (no server-side
+    /// ticket stranded by a killed connection).
+    pub accounting_holds: bool,
+}
+
+/// The raw data behind experiment E17 (also serialized to `BENCH_E17.json`).
+#[derive(Clone, Debug)]
+pub struct E17Data {
+    /// Components of the backing object.
+    pub m: usize,
+    /// Components per client scan.
+    pub r: usize,
+    /// Operations per client at each point.
+    pub ops_per_client: usize,
+    /// One entry per (transport × connection count).
+    pub points: Vec<E17Point>,
+    /// The connection-kill chaos run.
+    pub chaos: E17Chaos,
+}
+
+impl E17Data {
+    /// The experiment description used by the table and the JSON document.
+    pub fn description(&self) -> String {
+        format!(
+            "psnap-wire transport: remote clients over loopback TCP vs in-process \
+             `ClientHandle`s against the same service (m = {}, r = {}, every 8th \
+             client op an update submission, the rest Fresh partial scans from a \
+             Zipf-popular pool of 12 query shapes, Cas backend, drain coalescing, \
+             each client pipelining up to 16 ops in flight on both transports — \
+             the wire clients corked, flushing every 8 issues) at \
+             1/4/16/64 connections. Each wire op crosses frame encode → socket → \
+             decode → per-connection ingestion queue → service → reply-pump frame, \
+             so throughput_vs_inproc prices the transport end to end; the latency \
+             columns are issue-to-completion, including pipeline queueing. On \
+             few-core hosts the wire side saturates on its per-op thread-hop \
+             chain (client → server reader → drainer → reply pump → reply \
+             reader, each hop a scheduler pass when every thread shares one \
+             CPU) while the in-process baseline keeps gaining from coalescing, \
+             so the ratio at high connection counts is scheduler-bound, not \
+             wire-CPU-bound — read it alongside the absolute kops/s. The chaos run \
+             kills connections mid-request and checks the wire layer's accounting: \
+             every client ticket resolves (applied or ConnectionLost — hung must \
+             be 0), no reply is duplicated or misattributed, and the server's \
+             accepted == resolved invariant survives rude disconnects because \
+             accepted submissions still apply and resolve server-side.",
+            self.m, self.r
+        )
+    }
+
+    /// Serializes the data for `BENCH_E17.json`.
+    pub fn to_json(&self) -> psnap_json::Json {
+        use psnap_json::Json;
+        Json::obj([
+            ("experiment", Json::Str("E17".into())),
+            ("description", Json::Str(self.description())),
+            ("m", Json::Num(self.m as f64)),
+            ("r", Json::Num(self.r as f64)),
+            ("ops_per_client", Json::Num(self.ops_per_client as f64)),
+            (
+                "points",
+                Json::arr(self.points.iter().map(|p| {
+                    Json::obj([
+                        ("transport", Json::Str(p.transport.into())),
+                        ("connections", Json::Num(p.connections as f64)),
+                        ("ops_per_sec", Json::Num(p.ops_per_sec)),
+                        ("scan_p50_ns", Json::Num(p.scan_p50_ns)),
+                        ("scan_p99_ns", Json::Num(p.scan_p99_ns)),
+                        ("submit_p50_ns", Json::Num(p.submit_p50_ns)),
+                        ("submit_p99_ns", Json::Num(p.submit_p99_ns)),
+                        ("busy_rejections", Json::Num(p.busy_rejections)),
+                        ("throughput_vs_inproc", Json::Num(p.throughput_vs_inproc)),
+                    ])
+                })),
+            ),
+            (
+                "chaos",
+                Json::obj([
+                    ("connections", Json::Num(self.chaos.connections as f64)),
+                    ("kills", Json::Num(self.chaos.kills as f64)),
+                    ("tickets_ok", Json::Num(self.chaos.tickets_ok)),
+                    (
+                        "tickets_connection_lost",
+                        Json::Num(self.chaos.tickets_connection_lost),
+                    ),
+                    ("tickets_busy", Json::Num(self.chaos.tickets_busy)),
+                    ("tickets_hung", Json::Num(self.chaos.tickets_hung)),
+                    ("duplicate_replies", Json::Num(self.chaos.duplicate_replies)),
+                    ("accepted", Json::Num(self.chaos.accepted)),
+                    ("resolved", Json::Num(self.chaos.resolved)),
+                    ("accounting_holds", Json::Bool(self.chaos.accounting_holds)),
+                ]),
+            ),
+        ])
+    }
+}
+
+struct E17Measured {
+    ops_per_sec: f64,
+    scan_latency: Summary,
+    submit_latency: Summary,
+    busy: u64,
+}
+
+/// The E17 service type: a Cas-backed service shared by every point.
+type E17Service = Arc<psnap_serve::SnapshotService<u64, Arc<CasPartialSnapshot<u64>>>>;
+
+/// The shared E17 service fixture: a Cas-backed service with drain
+/// coalescing and room for many per-connection ingestion queues.
+fn e17_service(m: usize) -> (psnap_serve::Executor, E17Service) {
+    use psnap_serve::{Coalescing, Executor, ServiceConfig, SnapshotService};
+    let executor = Executor::new(2);
+    let service = Arc::new(SnapshotService::start(
+        Arc::new(CasPartialSnapshot::new(m, 2, 0u64)),
+        ServiceConfig {
+            coalescing: Coalescing::Window(std::time::Duration::ZERO),
+            ingest_capacity: 64,
+            scan_capacity: 4096,
+            ..ServiceConfig::default()
+        },
+        &executor,
+    ));
+    (executor, service)
+}
+
+/// The E17 query pool: the same Zipf-popular shared query shapes as E11.
+fn e17_queries(m: usize, r: usize) -> Vec<Vec<usize>> {
+    use psnap_workloads::IndexDist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let dist = IndexDist::uniform(m);
+    let mut rng = StdRng::seed_from_u64(0xE170);
+    (0..12).map(|_| dist.sample_set(&mut rng, r)).collect()
+}
+
+/// How many operations each E17 client keeps in flight. Pipelining is the
+/// realistic way clients drive a request/reply transport — it amortizes
+/// the per-op wake-ups (and, over the wire, the per-op syscalls) across a
+/// window — and both transports run the identical loop, so the comparison
+/// stays apples-to-apples. The window is kept well under the service's
+/// per-connection queue capacities so steady-state traffic is not shaped
+/// by backpressure.
+const E17_WINDOW: usize = 16;
+
+/// The loop calls `flush` after every this-many issued ops (the wire
+/// transport corks its writes and flushes here; in-process flush is a
+/// no-op). Must stay at most `E17_WINDOW / 2`: waits happen only with a
+/// full window, so the op being waited on — issued a full window ago — is
+/// always at least one flush behind and can never be stuck in the cork
+/// buffer.
+const E17_FLUSH_EVERY: usize = 8;
+
+/// A deferred completion for one issued E17 op: blocks until the op's
+/// reply, returning `true` if it was accepted and `false` on a `busy`
+/// rejection.
+type E17Waiter = Box<dyn FnOnce() -> bool>;
+
+/// One client's E17 op loop, generic over the transport: `submit` and
+/// `scan` issue one op and return `Some(waiter)` for its completion, or
+/// `None` on an issue-time Busy that should be retried after draining.
+/// Keeps up to [`E17_WINDOW`] ops in flight. Per-op latency is measured
+/// issue-to-completion, so it includes pipeline queueing. Returns
+/// (scan ns, submit ns, busy count, wall).
+fn e17_client_loop(
+    c: usize,
+    ops: usize,
+    m: usize,
+    queries: &[Vec<usize>],
+    mut submit: impl FnMut(usize, u64) -> Option<E17Waiter>,
+    mut scan: impl FnMut(Vec<usize>) -> Option<E17Waiter>,
+    mut flush: impl FnMut(),
+) -> (Vec<f64>, Vec<f64>, u64, std::time::Duration) {
+    use psnap_workloads::IndexDist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let dist = IndexDist::uniform(m);
+    let query_popularity = IndexDist::zipf(queries.len(), 1.0);
+    let mut rng = StdRng::seed_from_u64(0xE17 ^ ((c as u64) << 11));
+    let mut scans = Vec::with_capacity(ops);
+    let mut submits = Vec::with_capacity(ops / 8 + 1);
+    let mut busy = 0u64;
+    let mut window: std::collections::VecDeque<(std::time::Instant, bool, E17Waiter)> =
+        std::collections::VecDeque::with_capacity(E17_WINDOW);
+    let mut finish = |(t0, is_submit, waiter): (std::time::Instant, bool, E17Waiter),
+                      busy: &mut u64| {
+        let accepted = waiter();
+        if !accepted {
+            *busy += 1;
+        }
+        let ns = t0.elapsed().as_nanos() as f64;
+        if is_submit {
+            submits.push(ns);
+        } else {
+            scans.push(ns);
+        }
+    };
+    let t_start = std::time::Instant::now();
+    for k in 0..ops {
+        let is_submit = k % 8 == 0;
+        loop {
+            let t0 = std::time::Instant::now();
+            let issued = if is_submit {
+                let component = dist.sample(&mut rng);
+                let value = (k as u64) << 8 | c as u64;
+                submit(component, value)
+            } else {
+                let components = &queries[query_popularity.sample(&mut rng)];
+                scan(components.clone())
+            };
+            match issued {
+                Some(waiter) => {
+                    window.push_back((t0, is_submit, waiter));
+                    break;
+                }
+                None => {
+                    // Issue-time Busy: drain the oldest in-flight op to
+                    // free capacity, then retry.
+                    busy += 1;
+                    match window.pop_front() {
+                        Some(pending) => finish(pending, &mut busy),
+                        None => std::thread::yield_now(),
+                    }
+                }
+            }
+        }
+        if k % E17_FLUSH_EVERY == E17_FLUSH_EVERY - 1 {
+            flush();
+        }
+        if window.len() >= E17_WINDOW {
+            let pending = window.pop_front().expect("window is non-empty");
+            finish(pending, &mut busy);
+        }
+    }
+    flush();
+    while let Some(pending) = window.pop_front() {
+        finish(pending, &mut busy);
+    }
+    (scans, submits, busy, t_start.elapsed())
+}
+
+/// One E17 point over in-process `ClientHandle`s — the baseline the wire
+/// rows are priced against.
+fn e17_point_inproc(m: usize, r: usize, connections: usize, ops: usize) -> E17Measured {
+    use psnap_serve::{Freshness, SubmitError};
+    let (_executor, service) = e17_service(m);
+    let queries = e17_queries(m, r);
+    let barrier = std::sync::Barrier::new(connections);
+    let mut scan_latency = Vec::new();
+    let mut submit_latency = Vec::new();
+    let mut busy = 0u64;
+    let mut longest_wall = std::time::Duration::ZERO;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..connections {
+            let client = service.client();
+            let queries = &queries;
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                e17_client_loop(
+                    c,
+                    ops,
+                    m,
+                    queries,
+                    |component, value| match client.submit(component, value) {
+                        Ok(ticket) => Some(Box::new(move || {
+                            ticket.wait();
+                            true
+                        }) as E17Waiter),
+                        Err(SubmitError::Busy) => None,
+                        Err(SubmitError::Closed) => panic!("service closed mid-run"),
+                    },
+                    |components| match client.scan(components, Freshness::Fresh) {
+                        Ok(ticket) => Some(Box::new(move || {
+                            ticket.wait();
+                            true
+                        }) as E17Waiter),
+                        Err(SubmitError::Busy) => None,
+                        Err(SubmitError::Closed) => panic!("service closed mid-run"),
+                    },
+                    || {},
+                )
+            }));
+        }
+        for h in handles {
+            let (scans, submits, b, wall) = h.join().expect("E17 inproc client panicked");
+            scan_latency.extend(scans);
+            submit_latency.extend(submits);
+            busy += b;
+            longest_wall = longest_wall.max(wall);
+        }
+    });
+    service.shutdown();
+    E17Measured {
+        ops_per_sec: if longest_wall.is_zero() {
+            0.0
+        } else {
+            (connections * ops) as f64 / longest_wall.as_secs_f64()
+        },
+        scan_latency: Summary::of(&scan_latency),
+        submit_latency: Summary::of(&submit_latency),
+        busy,
+    }
+}
+
+/// One E17 point over loopback TCP: the same workload, every operation a
+/// full wire round trip on its own connection, pipelined to the same
+/// window as the in-process baseline.
+fn e17_point_wire(m: usize, r: usize, connections: usize, ops: usize) -> E17Measured {
+    use psnap_serve::Freshness;
+    use psnap_wire::{RemoteClientHandle, WireError, WireServer, WireServerConfig};
+    let (executor, service) = e17_service(m);
+    let server = WireServer::serve_tcp(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        WireServerConfig::default(),
+        &executor,
+    )
+    .expect("E17 wire server failed to bind");
+    let addr = server.local_addr().expect("tcp server has an address");
+    let queries = e17_queries(m, r);
+    let barrier = std::sync::Barrier::new(connections);
+    let mut scan_latency = Vec::new();
+    let mut submit_latency = Vec::new();
+    let mut busy = 0u64;
+    let mut longest_wall = std::time::Duration::ZERO;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..connections {
+            let queries = &queries;
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let client =
+                    RemoteClientHandle::connect_tcp(addr).expect("E17 client failed to connect");
+                client
+                    .set_corked(true)
+                    .expect("corking a fresh connection cannot fail");
+                barrier.wait();
+                let out = e17_client_loop(
+                    c,
+                    ops,
+                    m,
+                    queries,
+                    |component, value| match client.submit(component, value) {
+                        Ok(ticket) => Some(Box::new(move || match ticket.wait() {
+                            Ok(()) => true,
+                            Err(WireError::Busy) => false,
+                            Err(other) => panic!("wire submit failed mid-run: {other}"),
+                        }) as E17Waiter),
+                        Err(WireError::Busy) => None,
+                        Err(other) => panic!("wire submit failed mid-run: {other}"),
+                    },
+                    |components| match client.scan(components, Freshness::Fresh) {
+                        Ok(ticket) => Some(Box::new(move || match ticket.wait() {
+                            Ok(_) => true,
+                            Err(WireError::Busy) => false,
+                            Err(other) => panic!("wire scan failed mid-run: {other}"),
+                        }) as E17Waiter),
+                        Err(WireError::Busy) => None,
+                        Err(other) => panic!("wire scan failed mid-run: {other}"),
+                    },
+                    || client.flush().expect("wire flush failed mid-run"),
+                );
+                client.close();
+                out
+            }));
+        }
+        for h in handles {
+            let (scans, submits, b, wall) = h.join().expect("E17 wire client panicked");
+            scan_latency.extend(scans);
+            submit_latency.extend(submits);
+            busy += b;
+            longest_wall = longest_wall.max(wall);
+        }
+    });
+    server.shutdown(std::time::Duration::from_secs(10));
+    service.shutdown();
+    E17Measured {
+        ops_per_sec: if longest_wall.is_zero() {
+            0.0
+        } else {
+            (connections * ops) as f64 / longest_wall.as_secs_f64()
+        },
+        scan_latency: Summary::of(&scan_latency),
+        submit_latency: Summary::of(&submit_latency),
+        busy,
+    }
+}
+
+/// The E17 chaos run: a storm of connections submitting continuously while
+/// half of them are killed mid-request, then the response-accounting audit.
+fn e17_chaos(m: usize, connections: usize, ops: usize) -> E17Chaos {
+    use psnap_wire::{RemoteClientHandle, WireError, WireServer, WireServerConfig};
+    let (executor, service) = e17_service(m);
+    let server = WireServer::serve_tcp(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        WireServerConfig::default(),
+        &executor,
+    )
+    .expect("E17 chaos server failed to bind");
+    let addr = server.local_addr().expect("tcp server has an address");
+    let kills = connections / 2;
+    let mut tickets_ok = 0u64;
+    let mut tickets_connection_lost = 0u64;
+    let mut tickets_busy = 0u64;
+    let mut tickets_hung = 0u64;
+    let mut duplicate_replies = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..connections {
+            handles.push(scope.spawn(move || {
+                let client =
+                    Arc::new(RemoteClientHandle::connect_tcp(addr).expect("chaos client connect"));
+                // Victims get a killer thread that severs the connection
+                // partway through the stream, so kills land mid-request.
+                let killer = (c < kills).then(|| {
+                    let victim = Arc::clone(&client);
+                    std::thread::spawn(move || {
+                        std::thread::sleep(std::time::Duration::from_micros(200 + 137 * c as u64));
+                        victim.kill();
+                    })
+                });
+                let mut tickets = Vec::new();
+                for k in 0..ops {
+                    match client.submit(k % 64, (k as u64) << 8 | c as u64) {
+                        Ok(ticket) => tickets.push(ticket),
+                        // The connection died under us: stop submitting.
+                        Err(WireError::ConnectionLost(_)) => break,
+                        Err(WireError::Busy) => std::thread::yield_now(),
+                        Err(other) => panic!("chaos submit failed: {other}"),
+                    }
+                }
+                let (mut ok, mut lost, mut busy, mut hung) = (0u64, 0u64, 0u64, 0u64);
+                for ticket in tickets {
+                    match psnap_serve::block_on_timeout(ticket, std::time::Duration::from_secs(10))
+                    {
+                        Some(Ok(())) => ok += 1,
+                        Some(Err(WireError::ConnectionLost(_))) => lost += 1,
+                        // Backpressure arrives as a resolved `busy` reply
+                        // over the wire, not as a submit-time error.
+                        Some(Err(WireError::Busy)) => busy += 1,
+                        Some(Err(other)) => panic!("chaos ticket error: {other}"),
+                        None => hung += 1,
+                    }
+                }
+                if let Some(killer) = killer {
+                    killer.join().expect("killer thread panicked");
+                }
+                (ok, lost, busy, hung, client.unknown_replies())
+            }));
+        }
+        for h in handles {
+            let (ok, lost, busy, hung, unknown) = h.join().expect("chaos client panicked");
+            tickets_ok += ok;
+            tickets_connection_lost += lost;
+            tickets_busy += busy;
+            tickets_hung += hung;
+            duplicate_replies += unknown;
+        }
+    });
+    // Accepted submissions of killed connections still apply and resolve
+    // server-side; give the drainer a bounded window to finish.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let accounting_holds = loop {
+        let stats = service.obs().stats;
+        if stats.submits_ok == stats.submits_resolved {
+            break true;
+        }
+        if std::time::Instant::now() >= deadline {
+            break false;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    };
+    let stats = service.obs().stats;
+    server.shutdown(std::time::Duration::from_secs(10));
+    service.shutdown();
+    E17Chaos {
+        connections,
+        kills,
+        tickets_ok: tickets_ok as f64,
+        tickets_connection_lost: tickets_connection_lost as f64,
+        tickets_busy: tickets_busy as f64,
+        tickets_hung: tickets_hung as f64,
+        duplicate_replies: duplicate_replies as f64,
+        accepted: stats.submits_ok as f64,
+        resolved: stats.submits_resolved as f64,
+        accounting_holds,
+    }
+}
+
+/// Picks the median-throughput run out of several repeats of one point.
+/// Short points on a box where every client, reader, and worker thread
+/// time-slices a handful of cores are noisy; the median keeps one
+/// coherent (throughput, latency) sample instead of averaging across
+/// runs with different interleavings.
+fn e17_median(mut runs: Vec<E17Measured>) -> E17Measured {
+    runs.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+    let mid = runs.len() / 2;
+    runs.swap_remove(mid)
+}
+
+/// Runs the E17 measurement: wire vs in-process transport across
+/// connection counts, plus the connection-kill chaos audit.
+pub fn e17_wire_data(effort: Effort) -> E17Data {
+    let m = 256;
+    let r = 16;
+    let ops = effort.ops;
+    // Smoke runs take one sample per point; full effort takes the median
+    // of three to damp scheduler-interleaving noise.
+    let repeats = if ops >= 500 { 3 } else { 1 };
+    let mut points = Vec::new();
+    for connections in [1usize, 4, 16, 64] {
+        let inproc = e17_median(
+            (0..repeats)
+                .map(|_| e17_point_inproc(m, r, connections, ops))
+                .collect(),
+        );
+        let wire = e17_median(
+            (0..repeats)
+                .map(|_| e17_point_wire(m, r, connections, ops))
+                .collect(),
+        );
+        let base = inproc.ops_per_sec;
+        for (transport, measured) in [("inproc", inproc), ("tcp", wire)] {
+            points.push(E17Point {
+                transport,
+                connections,
+                ops_per_sec: measured.ops_per_sec,
+                scan_p50_ns: measured.scan_latency.p50,
+                scan_p99_ns: measured.scan_latency.p99,
+                submit_p50_ns: measured.submit_latency.p50,
+                submit_p99_ns: measured.submit_latency.p99,
+                busy_rejections: measured.busy as f64,
+                throughput_vs_inproc: if base > 0.0 {
+                    measured.ops_per_sec / base
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    let chaos = e17_chaos(m, 16, (ops * 4).max(64));
+    E17Data {
+        m,
+        r,
+        ops_per_client: ops,
+        points,
+        chaos,
+    }
+}
+
+/// E17 — the wire transport: remote vs in-process throughput and latency,
+/// plus connection-kill chaos accounting.
+pub fn e17_wire(effort: Effort) -> Table {
+    e17_wire_table(&e17_wire_data(effort))
+}
+
+/// Renders already-measured E17 data as a table (lets the harness emit the
+/// markdown table and `BENCH_E17.json` from one measurement run).
+pub fn e17_wire_table(data: &E17Data) -> Table {
+    let mut rows: Vec<Vec<String>> = data
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.transport.to_string(),
+                p.connections.to_string(),
+                format!("{:.0}", p.ops_per_sec / 1000.0),
+                format!("{:.1}", p.scan_p50_ns / 1000.0),
+                format!("{:.1}", p.scan_p99_ns / 1000.0),
+                format!("{:.1}", p.submit_p50_ns / 1000.0),
+                format!("{:.1}", p.submit_p99_ns / 1000.0),
+                format!("{:.0}", p.busy_rejections),
+                format!("{:.2}x", p.throughput_vs_inproc),
+            ]
+        })
+        .collect();
+    let chaos = &data.chaos;
+    rows.push(vec![
+        format!("chaos ({} kills)", chaos.kills),
+        chaos.connections.to_string(),
+        format!("ok={:.0}", chaos.tickets_ok),
+        format!("lost={:.0}", chaos.tickets_connection_lost),
+        format!(
+            "busy={:.0} hung={:.0}",
+            chaos.tickets_busy, chaos.tickets_hung
+        ),
+        format!("dup={:.0}", chaos.duplicate_replies),
+        format!("acc={:.0}", chaos.accepted),
+        format!("res={:.0}", chaos.resolved),
+        if chaos.accounting_holds {
+            "holds".to_string()
+        } else {
+            "VIOLATED".to_string()
+        },
+    ]);
+    Table {
+        id: "E17".into(),
+        title: data.description(),
+        headers: vec![
+            "transport".into(),
+            "connections".into(),
+            "client kops/s".into(),
+            "scan p50 µs".into(),
+            "scan p99 µs".into(),
+            "submit p50 µs".into(),
+            "submit p99 µs".into(),
+            "busy rejections".into(),
+            "throughput vs inproc".into(),
+        ],
+        rows,
+    }
+}
+
 /// Runs an experiment by id. Returns `None` for an unknown id.
 pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -3854,14 +4522,15 @@ pub fn run_experiment(id: &str, effort: Effort) -> Option<Table> {
         "E14" => Some(e14_fastpath(effort)),
         "E15" => Some(e15_reshard(effort)),
         "E16" => Some(e16_span_tracing(effort)),
+        "E17" => Some(e17_wire(effort)),
         _ => None,
     }
 }
 
 /// All experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
-    "E16",
+    "E16", "E17",
 ];
 
 #[cfg(test)]
@@ -4268,6 +4937,56 @@ mod tests {
             .and_then(psnap_json::Json::as_array)
             .unwrap();
         assert_eq!(points.len(), 32);
+        let text = json.to_string_pretty();
+        assert_eq!(psnap_json::Json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn e17_smoke_json_shape_and_chaos_accounting_holds() {
+        let data = e17_wire_data(Effort { ops: 24 });
+        // 4 connection counts × 2 transports.
+        assert_eq!(data.points.len(), 8);
+        for p in &data.points {
+            assert!(p.ops_per_sec > 0.0, "{p:?}");
+            assert!(p.scan_p99_ns >= p.scan_p50_ns, "{p:?}");
+            assert!(p.transport == "inproc" || p.transport == "tcp", "{p:?}");
+        }
+        for pair in data.points.chunks(2) {
+            assert_eq!(pair[0].transport, "inproc");
+            assert_eq!(pair[0].connections, pair[1].connections);
+            assert!((pair[0].throughput_vs_inproc - 1.0).abs() < 1e-9);
+            assert!(pair[1].throughput_vs_inproc > 0.0);
+        }
+        // The chaos acceptance criteria: kills interrupted some requests,
+        // yet no response was lost or duplicated and the server-side
+        // accepted == resolved invariant held.
+        let chaos = &data.chaos;
+        assert!(chaos.kills > 0);
+        assert!(chaos.tickets_ok > 0.0, "no request survived at all");
+        assert_eq!(
+            chaos.tickets_hung, 0.0,
+            "a ticket never resolved: lost response"
+        );
+        assert_eq!(
+            chaos.duplicate_replies, 0.0,
+            "duplicated/misattributed replies"
+        );
+        assert!(
+            chaos.accounting_holds,
+            "server accepted != resolved after kills"
+        );
+
+        let json = data.to_json();
+        assert_eq!(
+            json.get("experiment").and_then(psnap_json::Json::as_str),
+            Some("E17")
+        );
+        let points = json
+            .get("points")
+            .and_then(psnap_json::Json::as_array)
+            .unwrap();
+        assert_eq!(points.len(), 8);
+        assert!(json.get("chaos").is_some());
         let text = json.to_string_pretty();
         assert_eq!(psnap_json::Json::parse(&text).unwrap(), json);
     }

@@ -73,6 +73,38 @@ impl Json {
         self.as_u64().map(|x| x as usize)
     }
 
+    /// Encodes a `u64` without loss. Numbers are stored as `f64`, which is
+    /// exact only up to 2^53; larger values are written as a decimal string
+    /// so wire payloads never silently round. Decode with
+    /// [`Json::as_u64_precise`].
+    pub fn u64(v: u64) -> Json {
+        const MAX_SAFE: u64 = 1 << 53;
+        if v <= MAX_SAFE {
+            Json::Num(v as f64)
+        } else {
+            Json::Str(v.to_string())
+        }
+    }
+
+    /// Decodes a value written by [`Json::u64`]: either an integral number
+    /// or a decimal string. Strings with signs, leading zeros, or any
+    /// non-digit are rejected so the accepted grammar stays canonical.
+    pub fn as_u64_precise(&self) -> Option<u64> {
+        match self {
+            Json::Num(_) => self.as_u64(),
+            Json::Str(s) => {
+                if s.is_empty() || (s.len() > 1 && s.starts_with('0')) {
+                    return None;
+                }
+                if !s.bytes().all(|b| b.is_ascii_digit()) {
+                    return None;
+                }
+                s.parse::<u64>().ok()
+            }
+            _ => None,
+        }
+    }
+
     /// The value as &str, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -445,6 +477,52 @@ mod tests {
         );
         assert_eq!(doc.get("missing"), None);
         assert_eq!(Json::Num(1.5).as_u64(), None);
+    }
+
+    #[test]
+    fn precise_u64_roundtrips_above_2_pow_53() {
+        for v in [
+            0u64,
+            1,
+            (1 << 53) - 1,
+            1 << 53,
+            (1 << 53) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let enc = Json::u64(v);
+            let text = enc.to_string_compact();
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.as_u64_precise(), Some(v), "value {v} via {text}");
+        }
+        // Values above 2^53 take the string form; at or below stay numeric.
+        assert!(matches!(Json::u64(1 << 53), Json::Num(_)));
+        assert!(matches!(Json::u64((1 << 53) + 1), Json::Str(_)));
+    }
+
+    #[test]
+    fn precise_u64_rejects_non_canonical() {
+        for bad in [
+            "",
+            "-1",
+            "+1",
+            "01",
+            "1.5",
+            "1e3",
+            " 1",
+            "abc",
+            "18446744073709551616",
+        ] {
+            assert_eq!(
+                Json::Str(bad.into()).as_u64_precise(),
+                None,
+                "should reject {bad:?}"
+            );
+        }
+        assert_eq!(Json::Num(1.5).as_u64_precise(), None);
+        assert_eq!(Json::Num(-1.0).as_u64_precise(), None);
+        assert_eq!(Json::Null.as_u64_precise(), None);
+        assert_eq!(Json::Num(42.0).as_u64_precise(), Some(42));
     }
 
     #[test]

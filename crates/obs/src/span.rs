@@ -66,11 +66,15 @@ pub enum SpanKind {
     Reshard,
     /// One flight-auditor tick (`a` = invariant violations seen).
     Audit,
+    /// Root of one wire-protocol request, opened at frame decode: the
+    /// in-process request tree (queue wait, window, backing scan, ...)
+    /// hangs beneath it (`a` = request opcode, `b` = payload bytes).
+    WireRequest,
 }
 
 impl SpanKind {
     /// Every kind, in `code()` order.
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 11] = [
         SpanKind::ScanRequest,
         SpanKind::Ingest,
         SpanKind::QueueWait,
@@ -81,6 +85,7 @@ impl SpanKind {
         SpanKind::Apply,
         SpanKind::Reshard,
         SpanKind::Audit,
+        SpanKind::WireRequest,
     ];
 
     /// Stable lowercase name used in exposition.
@@ -96,6 +101,7 @@ impl SpanKind {
             SpanKind::Apply => "apply",
             SpanKind::Reshard => "reshard",
             SpanKind::Audit => "audit",
+            SpanKind::WireRequest => "wire_request",
         }
     }
 
@@ -215,7 +221,7 @@ fn next_id() -> u64 {
 
 thread_local! {
     /// The span "currently executing" on this thread (see [`enter`]).
-    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    static CURRENT: Cell<SpanContext> = const { Cell::new(SpanContext::NONE) };
 }
 
 /// The id of the span currently entered on this thread (0 = none). Every
@@ -224,21 +230,31 @@ thread_local! {
 /// without any signature change.
 #[inline]
 pub fn current() -> u64 {
-    CURRENT.try_with(Cell::get).unwrap_or(0)
+    CURRENT.try_with(Cell::get).unwrap_or(SpanContext::NONE).id
+}
+
+/// The full context of the span currently entered on this thread
+/// ([`SpanContext::NONE`] when none). This is what lets a transport layer
+/// root a request tree at frame decode: it enters the decode-time span, and
+/// anything beneath that would otherwise begin a fresh root (see
+/// [`Span::root_or_child`]) parents into the entered tree instead.
+#[inline]
+pub fn current_context() -> SpanContext {
+    CURRENT.try_with(Cell::get).unwrap_or(SpanContext::NONE)
 }
 
 /// Marks `ctx` as the thread's current span until the guard drops (the
 /// previous current span is restored). Used around backing-object calls so
 /// events emitted underneath attribute to the request being served.
 pub fn enter(ctx: SpanContext) -> EnterGuard {
-    let prev = current();
-    let _ = CURRENT.try_with(|c| c.set(ctx.id));
+    let prev = current_context();
+    let _ = CURRENT.try_with(|c| c.set(ctx));
     EnterGuard { prev }
 }
 
 /// Restores the previously current span on drop (see [`enter`]).
 pub struct EnterGuard {
-    prev: u64,
+    prev: SpanContext,
 }
 
 impl Drop for EnterGuard {
@@ -288,6 +304,23 @@ impl Span {
         }
         let id = next_id();
         Span::begin(SpanContext { id, root: id }, 0, kind)
+    }
+
+    /// Begins a root span — unless a span is currently
+    /// [entered](crate::span::enter) on this thread, in which case the new
+    /// span parents under it instead of starting a tree of its own. This is
+    /// the seam a transport uses to root request trees at frame decode:
+    /// in-process callers have no ambient span and get ordinary sampled
+    /// roots, while a wire server enters its decode-time span and the whole
+    /// in-process tree (ingest / scan request and everything beneath)
+    /// assembles under the wire root.
+    pub fn root_or_child(kind: SpanKind) -> Span {
+        let ambient = current_context();
+        if ambient.is_some() {
+            Span::child(ambient, kind)
+        } else {
+            Span::root(kind)
+        }
     }
 
     /// Begins a child span under `parent` (inert if `parent` is, so a

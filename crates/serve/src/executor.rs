@@ -682,6 +682,125 @@ mod tests {
         }
     }
 
+    /// A waker that only counts; lets the wheel be driven tick-by-tick
+    /// without threads or clocks.
+    struct CountingWake {
+        wakes: AtomicU64,
+    }
+    impl std::task::Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.wakes.fetch_add(1, Ordering::SeqCst);
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.wakes.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Regression test for far deadlines: an entry more than `WHEEL_SLOTS`
+    /// ticks out shares its slot with an entry one full lap earlier. A
+    /// wheel that fires a slot without checking the entry's absolute
+    /// `deadline_tick` would wake it a whole rotation early. This drives
+    /// `TimerWheel` directly — the `Sleep` future re-checks wall time on
+    /// poll and would quietly re-register, hiding the bug from any
+    /// end-to-end test.
+    #[test]
+    fn wheel_entry_beyond_one_lap_does_not_fire_a_rotation_early() {
+        let granularity = Duration::from_millis(1);
+        let wheel = TimerWheel::new(granularity);
+        let far = Arc::new(CountingWake {
+            wakes: AtomicU64::new(0),
+        });
+        // Deadline 2 × WHEEL_SLOTS ticks out: lands in slot
+        // (2·WHEEL_SLOTS) % WHEEL_SLOTS = 0, the same slot a deadline at
+        // tick 0 of any lap would use.
+        let far_ticks = 2 * WHEEL_SLOTS as u32;
+        let deadline = wheel.start + granularity * far_ticks;
+        assert!(wheel.register(deadline, Waker::from(Arc::clone(&far))));
+        // One full lap plus a little: every slot (including the entry's) has
+        // been visited once, but the entry's own tick is still a lap away.
+        let one_lap = wheel.start + granularity * (WHEEL_SLOTS as u32 + 8);
+        wheel.advance(one_lap);
+        assert_eq!(
+            far.wakes.load(Ordering::SeqCst),
+            0,
+            "entry {far_ticks} ticks out fired a full rotation early"
+        );
+        // Advance past the real deadline: now it must fire, exactly once.
+        wheel.advance(wheel.start + granularity * (far_ticks + 1));
+        assert_eq!(
+            far.wakes.load(Ordering::SeqCst),
+            1,
+            "entry lost or duplicated"
+        );
+        // Nothing left behind: further laps never re-fire it.
+        wheel.advance(wheel.start + granularity * (far_ticks * 3));
+        assert_eq!(far.wakes.load(Ordering::SeqCst), 1);
+    }
+
+    /// Same property with near and far entries sharing one slot: advancing
+    /// to the near entry's tick fires it alone; the cohabitant a lap later
+    /// stays put until its own tick.
+    #[test]
+    fn wheel_slot_cohabitants_fire_on_their_own_laps() {
+        let granularity = Duration::from_millis(1);
+        let wheel = TimerWheel::new(granularity);
+        let near = Arc::new(CountingWake {
+            wakes: AtomicU64::new(0),
+        });
+        let far = Arc::new(CountingWake {
+            wakes: AtomicU64::new(0),
+        });
+        let near_ticks = 16u32;
+        let far_ticks = near_ticks + WHEEL_SLOTS as u32; // same slot, next lap
+        assert!(wheel.register(
+            wheel.start + granularity * near_ticks,
+            Waker::from(Arc::clone(&near))
+        ));
+        assert!(wheel.register(
+            wheel.start + granularity * far_ticks,
+            Waker::from(Arc::clone(&far))
+        ));
+        wheel.advance(wheel.start + granularity * (near_ticks + 1));
+        assert_eq!(near.wakes.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            far.wakes.load(Ordering::SeqCst),
+            0,
+            "far entry fired a lap early"
+        );
+        wheel.advance(wheel.start + granularity * (far_ticks + 1));
+        assert_eq!(far.wakes.load(Ordering::SeqCst), 1);
+    }
+
+    /// End-to-end flavour of the far-deadline case: a real sleep of
+    /// 2 × WHEEL_SLOTS × granularity must not resolve early even though its
+    /// wheel slot is swept once per lap. (Kept coarse-grained enough to be
+    /// robust: early firing would undershoot by a whole lap, ~half the
+    /// total, far outside scheduling noise.)
+    #[test]
+    fn sleep_two_full_laps_out_is_not_woken_a_rotation_early() {
+        let granularity = Duration::from_micros(50);
+        let exec = Executor::with_config(ExecutorConfig {
+            workers: 1,
+            timer_granularity: granularity,
+            ..ExecutorConfig::default()
+        });
+        let handle = exec.handle();
+        let total = granularity * (2 * WHEEL_SLOTS as u32); // ~25.6ms
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let t0 = Instant::now();
+        exec.spawn(async move {
+            handle.sleep(total).await;
+            done_tx.send(t0.elapsed()).unwrap();
+        });
+        let elapsed = done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("far sleep never fired");
+        assert!(
+            elapsed >= total,
+            "sleep of {total:?} resolved after only {elapsed:?}"
+        );
+    }
+
     #[test]
     fn dropping_the_executor_stops_cleanly_with_pending_tasks() {
         let exec = Executor::new(2);

@@ -143,9 +143,11 @@ pub struct ServiceConfig {
     /// `None` (the default) disables the check entirely.
     pub scan_slo: Option<Duration>,
     /// Consecutive [`SubmitError::Busy`] rejections (across submits and
-    /// scans) that fire the flight recorder's
+    /// scans) **on one client** that fire the flight recorder's
     /// [`BusyBurst`](psnap_obs::AnomalyKind::BusyBurst) trigger, once per
-    /// streak. `0` (the default) disables the check.
+    /// streak. The streak is tracked per [`ClientHandle`] so other clients'
+    /// accepted traffic cannot mask a starved client's burst. `0` (the
+    /// default) disables the check.
     pub busy_burst_threshold: u64,
 }
 
@@ -528,16 +530,33 @@ impl ServiceObs {
     }
 }
 
+/// The client-queue registry. The `closed` flag lives under the same mutex
+/// as the queue list so shutdown's close sweep, client registration, and the
+/// drainer's exit sample are totally ordered: once the drainer observes
+/// `closed` with every listed queue closed, any registration it missed must
+/// come later in the mutex order, see `closed == true`, and be born closed —
+/// so no queue the final drain skips can ever hold an accepted submission.
+/// (A bare atomic flag cannot give this: a registration could read a stale
+/// `false` with no happens-before edge and accept a write the exiting
+/// drainer never sees, stranding its ticket.)
+struct ClientRegistry<T> {
+    closed: bool,
+    queues: Vec<Arc<BoundedQueue<Submission<T>>>>,
+}
+
 struct ServiceCore<T, S> {
     snapshot: S,
     /// Trivial single-shard router over the component space: reused purely
     /// for its union planning (dedup + per-request fan-out positions).
     router: ShardRouter,
     config: ServiceConfig,
-    clients: Mutex<Vec<Arc<BoundedQueue<Submission<T>>>>>,
+    clients: Mutex<ClientRegistry<T>>,
     ingest_notify: Arc<Notify>,
     scan_notify: Arc<Notify>,
     scan_queue: BoundedQueue<ScanRequest<T>>,
+    /// Fast-path mirror of [`ClientRegistry::closed`] for background tasks
+    /// (reporter, reshard driver, auditor) that only need an eventually
+    /// consistent answer. The registry field is authoritative.
     closed: AtomicBool,
     /// Recent atomic union views, newest first (see [`ScanCache`]).
     cache: Mutex<Vec<ScanCache<T>>>,
@@ -546,10 +565,6 @@ struct ServiceCore<T, S> {
     /// [`ServiceObs::shard_heat_rate`]).
     heat_rates: Mutex<RateTracker>,
     counters: Counters,
-    /// Consecutive `Busy` rejections (submits and scans), reset by any
-    /// acceptance; fires the flight recorder's busy-burst trigger at
-    /// [`ServiceConfig::busy_burst_threshold`].
-    busy_streak: AtomicU64,
     drain_done: Arc<OpCell<()>>,
     scan_done: Arc<OpCell<()>>,
 }
@@ -1037,21 +1052,22 @@ where
 {
     let mut pending: Vec<Submission<T>> = Vec::new();
     loop {
-        let queues: Vec<Arc<BoundedQueue<Submission<T>>>> = core
-            .clients
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone();
-        // Exit precondition, sampled *before* the drain below: shutdown has
-        // begun AND every registered queue is already closed. The global
-        // flag alone is not enough — between `closed.store` and the
-        // queue-close sweep a submit on a still-open queue can succeed, and
-        // exiting on the flag would strand its ticket. Once every queue is
-        // observed closed, any successful push happened before some close,
-        // i.e. before this observation, so the drain below sees it; queues
-        // registered later are born closed and can hold nothing.
-        let closing =
-            core.closed.load(Ordering::Acquire) && queues.iter().all(|queue| queue.is_closed());
+        // Exit precondition and queue clone, sampled under ONE registry lock
+        // acquisition: shutdown has begun AND every registered queue is
+        // already closed. Sampling the flag and the list together matters —
+        // shutdown flips `closed` and closes every queue in one critical
+        // section, and registration checks `closed` under the same lock, so
+        // once this observation holds, any registration not in the clone is
+        // later in the mutex order, sees `closed == true`, and is born
+        // closed: it can never accept a submission this final drain would
+        // miss. (A stale clone plus a separately-read atomic flag allowed
+        // exactly that — an open queue registered after the clone could
+        // accept a write whose ticket the exiting drainer stranded.)
+        let (queues, closing) = {
+            let registry = core.clients.lock().unwrap_or_else(|e| e.into_inner());
+            let closing = registry.closed && registry.queues.iter().all(|queue| queue.is_closed());
+            (registry.queues.clone(), closing)
+        };
         let before = pending.len();
         for queue in &queues {
             queue.drain_into(&mut pending);
@@ -1072,6 +1088,7 @@ where
         core.clients
             .lock()
             .unwrap_or_else(|e| e.into_inner())
+            .queues
             .retain(|queue| !(queue.is_closed() && queue.is_empty()));
         if pending.is_empty() {
             if closing {
@@ -1351,14 +1368,16 @@ where
             router: ShardRouter::new(m, 1, Partition::Contiguous),
             scan_queue: BoundedQueue::new(config.scan_capacity, Arc::clone(&scan_notify)),
             config,
-            clients: Mutex::new(Vec::new()),
+            clients: Mutex::new(ClientRegistry {
+                closed: false,
+                queues: Vec::new(),
+            }),
             ingest_notify: Arc::new(Notify::new()),
             scan_notify,
             closed: AtomicBool::new(false),
             cache: Mutex::new(Vec::new()),
             heat_rates: Mutex::new(RateTracker::new(HEAT_EWMA_ALPHA)),
             counters: Counters::default(),
-            busy_streak: AtomicU64::new(0),
             drain_done: OpCell::new(),
             scan_done: OpCell::new(),
         });
@@ -1562,7 +1581,12 @@ where
         component_dedup_ratio: stats.component_dedup_ratio(),
         ingest_depth: c.ingest_depth.get(),
         scan_depth: c.scan_depth.get(),
-        client_count: core.clients.lock().unwrap_or_else(|e| e.into_inner()).len(),
+        client_count: core
+            .clients
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queues
+            .len(),
         shard_heat,
         shard_heat_rate,
         generation: core.snapshot.generation(),
@@ -1630,17 +1654,26 @@ where
             // Registration and the closed check happen under the same lock
             // shutdown uses to close every registered queue, so a queue can
             // never slip in open after the shutdown sweep (its submissions
-            // would have no drainer left to resolve them).
-            let mut clients = self.core.clients.lock().unwrap_or_else(|e| e.into_inner());
-            if self.core.closed.load(Ordering::Acquire) {
+            // would have no drainer left to resolve them). The lock-guarded
+            // flag is authoritative — an atomic read here could be stale.
+            let mut registry = self.core.clients.lock().unwrap_or_else(|e| e.into_inner());
+            if registry.closed {
                 queue.close();
             }
-            clients.push(Arc::clone(&queue));
+            registry.queues.push(Arc::clone(&queue));
         }
         ClientHandle {
             core: Arc::clone(&self.core),
             queue,
+            busy_streak: AtomicU64::new(0),
         }
+    }
+
+    /// Number of components `m` of the backing object — the valid component
+    /// space for submits and scans (used by transports to pre-validate
+    /// requests and advertise the space in their handshake).
+    pub fn components(&self) -> usize {
+        self.core.snapshot.components()
     }
 
     /// A snapshot of the service counters.
@@ -1654,6 +1687,7 @@ where
             .clients
             .lock()
             .unwrap_or_else(|e| e.into_inner())
+            .queues
             .iter()
             .map(|q| q.len())
             .sum()
@@ -1671,6 +1705,7 @@ where
             .clients
             .lock()
             .unwrap_or_else(|e| e.into_inner())
+            .queues
             .len()
     }
 
@@ -1788,15 +1823,19 @@ where
         if *done {
             return;
         }
+        // Flip the authoritative flag and close every registered queue in
+        // ONE registry critical section: the drainer's exit sample and any
+        // concurrent registration order against this block as a whole, so
+        // there is no window where the flag is up but a still-open queue can
+        // accept a submission the final drain misses. The atomic mirror is
+        // for background tasks' lock-free polls only.
         self.core.closed.store(true, Ordering::Release);
-        for queue in self
-            .core
-            .clients
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .iter()
         {
-            queue.close();
+            let mut registry = self.core.clients.lock().unwrap_or_else(|e| e.into_inner());
+            registry.closed = true;
+            for queue in registry.queues.iter() {
+                queue.close();
+            }
         }
         self.core.scan_queue.close();
         self.core.ingest_notify.notify();
@@ -1842,6 +1881,14 @@ where
 {
     core: Arc<ServiceCore<T, S>>,
     queue: Arc<BoundedQueue<Submission<T>>>,
+    /// Consecutive `Busy` rejections (submits and scans) seen by THIS
+    /// client, reset by this client's own acceptances only; fires the
+    /// flight recorder's busy-burst trigger at
+    /// [`ServiceConfig::busy_burst_threshold`]. Per-client on purpose: a
+    /// service-global streak would be reset by any healthy client's
+    /// traffic, letting interleaved acceptances mask one starved client
+    /// being rejected hundreds of times in a row.
+    busy_streak: AtomicU64,
 }
 
 impl<T, S> ClientHandle<T, S>
@@ -1865,7 +1912,9 @@ where
         // The root span travels with the submission and ends in the apply
         // loop; if the push is rejected, the submission (span included) is
         // consumed and the stunted tree still records the rejected request.
-        let root = Span::root(SpanKind::Ingest);
+        // `root_or_child`: submitted under an entered ambient span (a wire
+        // server's decode-time span), the request tree nests beneath it.
+        let root = Span::root_or_child(SpanKind::Ingest);
         let queue_wait = Span::child(root.context(), SpanKind::QueueWait);
         let result = {
             let _in_span = span::enter(root.context());
@@ -1879,7 +1928,7 @@ where
         };
         match result {
             Ok(()) => {
-                self.core.busy_streak.store(0, Ordering::Relaxed);
+                self.busy_streak.store(0, Ordering::Relaxed);
                 self.core.counters.submits_ok.inc();
                 self.core.counters.writes_submitted.add(width);
                 self.core.counters.ingest_depth.inc();
@@ -1900,22 +1949,26 @@ where
         }
     }
 
-    /// Counts a `Busy` rejection toward the busy-burst anomaly trigger:
-    /// when [`ServiceConfig::busy_burst_threshold`] consecutive rejections
-    /// accumulate with no acceptance in between, one
-    /// [`BusyBurst`](AnomalyKind::BusyBurst) dump fires (the streak keeps
-    /// counting but triggers only at the exact threshold, so a sustained
-    /// overload yields one dump, not a dump per rejection).
+    /// Counts a `Busy` rejection toward this client's busy-burst anomaly
+    /// trigger: when [`ServiceConfig::busy_burst_threshold`] consecutive
+    /// rejections accumulate with no acceptance *by this client* in
+    /// between, one [`BusyBurst`](AnomalyKind::BusyBurst) dump fires (the
+    /// streak keeps counting but triggers only at the exact threshold, so a
+    /// sustained overload yields one dump, not a dump per rejection). The
+    /// streak is per-client so other clients' accepted traffic cannot mask
+    /// a starved client's burst.
     fn note_busy(&self) {
         let threshold = self.core.config.busy_burst_threshold;
         if threshold == 0 {
             return;
         }
-        let streak = self.core.busy_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        let streak = self.busy_streak.fetch_add(1, Ordering::Relaxed) + 1;
         if streak == threshold && flight::armed() {
             flight::trigger(
                 AnomalyKind::BusyBurst,
-                format!("{streak} consecutive Busy rejections with no acceptance in between"),
+                format!(
+                    "{streak} consecutive Busy rejections on one client with no acceptance in between"
+                ),
                 Some(Registry::global()),
             );
         }
@@ -1954,8 +2007,10 @@ where
         // Root of the whole request tree: every downstream span (queue
         // wait, window, backing scan, merge) parents back to it, and its
         // end — in `complete_scan`, after the ticket resolves — is the
-        // moment the flight recorder assembles the tree.
-        let root = Span::root(SpanKind::ScanRequest);
+        // moment the flight recorder assembles the tree. Under an entered
+        // ambient span (a wire server's decode-time span) the whole tree
+        // nests beneath the transport root instead.
+        let root = Span::root_or_child(SpanKind::ScanRequest);
         let queue_wait = Span::child(root.context(), SpanKind::QueueWait);
         let result = {
             let _in_span = span::enter(root.context());
@@ -1970,7 +2025,7 @@ where
         };
         match result {
             Ok(()) => {
-                self.core.busy_streak.store(0, Ordering::Relaxed);
+                self.busy_streak.store(0, Ordering::Relaxed);
                 self.core.counters.scans_ok.inc();
                 self.core.counters.scan_depth.inc();
                 trace::emit(TraceKind::QueuePush, 1, self.core.scan_queue.len() as u64);

@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 use psnap_core::CasPartialSnapshot;
 use psnap_serve::testing::GatedSnapshot;
 use psnap_serve::{
-    Coalescing, Executor, ExecutorConfig, Freshness, ServiceConfig, SnapshotService,
+    Coalescing, Executor, ExecutorConfig, Freshness, ServiceConfig, SnapshotService, SubmitError,
 };
 use psnap_shmem::chaos::ChaosConfig;
 
@@ -207,6 +207,108 @@ fn chaos_parked_workers_preserve_ingestion_and_scan_conformance() {
         "{stats:?}"
     );
     service.shutdown();
+}
+
+/// Seam test for the shutdown drain accounting: clients keep registering
+/// fresh queues and submitting while shutdown runs and the drainer sits
+/// parked mid-apply behind the update gate. Every submission must either be
+/// refused with `Closed` at the push, or be accepted AND have its ticket
+/// resolve — a queue slipping in open after the drainer's exit sample would
+/// strand its tickets and leak the `ingest_depth` gauge. (This is exactly
+/// the race the registry-lock-guarded closed flag removes: with the flag
+/// sampled as a bare atomic outside the lock, a registration could read a
+/// stale `false`, accept a write after the final drain, and hang its
+/// waiter.) The gate parks the drainer deterministically; the rounds vary
+/// the shutdown timing for schedule diversity.
+#[test]
+fn shutdown_racing_late_client_registration_strands_no_ticket() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    for round in 0..6u64 {
+        let backing = Arc::new(GatedSnapshot::new(CasPartialSnapshot::new(8, 2, 0u64)));
+        let executor = Executor::new(2);
+        let service =
+            SnapshotService::start(Arc::clone(&backing), ServiceConfig::default(), &executor);
+
+        // Park the drainer inside apply_pending so accepted submissions
+        // pile up in client queues across the whole shutdown window.
+        backing.update_gate.close();
+        let early = service.client();
+        let parked = early.submit(0, 1).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while service.ingest_depth() != 0 {
+            assert!(Instant::now() < deadline, "drainer never collected");
+            std::thread::yield_now();
+        }
+
+        let accepted = AtomicU64::new(0);
+        let resolved = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for worker in 0..3usize {
+                let service = &service;
+                let accepted = &accepted;
+                let resolved = &resolved;
+                scope.spawn(move || {
+                    let mut tickets = Vec::new();
+                    'storm: loop {
+                        // A fresh client every iteration: registrations keep
+                        // racing the shutdown sweep itself.
+                        let client = service.client();
+                        for op in 0..4u64 {
+                            assert!(Instant::now() < deadline, "storm never refused");
+                            match client.submit(1 + worker * 2 + (op as usize % 2), op + 1) {
+                                Ok(ticket) => {
+                                    accepted.fetch_add(1, Ordering::Relaxed);
+                                    tickets.push(ticket);
+                                }
+                                Err(SubmitError::Busy) => std::thread::yield_now(),
+                                Err(SubmitError::Closed) => break 'storm,
+                            }
+                        }
+                    }
+                    // Every accepted ticket must resolve even though the
+                    // service refused this client's later submissions.
+                    for ticket in tickets {
+                        ticket.wait();
+                        resolved.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            let service = &service;
+            let gate = Arc::clone(&backing.update_gate);
+            scope.spawn(move || {
+                // Shut down while the storm runs and the drainer is parked;
+                // vary the timing per round.
+                std::thread::sleep(Duration::from_micros(100 + 300 * round));
+                let opener = std::thread::spawn(move || {
+                    // Un-park the drainer only after shutdown has begun, so
+                    // the close sweep and the final drain race the storm.
+                    std::thread::sleep(Duration::from_micros(200));
+                    gate.open();
+                });
+                service.shutdown();
+                opener.join().unwrap();
+            });
+        });
+        parked.wait();
+
+        assert_eq!(
+            accepted.load(Ordering::Relaxed),
+            resolved.load(Ordering::Relaxed),
+            "round {round}: accepted tickets left unresolved"
+        );
+        let stats = service.stats();
+        assert_eq!(
+            stats.submits_ok, stats.submits_resolved,
+            "round {round}: {stats:?}"
+        );
+        assert_eq!(
+            service.obs().ingest_depth,
+            0,
+            "round {round}: ingest gauge leaked"
+        );
+        assert_eq!(service.ingest_depth(), 0, "round {round}: queues not empty");
+    }
 }
 
 #[test]

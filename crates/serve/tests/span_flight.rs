@@ -241,3 +241,109 @@ fn flight_dump_of_live_traffic_round_trips_through_json() {
 
     flight::reset();
 }
+
+/// The busy-burst trigger must count consecutive rejections *per client*:
+/// a starved client whose queue is wedged keeps being rejected while a
+/// healthy client's traffic is accepted in between. Under a service-global
+/// streak those interleaved acceptances reset the counter and the burst
+/// never fires; per-client, the starved client's streak reaches the
+/// threshold regardless.
+#[test]
+fn busy_burst_fires_per_client_despite_interleaved_healthy_traffic() {
+    use psnap_core::CasPartialSnapshot;
+    use psnap_serve::testing::GatedSnapshot;
+    use psnap_serve::SubmitError;
+    use std::time::Instant;
+
+    let _serial = SPAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    flight::reset();
+    flight::set_armed(true);
+
+    let backing = Arc::new(GatedSnapshot::new(CasPartialSnapshot::new(8, 2, 0u64)));
+    let executor = Executor::new(2);
+    let service = SnapshotService::start(
+        Arc::clone(&backing),
+        ServiceConfig {
+            ingest_capacity: 2,
+            busy_burst_threshold: 5,
+            ..ServiceConfig::default()
+        },
+        &executor,
+    );
+    let starved = service.client();
+    let healthy = service.client();
+
+    // Wedge the starved client: park the drainer mid-apply behind the
+    // update gate, then fill the client's 2-slot queue.
+    let park = |value: u64| {
+        backing.update_gate.close();
+        let parked = starved.submit(0, value).unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        while service.ingest_depth() != 0 {
+            assert!(Instant::now() < deadline, "drainer never collected");
+            std::thread::yield_now();
+        }
+        let fill = [
+            starved.submit(1, value).unwrap(),
+            starved.submit(2, value).unwrap(),
+        ];
+        (parked, fill)
+    };
+    let (parked, fill) = park(1);
+
+    let base = flight::dump_count();
+    for _ in 0..4 {
+        assert!(matches!(starved.submit(3, 1), Err(SubmitError::Busy)));
+        // A healthy client's accepted scan between every rejection: under a
+        // global streak this reset would mask the burst entirely.
+        healthy
+            .scan(vec![0], Freshness::Fresh)
+            .expect("healthy client must be accepted")
+            .wait();
+        assert_eq!(flight::dump_count(), base, "burst fired below threshold");
+    }
+    assert!(matches!(starved.submit(3, 1), Err(SubmitError::Busy)));
+    assert_eq!(
+        flight::dump_count(),
+        base + 1,
+        "burst did not fire at threshold"
+    );
+    let dump = flight::dumps().pop().expect("dump stored");
+    assert_eq!(dump.reason, AnomalyKind::BusyBurst);
+
+    // A sustained overload yields ONE dump, not a dump per rejection.
+    for _ in 0..3 {
+        assert!(matches!(starved.submit(3, 1), Err(SubmitError::Busy)));
+    }
+    assert_eq!(flight::dump_count(), base + 1);
+
+    // An acceptance by the starved client itself resets its streak: wedge
+    // it again and the threshold must be reached afresh before a second
+    // dump fires (without the reset, the streak would be past the
+    // threshold already and never equal it again).
+    backing.update_gate.open();
+    parked.wait();
+    for t in fill {
+        t.wait();
+    }
+    let (parked, fill) = park(2);
+    for _ in 0..4 {
+        assert!(matches!(starved.submit(3, 2), Err(SubmitError::Busy)));
+        assert_eq!(
+            flight::dump_count(),
+            base + 1,
+            "streak did not reset on acceptance"
+        );
+    }
+    assert!(matches!(starved.submit(3, 2), Err(SubmitError::Busy)));
+    assert_eq!(flight::dump_count(), base + 2, "second burst did not fire");
+
+    backing.update_gate.open();
+    parked.wait();
+    for t in fill {
+        t.wait();
+    }
+    flight::set_armed(false);
+    flight::reset();
+    service.shutdown();
+}

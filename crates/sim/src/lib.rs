@@ -10,7 +10,9 @@
 //! schedules, scalable monotone checks for stress schedules). The
 //! [`service_driver`] runs the same scenarios through the `psnap-serve`
 //! frontend instead, recording client-observed histories so the coalesced
-//! results of the service layer face the same checkers.
+//! results of the service layer face the same checkers, and the
+//! [`wire_driver`] pushes that traffic through a socket-backed
+//! `psnap-wire` server so the transport layer faces them too.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -19,6 +21,7 @@ pub mod chaos_runner;
 pub mod runner;
 pub mod scenario;
 pub mod service_driver;
+pub mod wire_driver;
 
 pub use chaos_runner::{
     fuzz_batched_stress_schedules, fuzz_small_schedules, fuzz_stress_schedules, FuzzOutcome,
@@ -26,3 +29,4 @@ pub use chaos_runner::{
 pub use runner::run_scenario;
 pub use scenario::{Role, Scenario, ScenarioChaos};
 pub use service_driver::{run_scenario_via_service, ServiceDriverConfig};
+pub use wire_driver::{run_scenario_via_wire, WireTransport};

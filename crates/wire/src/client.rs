@@ -1,0 +1,503 @@
+//! The remote client: mirrors the in-process [`ClientHandle`] API over a
+//! wire connection.
+//!
+//! One [`RemoteClientHandle`] owns one connection. Requests are
+//! multiplexed by client-chosen ids: a submit or scan returns a ticket
+//! immediately (the frame is written under a writer lock), and a single
+//! **reader thread** resolves tickets as reply frames arrive, in whatever
+//! order the server finishes them. If the connection dies — reset, server
+//! shutdown, [`kill`](RemoteClientHandle::kill) — every outstanding ticket
+//! resolves with [`WireError::ConnectionLost`] rather than hanging: a
+//! caller blocked on `wait()` always gets an answer.
+//!
+//! The error surface is wider than in-process: `Busy` and `Closed` arrive
+//! asynchronously in the reply rather than synchronously from the submit
+//! call, so tickets resolve `Result<_, WireError>` instead of the bare
+//! value.
+//!
+//! [`ClientHandle`]: psnap_serve::ClientHandle
+
+use std::collections::HashMap;
+use std::future::Future;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll};
+
+use psnap_json::Json;
+use psnap_serve::{Freshness, OpCell, Ticket};
+
+use crate::frame::{encode_frame, encode_frame_into, read_frame, read_frame_into, FrameError};
+use crate::proto::{
+    hello_json, parse_handshake_answer, Reply, ReplyBody, Request, RequestBody, WireErrorKind,
+    PROTOCOL_VERSION,
+};
+use crate::stream::Stream;
+
+/// Why a remote operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The server's ingestion queue for this connection was full — the
+    /// wire form of [`SubmitError::Busy`](psnap_serve::SubmitError::Busy).
+    /// Back off and retry.
+    Busy,
+    /// The service (or this connection's intake) is shut down.
+    Closed,
+    /// The server rejected the request as malformed or out of range.
+    BadRequest,
+    /// The connection died with this request outstanding. The request may
+    /// or may not have been applied server-side.
+    ConnectionLost(String),
+    /// The peer violated the protocol (handshake rejected, undecodable
+    /// reply, version mismatch).
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Busy => write!(f, "server busy"),
+            WireError::Closed => write!(f, "service closed"),
+            WireError::BadRequest => write!(f, "bad request"),
+            WireError::ConnectionLost(why) => write!(f, "connection lost: {why}"),
+            WireError::Protocol(why) => write!(f, "protocol error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireErrorKind> for WireError {
+    fn from(kind: WireErrorKind) -> WireError {
+        match kind {
+            WireErrorKind::Busy => WireError::Busy,
+            WireErrorKind::Closed => WireError::Closed,
+            WireErrorKind::BadRequest => WireError::BadRequest,
+        }
+    }
+}
+
+type ReplyCell = Arc<OpCell<Result<ReplyBody, WireError>>>;
+
+/// The client's outbound buffer for corked mode: while corked, request
+/// frames accumulate here and go out in one write on
+/// [`RemoteClientHandle::flush`].
+struct OutBuf {
+    corked: bool,
+    buf: Vec<u8>,
+}
+
+struct ClientInner {
+    /// For severing the connection (kill / close).
+    stream: Stream,
+    writer: Mutex<Stream>,
+    out: Mutex<OutBuf>,
+    /// Outstanding request id → its reply cell. The reader thread resolves
+    /// entries; a dead connection resolves them all with `ConnectionLost`.
+    pending: Mutex<HashMap<u64, ReplyCell>>,
+    next_id: AtomicU64,
+    dead: AtomicBool,
+    /// Replies whose id matched no pending request — a duplicated or
+    /// misattributed response. Stays 0 on a correct server.
+    unknown_replies: AtomicU64,
+    components: usize,
+    max_frame: usize,
+}
+
+impl ClientInner {
+    /// Resolves every outstanding ticket with `ConnectionLost` and marks
+    /// the connection dead. Idempotent; called by the reader thread on any
+    /// exit path so no caller is left hanging.
+    fn fail_all_pending(&self, why: &str) {
+        self.dead.store(true, Ordering::Release);
+        let drained: Vec<ReplyCell> = {
+            let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            pending.drain().map(|(_, cell)| cell).collect()
+        };
+        for cell in drained {
+            cell.complete(Err(WireError::ConnectionLost(why.to_string())));
+        }
+    }
+}
+
+/// A connected remote client. Cloneable handles are not provided — a
+/// connection is one multiplexed stream; open more connections for more
+/// parallelism (they get independent server-side ingestion queues).
+pub struct RemoteClientHandle {
+    inner: Arc<ClientInner>,
+}
+
+impl RemoteClientHandle {
+    /// Connects over TCP and performs the handshake.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<RemoteClientHandle, WireError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| WireError::ConnectionLost(format!("connect: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        Self::establish(Stream::Tcp(stream))
+    }
+
+    /// Connects over a unix-domain socket and performs the handshake.
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<RemoteClientHandle, WireError> {
+        let stream = UnixStream::connect(path)
+            .map_err(|e| WireError::ConnectionLost(format!("connect: {e}")))?;
+        Self::establish(Stream::Unix(stream))
+    }
+
+    fn establish(stream: Stream) -> Result<RemoteClientHandle, WireError> {
+        let mut reader = stream
+            .try_clone()
+            .map_err(|e| WireError::ConnectionLost(format!("clone: {e}")))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| WireError::ConnectionLost(format!("clone: {e}")))?;
+        // Handshake, synchronously on the caller's thread: hello out,
+        // welcome (or reject) back.
+        {
+            let hello = hello_json(PROTOCOL_VERSION).to_string_compact();
+            let frame = encode_frame(hello.as_bytes());
+            let mut w = stream
+                .try_clone()
+                .map_err(|e| WireError::ConnectionLost(format!("clone: {e}")))?;
+            w.write_all(&frame)
+                .map_err(|e| WireError::ConnectionLost(format!("handshake write: {e}")))?;
+        }
+        let answer = read_frame(&mut reader, crate::frame::MAX_FRAME_LEN)
+            .map_err(|e| WireError::ConnectionLost(format!("handshake read: {e}")))?;
+        let answer = std::str::from_utf8(&answer)
+            .ok()
+            .and_then(|text| Json::parse(text).ok())
+            .and_then(|json| parse_handshake_answer(&json))
+            .ok_or_else(|| WireError::Protocol("undecodable handshake answer".to_string()))?;
+        let (components, max_frame) = match answer {
+            Ok(welcome) => welcome,
+            Err(reason) => return Err(WireError::Protocol(reason)),
+        };
+        let inner = Arc::new(ClientInner {
+            stream,
+            writer: Mutex::new(writer),
+            out: Mutex::new(OutBuf {
+                corked: false,
+                buf: Vec::new(),
+            }),
+            pending: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+            unknown_replies: AtomicU64::new(0),
+            components,
+            max_frame,
+        });
+        let reader_inner = Arc::clone(&inner);
+        std::thread::spawn(move || reply_reader(reader_inner, reader));
+        Ok(RemoteClientHandle { inner })
+    }
+
+    /// Component space `m` advertised by the server in its welcome.
+    pub fn components(&self) -> usize {
+        self.inner.components
+    }
+
+    /// Frame payload cap advertised by the server.
+    pub fn max_frame(&self) -> usize {
+        self.inner.max_frame
+    }
+
+    /// True once the connection has died (any outstanding and future
+    /// requests resolve `ConnectionLost`).
+    pub fn is_dead(&self) -> bool {
+        self.inner.dead.load(Ordering::Acquire)
+    }
+
+    /// Replies received whose id matched no outstanding request — each one
+    /// is a duplicated or misattributed response from the server. Stays 0
+    /// against a correct server; chaos harnesses assert on it.
+    pub fn unknown_replies(&self) -> u64 {
+        self.inner.unknown_replies.load(Ordering::Acquire)
+    }
+
+    fn send(&self, body: RequestBody) -> Result<ReplyCell, WireError> {
+        if self.is_dead() {
+            return Err(WireError::ConnectionLost("connection is dead".to_string()));
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let cell: ReplyCell = OpCell::new();
+        self.inner
+            .pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, Arc::clone(&cell));
+        // One buffered frame, one write: the server's reader wakes once
+        // with the whole frame instead of once for the header and once for
+        // the payload.
+        let text = Request { id, body }.to_wire_string();
+        {
+            let mut out = self.inner.out.lock().unwrap_or_else(|e| e.into_inner());
+            if out.corked {
+                // Corked: accumulate straight into the batch buffer; the
+                // bytes (and any write error) go out on the next `flush`.
+                encode_frame_into(text.as_bytes(), &mut out.buf);
+                return Ok(cell);
+            }
+        }
+        let frame = encode_frame(text.as_bytes());
+        let wrote = {
+            let mut w = self.inner.writer.lock().unwrap_or_else(|e| e.into_inner());
+            w.write_all(&frame)
+        };
+        if let Err(e) = wrote {
+            self.inner
+                .pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&id);
+            return Err(WireError::ConnectionLost(format!("write: {e}")));
+        }
+        Ok(cell)
+    }
+
+    /// Corks (or uncorks) the connection's writes. While corked, requests
+    /// accumulate client-side and go out in one write on
+    /// [`flush`](RemoteClientHandle::flush) — a pipelining client amortizes
+    /// its syscalls (and the server reader's wake-ups) across the batch.
+    /// Uncorking flushes. A corked client that never flushes sends nothing:
+    /// the cork is for callers driving an explicit issue-then-flush loop.
+    pub fn set_corked(&self, corked: bool) -> Result<(), WireError> {
+        {
+            let mut out = self.inner.out.lock().unwrap_or_else(|e| e.into_inner());
+            out.corked = corked;
+        }
+        if corked {
+            Ok(())
+        } else {
+            self.flush()
+        }
+    }
+
+    /// Writes out every corked request frame. A write failure here kills
+    /// the connection: all outstanding tickets (buffered or on the wire)
+    /// resolve `ConnectionLost`.
+    pub fn flush(&self) -> Result<(), WireError> {
+        let bytes = {
+            let mut out = self.inner.out.lock().unwrap_or_else(|e| e.into_inner());
+            if out.buf.is_empty() {
+                return Ok(());
+            }
+            std::mem::take(&mut out.buf)
+        };
+        let wrote = {
+            let mut w = self.inner.writer.lock().unwrap_or_else(|e| e.into_inner());
+            w.write_all(&bytes)
+        };
+        if let Err(e) = wrote {
+            let why = format!("flush write: {e}");
+            self.inner.fail_all_pending(&why);
+            return Err(WireError::ConnectionLost(why));
+        }
+        Ok(())
+    }
+
+    /// Submits one write. The ticket resolves once the write is applied
+    /// server-side (or with the wire error the server answered).
+    pub fn submit(&self, component: usize, value: u64) -> Result<RemoteSubmitTicket, WireError> {
+        self.submit_batch(vec![(component, value)])
+    }
+
+    /// Submits a batch of writes, applied as one atomic `update_many`.
+    pub fn submit_batch(&self, writes: Vec<(usize, u64)>) -> Result<RemoteSubmitTicket, WireError> {
+        let cell = self.send(RequestBody::Submit { writes })?;
+        Ok(RemoteSubmitTicket {
+            inner: Ticket::new(cell),
+        })
+    }
+
+    /// Requests a partial scan; the ticket resolves with one value per
+    /// requested component, in request order.
+    pub fn scan(
+        &self,
+        components: Vec<usize>,
+        freshness: Freshness,
+    ) -> Result<RemoteScanTicket, WireError> {
+        let cell = self.send(RequestBody::Scan {
+            components,
+            freshness,
+        })?;
+        Ok(RemoteScanTicket {
+            inner: Ticket::new(cell),
+        })
+    }
+
+    /// Blocking submit: send and wait for the applied acknowledgement.
+    pub fn submit_blocking(&self, component: usize, value: u64) -> Result<(), WireError> {
+        self.submit(component, value)?.wait()
+    }
+
+    /// Blocking scan.
+    pub fn scan_blocking(
+        &self,
+        components: Vec<usize>,
+        freshness: Freshness,
+    ) -> Result<Vec<u64>, WireError> {
+        self.scan(components, freshness)?.wait()
+    }
+
+    /// Fetches the server's observability snapshot (blocking).
+    pub fn stats(&self) -> Result<Json, WireError> {
+        let cell = self.send(RequestBody::Stats)?;
+        match Ticket::new(cell).wait() {
+            Ok(ReplyBody::Stats(json)) => Ok(json),
+            Ok(_) => Err(WireError::Protocol(
+                "stats reply carried no stats".to_string(),
+            )),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Graceful close: half-close the sending direction so the server
+    /// drains in-flight requests and flushes their replies, then wait for
+    /// the reader to see the server's EOF (all tickets resolved).
+    pub fn close(self) {
+        // Corked requests still buffered client-side go out first; their
+        // tickets are outstanding and the drain below waits on them.
+        let _ = self.flush();
+        self.inner.stream.shutdown(Shutdown::Write);
+        // The reader thread exits once the server closes its side; bound
+        // the wait so a wedged server cannot hang the caller forever.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while !self.inner.dead.load(Ordering::Acquire)
+            && !self
+                .inner
+                .pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        self.inner.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Abrupt close (chaos testing): sever both directions immediately.
+    /// Outstanding tickets resolve `ConnectionLost`; requests the server
+    /// already accepted still apply and resolve server-side.
+    pub fn kill(&self) {
+        self.inner.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// The reader thread: resolves pending tickets as reply frames arrive; on
+/// any exit path fails everything still outstanding so no waiter hangs.
+fn reply_reader(inner: Arc<ClientInner>, reader: Stream) {
+    // Buffered: a batched pump flush from the server costs one read syscall
+    // per buffer fill instead of two per frame (header + payload).
+    let mut reader = std::io::BufReader::with_capacity(64 * 1024, reader);
+    let mut payload = Vec::new();
+    loop {
+        match read_frame_into(&mut reader, inner.max_frame, &mut payload) {
+            Ok(()) => {}
+            Err(FrameError::Eof) => {
+                inner.fail_all_pending("server closed the connection");
+                return;
+            }
+            Err(e) => {
+                inner.fail_all_pending(&format!("read: {e}"));
+                return;
+            }
+        };
+        // Fast path first (the canonical shape), general JSON route for
+        // everything else (stats replies in particular).
+        let reply = std::str::from_utf8(&payload).ok().and_then(|text| {
+            Reply::parse_wire(text).or_else(|| {
+                Json::parse(text)
+                    .ok()
+                    .and_then(|json| Reply::from_json(&json))
+            })
+        });
+        let Some(reply) = reply else {
+            inner.fail_all_pending("undecodable reply frame");
+            inner.stream.shutdown(Shutdown::Both);
+            return;
+        };
+        let cell = inner
+            .pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&reply.id);
+        match cell {
+            Some(cell) => cell.complete(reply.result.map_err(WireError::from)),
+            // An unknown id is a duplicated or misattributed response (the
+            // server's id-0 bad_request for an unattributable frame also
+            // lands here); count it so chaos harnesses can assert zero.
+            None => {
+                inner.unknown_replies.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+impl Drop for ClientInner {
+    fn drop(&mut self) {
+        self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Ticket for a remote submit; resolves `Ok(())` once applied server-side.
+pub struct RemoteSubmitTicket {
+    inner: Ticket<Result<ReplyBody, WireError>>,
+}
+
+impl RemoteSubmitTicket {
+    /// Blocks until the reply arrives (or the connection dies).
+    pub fn wait(self) -> Result<(), WireError> {
+        map_submit(self.inner.wait())
+    }
+}
+
+impl Future for RemoteSubmitTicket {
+    type Output = Result<(), WireError>;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut self.inner).poll(cx).map(map_submit)
+    }
+}
+
+fn map_submit(reply: Result<ReplyBody, WireError>) -> Result<(), WireError> {
+    match reply {
+        Ok(ReplyBody::Submitted) => Ok(()),
+        Ok(_) => Err(WireError::Protocol(
+            "submit reply carried unexpected body".to_string(),
+        )),
+        Err(e) => Err(e),
+    }
+}
+
+/// Ticket for a remote scan; resolves with the scanned values.
+pub struct RemoteScanTicket {
+    inner: Ticket<Result<ReplyBody, WireError>>,
+}
+
+impl RemoteScanTicket {
+    /// Blocks until the reply arrives (or the connection dies).
+    pub fn wait(self) -> Result<Vec<u64>, WireError> {
+        map_scan(self.inner.wait())
+    }
+}
+
+impl Future for RemoteScanTicket {
+    type Output = Result<Vec<u64>, WireError>;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut self.inner).poll(cx).map(map_scan)
+    }
+}
+
+fn map_scan(reply: Result<ReplyBody, WireError>) -> Result<Vec<u64>, WireError> {
+    match reply {
+        Ok(ReplyBody::Values(values)) => Ok(values),
+        Ok(_) => Err(WireError::Protocol(
+            "scan reply carried unexpected body".to_string(),
+        )),
+        Err(e) => Err(e),
+    }
+}

@@ -13,4 +13,5 @@ pub use psnap_serve as serve;
 pub use psnap_shard as shard;
 pub use psnap_shmem as shmem;
 pub use psnap_sim as sim;
+pub use psnap_wire as wire;
 pub use psnap_workloads as workloads;

@@ -1,0 +1,86 @@
+//! Lincheck conformance for the wire transport: scenario traffic pushed
+//! through a socket-backed `psnap-wire` server must produce histories
+//! indistinguishable — to the checkers — from in-process service traffic.
+//! The transport adds frame encode/decode, per-connection queues, and real
+//! socket scheduling, but it must not reorder a client's operations,
+//! invent acknowledgements, or lose them.
+//!
+//! Small adversarial scenarios go through the exhaustive WGL checker over
+//! both socket families; a stress scenario goes through the scalable
+//! monotone checks — the same discipline as `service_lincheck`, one layer
+//! further out.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use partial_snapshot::lincheck::{check_history, check_monotone_history};
+use partial_snapshot::serve::Coalescing;
+use partial_snapshot::shard::{MvShardedSnapshot, ShardConfig};
+use partial_snapshot::sim::{run_scenario_via_wire, Scenario, ServiceDriverConfig, WireTransport};
+use partial_snapshot::snapshot::CasPartialSnapshot;
+
+fn driver(coalescing: Coalescing) -> ServiceDriverConfig {
+    ServiceDriverConfig {
+        coalescing,
+        ..ServiceDriverConfig::default()
+    }
+}
+
+#[test]
+fn wire_small_histories_are_linearizable_over_tcp() {
+    for seed in 0..10 {
+        let scenario = Scenario::random_small(seed);
+        let snapshot = Arc::new(CasPartialSnapshot::new(scenario.components, 2, 0u64));
+        let history = run_scenario_via_wire(
+            snapshot,
+            &scenario,
+            &driver(Coalescing::Window(Duration::ZERO)),
+            WireTransport::Tcp,
+        );
+        assert_eq!(history.len(), scenario.total_ops());
+        history.validate_well_formed().unwrap();
+        assert!(
+            check_history(&history).is_linearizable(),
+            "seed {seed}: tcp wire history not linearizable"
+        );
+    }
+}
+
+#[test]
+fn wire_small_histories_are_linearizable_over_unix_sockets() {
+    for seed in 0..10 {
+        let scenario = Scenario::random_small(seed ^ 0xA5);
+        let snapshot = Arc::new(CasPartialSnapshot::new(scenario.components, 2, 0u64));
+        let history = run_scenario_via_wire(
+            snapshot,
+            &scenario,
+            &driver(Coalescing::Window(Duration::from_micros(100))),
+            WireTransport::Unix,
+        );
+        assert_eq!(history.len(), scenario.total_ops());
+        assert!(
+            check_history(&history).is_linearizable(),
+            "seed {seed}: unix wire history not linearizable"
+        );
+    }
+}
+
+#[test]
+fn wire_stress_history_passes_monotone_checks_over_sharded_backing() {
+    let scenario = Scenario::stress(12, 3, 2, 50, 30, 4, 0xBEEF);
+    let snapshot = Arc::new(MvShardedSnapshot::new(
+        12,
+        4,
+        0u64,
+        ShardConfig::multiversioned(2),
+    ));
+    let history = run_scenario_via_wire(
+        snapshot,
+        &scenario,
+        &driver(Coalescing::Window(Duration::from_micros(200))),
+        WireTransport::Tcp,
+    );
+    assert_eq!(history.len(), scenario.total_ops());
+    history.validate_well_formed().unwrap();
+    assert_eq!(check_monotone_history(&history), Ok(()));
+}
