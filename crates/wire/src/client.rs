@@ -47,7 +47,10 @@ pub enum WireError {
     Busy,
     /// The service (or this connection's intake) is shut down.
     Closed,
-    /// The server rejected the request as malformed or out of range.
+    /// The request was rejected as malformed or out of range — by the
+    /// server, or client-side before writing when its encoded frame
+    /// exceeds the server's advertised cap (see
+    /// [`max_frame`](RemoteClientHandle::max_frame)).
     BadRequest,
     /// The connection died with this request outstanding. The request may
     /// or may not have been applied server-side.
@@ -200,7 +203,10 @@ impl RemoteClientHandle {
         self.inner.components
     }
 
-    /// Frame payload cap advertised by the server.
+    /// Frame payload cap advertised by the server. Requests whose encoded
+    /// frame would exceed it fail with [`WireError::BadRequest`] before
+    /// anything is written — one oversized submit must not tear down the
+    /// connection under every other in-flight request.
     pub fn max_frame(&self) -> usize {
         self.inner.max_frame
     }
@@ -219,20 +225,35 @@ impl RemoteClientHandle {
     }
 
     fn send(&self, body: RequestBody) -> Result<ReplyCell, WireError> {
-        if self.is_dead() {
-            return Err(WireError::ConnectionLost("connection is dead".to_string()));
-        }
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let text = Request { id, body }.to_wire_string();
+        // Enforce the server's advertised frame cap before anything is
+        // written or enqueued: server-side, an oversized frame is a
+        // connection-fatal framing error that would fail every other
+        // in-flight ticket with ConnectionLost. Refusing it here fails
+        // just the offending request.
+        if text.len() > self.inner.max_frame {
+            return Err(WireError::BadRequest);
+        }
         let cell: ReplyCell = OpCell::new();
-        self.inner
-            .pending
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(id, Arc::clone(&cell));
+        {
+            // The dead check and the insert share one pending-lock critical
+            // section. `fail_all_pending` marks the connection dead before
+            // draining under this same lock, so either this cell lands
+            // before the drain (and the drain resolves it) or the drain ran
+            // first and the dead flag is visible here. Checking dead before
+            // inserting (the old shape) left a window where the cell landed
+            // after the drain and, if the write below still succeeded
+            // against a half-closed socket, its ticket never resolved.
+            let mut pending = self.inner.pending.lock().unwrap_or_else(|e| e.into_inner());
+            if self.inner.dead.load(Ordering::Acquire) {
+                return Err(WireError::ConnectionLost("connection is dead".to_string()));
+            }
+            pending.insert(id, Arc::clone(&cell));
+        }
         // One buffered frame, one write: the server's reader wakes once
         // with the whole frame instead of once for the header and once for
         // the payload.
-        let text = Request { id, body }.to_wire_string();
         {
             let mut out = self.inner.out.lock().unwrap_or_else(|e| e.into_inner());
             if out.corked {

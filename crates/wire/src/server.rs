@@ -15,13 +15,20 @@
 //! * a blocking **reader thread** that decodes frames, roots a
 //!   [`SpanKind::WireRequest`] span at decode time (the in-process request
 //!   tree assembles beneath it), and dispatches requests;
-//! * a **reply pump task** on the executor: a single task per connection
+//! * a **reply pump** on its own writer thread: one per connection,
 //!   draining a FIFO of in-flight tickets. Consecutive completed replies
 //!   are serialized into one buffer and flushed with a single write, so a
-//!   burst of completions costs one task wake-up and one syscall instead
-//!   of one of each per reply;
+//!   burst of completions costs one wake-up and one syscall instead of
+//!   one of each per reply. Flushes block the pump's own thread only —
+//!   a peer that stops reading its replies wedges *its* connection
+//!   (bounded by the configured write timeout, which severs it), never
+//!   an executor worker, so other connections and the service's own
+//!   pipeline tasks keep running;
 //! * an optional **idle watchdog task** on the executor: a far-deadline
-//!   timer that severs connections idle past the configured timeout.
+//!   timer that severs connections with no activity — no inbound frame,
+//!   no outbound flush, nothing in flight — for the configured timeout.
+//!   A quiet peer waiting on a slow in-flight request is active, not
+//!   idle, and is never severed mid-request.
 //!
 //! # Lifecycle
 //!
@@ -67,14 +74,20 @@ use crate::stream::Stream;
 pub struct WireServerConfig {
     /// Per-frame payload cap, advertised in the welcome frame.
     pub max_frame_len: usize,
-    /// Sever connections with no inbound frame for this long. `None`
-    /// disables the watchdog.
+    /// Sever connections with no activity (inbound frame, outbound reply
+    /// flush, or in-flight request) for this long. `None` disables the
+    /// watchdog.
     pub idle_timeout: Option<Duration>,
     /// How long the acceptor sleeps between listener polls.
     pub accept_poll: Duration,
     /// Handshake read deadline: a connection that does not complete its
     /// hello within this window is dropped.
     pub handshake_timeout: Duration,
+    /// Sever a connection whose peer has stopped reading: a reply write
+    /// that cannot make progress for this long fails and tears the
+    /// connection down (its tickets still resolve server-side). `None`
+    /// lets a non-reading peer block its own writer thread indefinitely.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for WireServerConfig {
@@ -84,6 +97,7 @@ impl Default for WireServerConfig {
             idle_timeout: None,
             accept_poll: Duration::from_millis(1),
             handshake_timeout: Duration::from_secs(5),
+            write_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -195,13 +209,37 @@ struct Conn {
     /// Set once the connection stops accepting new requests (half-close,
     /// idle severance, or server drain); later requests get `closed`.
     intake_closed: AtomicBool,
-    /// Nanoseconds (since the server's epoch) of the last inbound frame.
-    last_rx_ns: AtomicU64,
+    /// The server's clock epoch (shared with [`ServerShared`]).
+    epoch: Instant,
+    /// Nanoseconds (since the epoch) of the last activity: inbound frame
+    /// or successfully flushed outbound reply. The idle watchdog also
+    /// treats in-flight requests as activity, so this only has to cover
+    /// the quiet gaps between requests.
+    last_activity_ns: AtomicU64,
     /// Set by the reader thread on exit; the drain polls it.
     finished: AtomicBool,
 }
 
 impl Conn {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn touch(&self) {
+        self.last_activity_ns.store(self.now_ns(), Ordering::Release);
+    }
+
+    /// Stops intake and severs both socket directions; the reader wakes
+    /// with an error and tears the connection down.
+    fn sever(&self) {
+        self.intake_closed.store(true, Ordering::Release);
+        self.stream.shutdown(Shutdown::Both);
+    }
+
+    fn in_flight_count(&self) -> u64 {
+        *self.in_flight.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn begin_request(&self) {
         *self.in_flight.lock().unwrap_or_else(|e| e.into_inner()) += 1;
     }
@@ -259,10 +297,18 @@ impl Conn {
         // the whole frame instead of once for the header and once for the
         // payload.
         let frame = encode_frame(reply.to_wire_string().as_bytes());
-        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        // A dead peer makes this fail; the reader notices on its side and
-        // the connection tears down. Nothing to do here.
-        let _ = w.write_all(&frame);
+        let ok = {
+            let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+            w.write_all(&frame).is_ok()
+        };
+        if ok {
+            self.touch();
+        } else {
+            // Dead peer, or one that stopped reading long enough to trip
+            // the write timeout: sever so the connection tears down
+            // instead of queueing more replies it will never take.
+            self.sever();
+        }
     }
 }
 
@@ -271,6 +317,14 @@ impl Conn {
 /// flushing them with a single write. The buffer is flushed before the pump
 /// suspends on a still-pending ticket (no completed reply waits behind a
 /// pending one) and when it crosses [`PUMP_FLUSH_BYTES`].
+///
+/// Runs under [`block_on`](psnap_serve::block_on) on a dedicated writer
+/// thread, NOT as an executor task: flushes block on the socket, and a
+/// peer that pipelines requests and then stops reading would otherwise
+/// pin an executor worker (two such peers stall the default 2-worker
+/// executor — and with it the service's own drain/scan loops — for every
+/// client). On its own thread the stall is confined to this connection,
+/// and the socket write timeout severs it.
 async fn reply_pump(conn: Arc<Conn>) {
     enum Step {
         Entry(Box<PendingReply>),
@@ -283,15 +337,26 @@ async fn reply_pump(conn: Arc<Conn>) {
         if *unflushed == 0 {
             return;
         }
-        {
+        let ok = {
             let mut w = conn.writer.lock().unwrap_or_else(|e| e.into_inner());
             // A dead peer makes this fail; the tickets behind these replies
             // have resolved either way, so the drain accounting proceeds.
-            let _ = w.write_all(buf);
-        }
+            w.write_all(buf).is_ok()
+        };
         buf.clear();
         conn.end_requests(*unflushed);
         *unflushed = 0;
+        if ok {
+            // An outbound flush is activity: the idle watchdog must not
+            // sever a peer the moment its last slow reply lands.
+            conn.touch();
+        } else {
+            // Write failed or timed out (peer gone, or it stopped reading
+            // its replies): sever so the reader tears the connection down
+            // rather than letting more replies pile up behind a socket
+            // that will never drain.
+            conn.sever();
+        }
     };
     loop {
         let step = {
@@ -585,24 +650,32 @@ where
             closed: false,
         }),
         intake_closed: AtomicBool::new(false),
-        last_rx_ns: AtomicU64::new(shared.now_ns()),
+        epoch: shared.epoch,
+        last_activity_ns: AtomicU64::new(shared.now_ns()),
         finished: AtomicBool::new(false),
     });
+    // One socket-level write timeout covers every clone (pump flushes and
+    // the reader thread's inline error replies alike): a peer that stops
+    // reading can wedge only its own connection, and only this long.
+    conn.stream.set_write_timeout(shared.config.write_timeout);
     shared
         .conns
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .push(Arc::clone(&conn));
-    // The reply pump: one executor task for the connection's lifetime.
+    // The reply pump: one dedicated writer thread for the connection's
+    // lifetime (see `reply_pump` — its flushes block on the socket, so it
+    // must not occupy an executor worker).
     let conn_pump = Arc::clone(&conn);
-    shared.handle.spawn(reply_pump(conn_pump));
+    std::thread::spawn(move || psnap_serve::block_on(reply_pump(conn_pump)));
     // Idle watchdog: a far-deadline timer on the executor's wheel (an idle
     // timeout of seconds spans many 256-slot laps at the default
-    // granularity). It re-arms after activity and severs a connection whose
-    // last inbound frame is older than the timeout.
+    // granularity). It re-arms after activity — inbound frames, outbound
+    // reply flushes, or requests still in flight — and severs a connection
+    // only once all three have been absent for the timeout.
     if let Some(idle) = shared.config.idle_timeout {
-        let shared_wd = Arc::clone(shared);
         let conn_wd = Arc::clone(&conn);
+        let handle = shared.handle.clone();
         shared.handle.spawn(async move {
             let idle_ns = idle.as_nanos() as u64;
             loop {
@@ -611,20 +684,24 @@ where
                 {
                     return;
                 }
-                let age = shared_wd
+                let age = conn_wd
                     .now_ns()
-                    .saturating_sub(conn_wd.last_rx_ns.load(Ordering::Acquire));
-                if age >= idle_ns {
+                    .saturating_sub(conn_wd.last_activity_ns.load(Ordering::Acquire));
+                if age < idle_ns {
+                    handle.sleep(Duration::from_nanos(idle_ns - age)).await;
+                } else if conn_wd.in_flight_count() > 0 {
+                    // Quiet wire, but a request is still in flight (a slow
+                    // scan, a gated drain): the connection is active, not
+                    // idle. Its reply flush will stamp fresh activity; a
+                    // peer that never reads that reply is the write
+                    // timeout's problem, not ours.
+                    handle.sleep(idle).await;
+                } else {
                     // Sever both directions: the reader wakes with an error
                     // and tears the connection down.
-                    conn_wd.intake_closed.store(true, Ordering::Release);
-                    conn_wd.stream.shutdown(Shutdown::Both);
+                    conn_wd.sever();
                     return;
                 }
-                shared_wd
-                    .handle
-                    .sleep(Duration::from_nanos(idle_ns - age))
-                    .await;
             }
         });
     }
@@ -681,7 +758,7 @@ where
         }
     }
     reader.set_read_timeout(None);
-    conn.last_rx_ns.store(shared.now_ns(), Ordering::Release);
+    conn.touch();
 
     // --- Request loop ----------------------------------------------------
     // Buffered from here on: a burst of pipelined frames costs one read
@@ -711,7 +788,7 @@ where
                 return;
             }
         };
-        conn.last_rx_ns.store(shared.now_ns(), Ordering::Release);
+        conn.touch();
 
         // Root the request tree at frame decode: the service's own request
         // root (ingest / scan request) nests beneath this span, so a wire

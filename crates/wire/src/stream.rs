@@ -32,6 +32,14 @@ impl Stream {
             Stream::Unix(s) => s.set_read_timeout(t),
         };
     }
+
+    /// Socket-level (`SO_SNDTIMEO`): applies to every clone of this stream.
+    pub(crate) fn set_write_timeout(&self, t: Option<Duration>) {
+        let _ = match self {
+            Stream::Tcp(s) => s.set_write_timeout(t),
+            Stream::Unix(s) => s.set_write_timeout(t),
+        };
+    }
 }
 
 impl Read for Stream {
